@@ -1,0 +1,42 @@
+"""Shared fixtures for the experiment-reproduction benchmark suite.
+
+Every benchmark reproduces one of the paper's tables or figures on the
+simulated substrates and writes its rows/series to ``results/<name>.txt``.
+Pipeline runs are shared across benchmark files through a session-scoped
+:class:`repro.bench.ExperimentCache`.
+
+Set ``REPRO_BENCH_SCALE`` (default 1.0) to shrink or grow the synthetic
+datasets; shapes are asserted with bands wide enough for the default scale.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import ExperimentCache
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def cache() -> ExperimentCache:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return ExperimentCache(scale=scale)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations; repeating them would
+    only re-measure the same arithmetic, so one round is recorded.
+    """
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,58 @@
+"""Ablation: supermer window length (Section IV-B's design trade-off).
+
+"By partitioning the reads into windows, we limit the length of the
+supermers" — small windows chop supermers (more items, less compression),
+while the largest window that still packs one 64-bit word (16 for k=17)
+maximizes compression.  The paper chose 15; this sweep shows the curve.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_table, write_report
+
+DATASET = "celegans40x"
+NODES = 16
+WINDOWS = [2, 4, 8, 15, 16]
+
+
+def test_ablation_window(benchmark, cache, results_dir):
+    def experiment():
+        kmer = cache.run(DATASET, n_nodes=NODES, backend="gpu", mode="kmer")
+        sweeps = {
+            w: cache.run(DATASET, n_nodes=NODES, backend="gpu", mode="supermer", minimizer_len=7, window=w)
+            for w in WINDOWS
+        }
+        return kmer, sweeps
+
+    kmer, sweeps = run_once(benchmark, experiment)
+
+    rows = []
+    for w, r in sweeps.items():
+        rows.append(
+            [
+                w,
+                r.exchanged_items,
+                f"{r.mean_supermer_length:.2f}",
+                f"{kmer.exchanged_items / r.exchanged_items:.2f}x",
+                f"{r.exchange_speedup_over(kmer):.2f}x",
+            ]
+        )
+    text = format_table(
+        ["window", "supermers", "mean length", "item compression", "alltoallv speedup"],
+        rows,
+        title=f"Ablation: window length sweep ({DATASET}, {NODES} nodes, m=7; paper used 15)",
+    )
+    write_report("ablation_window", text, results_dir)
+
+    # Compression improves monotonically with window size.
+    items = [sweeps[w].exchanged_items for w in WINDOWS]
+    assert all(b <= a for a, b in zip(items, items[1:]))
+    # Mean supermer length grows with the window and is capped by it.
+    for w, r in sweeps.items():
+        assert r.mean_supermer_length <= w + 17 - 1 + 1e-9
+    # The paper's window (15) achieves most of the maximal (16) compression.
+    assert sweeps[15].exchanged_items < 1.1 * sweeps[16].exchanged_items
+    # Tiny windows destroy most of the benefit.
+    assert sweeps[2].exchanged_items > 2 * sweeps[15].exchanged_items

@@ -1,0 +1,65 @@
+"""Fig. 6: overall speedup of the GPU pipelines over the CPU baseline.
+
+Paper: (a) on 16 nodes (96 GPUs vs 672 cores), the four small datasets show
+~11x (k-mer) and ~13x (supermer) average speedups; (b) on 64 nodes (384
+GPUs vs 2,688 cores) the large datasets reach up to 150x for H. sapiens
+54X with supermers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import format_table, write_report
+from repro.dna.datasets import LARGE_DATASETS, SMALL_DATASETS
+
+VARIANTS = [("kmer", None), ("supermer", 7), ("supermer", 9)]
+
+
+def _speedups(cache, datasets, nodes):
+    rows = []
+    for name in datasets:
+        cpu = cache.run(name, n_nodes=nodes, backend="cpu", mode="kmer")
+        row = [name]
+        for mode, m in VARIANTS:
+            r = cache.run(name, n_nodes=nodes, backend="gpu", mode=mode, minimizer_len=m or 7)
+            row.append(r.speedup_over(cpu))
+        rows.append(row)
+    return rows
+
+
+def test_fig6a_small_datasets_16_nodes(benchmark, cache, results_dir):
+    rows = run_once(benchmark, lambda: _speedups(cache, SMALL_DATASETS, 16))
+    text = format_table(
+        ["dataset", "kmer", "supermer m=7", "supermer m=9"],
+        [[r[0]] + [f"{x:.1f}x" for x in r[1:]] for r in rows],
+        title="Fig. 6a: overall speedup over CPU baseline, 16 nodes (96 GPUs vs 672 cores)\n"
+        "paper: ~11x (kmer) and ~13x (supermer) average",
+    )
+    write_report("fig6a_speedup_16nodes", text, results_dir)
+
+    speedups = np.array([r[1:] for r in rows], dtype=float)
+    # Order-of-magnitude speedups on every small dataset, for every variant.
+    assert (speedups > 3).all() and (speedups < 200).all()
+    # Published averages are ~11-13x; allow a generous band around them.
+    assert 5 < speedups[:, 0].mean() < 60
+
+
+def test_fig6b_large_datasets_64_nodes(benchmark, cache, results_dir):
+    rows = run_once(benchmark, lambda: _speedups(cache, LARGE_DATASETS, 64))
+    text = format_table(
+        ["dataset", "kmer", "supermer m=7", "supermer m=9"],
+        [[r[0]] + [f"{x:.1f}x" for x in r[1:]] for r in rows],
+        title="Fig. 6b: overall speedup over CPU baseline, 64 nodes (384 GPUs vs 2688 cores)\n"
+        "paper: up to 150x for H. sapiens 54X with supermers",
+    )
+    write_report("fig6b_speedup_64nodes", text, results_dir)
+
+    by_name = {r[0]: r[1:] for r in rows}
+    hs = by_name["hsapiens54x"]
+    # Headline claim: supermer speedup on H. sapiens in the 100-200x band.
+    assert 80 < max(hs) < 250, f"H. sapiens best speedup {max(hs):.0f}x vs published ~150x"
+    # Larger dataset -> larger speedup ("benefits of GPUs are strongest as
+    # the data sets grow").
+    assert max(by_name["hsapiens54x"]) > max(by_name["celegans40x"]) * 0.8

@@ -1,0 +1,78 @@
+"""Fig. 7: GPU pipeline phase breakdown, k-mer vs supermer, 64 nodes.
+
+Paper (Section V-C): on H. sapiens 54X the supermer version pays ~33% more
+in parse & process and ~27% more in counting, but the exchange module —
+"up to 80% of the total time" — speeds up ~33%, for a net win.  Same
+qualitative picture for C. elegans 40X (Fig. 7a).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_table, write_report
+
+NODES = 64
+
+
+def _breakdown(cache, name):
+    out = {}
+    out["kmer"] = cache.run(name, n_nodes=NODES, backend="gpu", mode="kmer")
+    for m in (7, 9):
+        out[f"supermer-m{m}"] = cache.run(name, n_nodes=NODES, backend="gpu", mode="supermer", minimizer_len=m)
+    return out
+
+
+def _report(name, results, results_dir):
+    rows = []
+    for label, r in results.items():
+        rows.append(
+            [
+                label,
+                f"{r.timing.parse:.2f}",
+                f"{r.timing.exchange:.2f}",
+                f"{r.timing.count:.2f}",
+                f"{r.timing.total:.2f}",
+            ]
+        )
+    text = format_table(
+        ["pipeline", "parse_s", "exchange_s", "count_s", "total_s"],
+        rows,
+        title=f"Fig. 7 ({name}): GPU phase breakdown on {NODES} nodes (model seconds)\n"
+        "paper: supermers cost ~27-33% more parse, ~23-27% more count, win ~33% on exchange",
+    )
+    write_report(f"fig7_breakdown_{name}", text, results_dir)
+
+
+def _assert_shapes(results):
+    kmer = results["kmer"]
+    for m in (7, 9):
+        sup = results[f"supermer-m{m}"]
+        parse_factor = sup.timing.parse / kmer.timing.parse
+        # Published +27-33%; band allows modelling slack.
+        assert 1.1 < parse_factor < 1.6, parse_factor
+        # Count gets slower (extraction + minimizer-partition imbalance; see
+        # EXPERIMENTS.md on the paper's own tension between its +27% claim
+        # and its Table III imbalance of 2.37).
+        assert sup.timing.count > kmer.timing.count
+        # Exchange phase gets faster.
+        assert sup.timing.exchange < kmer.timing.exchange
+    # Exchange dominates the k-mer GPU pipeline (paper: up to 80%).
+    assert kmer.timing.exchange_fraction() > 0.5
+
+
+def test_fig7a_celegans(benchmark, cache, results_dir):
+    results = run_once(benchmark, lambda: _breakdown(cache, "celegans40x"))
+    _report("celegans40x", results, results_dir)
+    _assert_shapes(results)
+
+
+def test_fig7b_hsapiens(benchmark, cache, results_dir):
+    results = run_once(benchmark, lambda: _breakdown(cache, "hsapiens54x"))
+    _report("hsapiens54x", results, results_dir)
+    _assert_shapes(results)
+    # Net whole-pipeline win from supermers on the big dataset (paper ~1.5x;
+    # our faithful imbalance accounting lands lower but must stay > 1).
+    kmer = results["kmer"]
+    best = min(results[f"supermer-m{m}"].timing.total for m in (7, 9))
+    assert kmer.timing.total / best > 1.05

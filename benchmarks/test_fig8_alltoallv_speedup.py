@@ -1,0 +1,55 @@
+"""Fig. 8: speedup of the MPI_Alltoallv routine using supermers vs k-mers.
+
+Paper: (a) 16 nodes / 96 GPUs on the small datasets, (b) 64 nodes / 384
+GPUs on the large ones, "highlighting up to a 3x communication speedup for
+H. sapien 54X"; "the variance in the speedup is caused by the load
+imbalance of the k-mer distribution".
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_table, write_report
+from repro.dna.datasets import LARGE_DATASETS, SMALL_DATASETS
+
+
+def _speedups(cache, datasets, nodes):
+    rows = []
+    for name in datasets:
+        kmer = cache.run(name, n_nodes=nodes, backend="gpu", mode="kmer")
+        row = [name]
+        for m in (9, 7):
+            sup = cache.run(name, n_nodes=nodes, backend="gpu", mode="supermer", minimizer_len=m)
+            row.append(sup.exchange_speedup_over(kmer))
+        rows.append(row)
+    return rows
+
+
+def _report(tag, rows, nodes, results_dir):
+    text = format_table(
+        ["dataset", "m=9", "m=7"],
+        [[r[0]] + [f"{x:.2f}x" for x in r[1:]] for r in rows],
+        title=f"Fig. 8{tag}: MPI_Alltoallv speedup, supermers vs k-mers, {nodes} nodes\n"
+        "paper: >1x everywhere, up to ~3x on H. sapiens 54X",
+    )
+    write_report(f"fig8{tag}_alltoallv_speedup", text, results_dir)
+
+
+def test_fig8a_small_16_nodes(benchmark, cache, results_dir):
+    rows = run_once(benchmark, lambda: _speedups(cache, SMALL_DATASETS, 16))
+    _report("a", rows, 16, results_dir)
+    for row in rows:
+        for speedup in row[1:]:
+            assert 1.0 < speedup < 5.0, row
+
+
+def test_fig8b_large_64_nodes(benchmark, cache, results_dir):
+    rows = run_once(benchmark, lambda: _speedups(cache, LARGE_DATASETS, 64))
+    _report("b", rows, 64, results_dir)
+    by_name = {r[0]: r[1:] for r in rows}
+    # H. sapiens: up to ~3x.
+    assert 1.5 < max(by_name["hsapiens54x"]) < 4.5
+    for row in rows:
+        for speedup in row[1:]:
+            assert speedup > 1.0, row

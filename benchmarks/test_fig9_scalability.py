@@ -1,0 +1,66 @@
+"""Fig. 9: scalability of the GPU computation kernels' k-mer insertion rate.
+
+Paper: rates in billions of k-mers/s from 4 to 128 nodes (6 GPUs/node);
+small datasets stop at 32 nodes; "linear speedup in almost all the
+datasets"; "C. elegans 40X achieves 4x, 8x, 16x, 37x speedup on 16, 32, 64
+and 128 nodes"; both large datasets gain ~2.3x going 64 -> 128; skewed
+small datasets (V. vulnificus) scale sublinearly.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_series, write_report
+from repro.dna.datasets import LARGE_DATASETS, SMALL_DATASETS
+
+SMALL_NODE_COUNTS = [4, 16, 32]
+LARGE_NODE_COUNTS = [4, 16, 32, 64, 128]
+
+
+def _rates(cache, name, node_counts):
+    rates = []
+    for nodes in node_counts:
+        r = cache.run(name, n_nodes=nodes, backend="gpu", mode="kmer")
+        rates.append(r.insertion_rate())
+    return rates
+
+
+def test_fig9_insertion_rate_scaling(benchmark, cache, results_dir):
+    def experiment():
+        series = {}
+        for name in SMALL_DATASETS:
+            series[name] = (SMALL_NODE_COUNTS, _rates(cache, name, SMALL_NODE_COUNTS))
+        for name in LARGE_DATASETS:
+            series[name] = (LARGE_NODE_COUNTS, _rates(cache, name, LARGE_NODE_COUNTS))
+        return series
+
+    series = run_once(benchmark, experiment)
+
+    lines = [
+        "Fig. 9: k-mer insertion rate (computation kernels only, excl. exchange)",
+        "paper: near-linear scaling; ~2.3x from 64 to 128 nodes for the large datasets",
+        "",
+    ]
+    for name, (nodes, rates) in series.items():
+        lines.append(format_series(name, nodes, [f"{x / 1e9:.2f}B/s" for x in rates]))
+    write_report("fig9_scalability", "\n".join(lines), results_dir)
+
+    for name, (nodes, rates) in series.items():
+        # Rates must increase monotonically with node count.
+        assert all(b > a for a, b in zip(rates, rates[1:])), name
+        # Scaling from 4 nodes to the max is at least half-linear ("linear
+        # speedup in almost all the datasets", with skew-induced dips).
+        span = nodes[-1] / nodes[0]
+        gain = rates[-1] / rates[0]
+        assert gain > 0.4 * span, (name, gain, span)
+
+    # Large datasets: 64 -> 128 nodes gives ~2.3x in the paper; accept
+    # anything clearly super-1.5x.
+    for name in LARGE_DATASETS:
+        nodes, rates = series[name]
+        gain = rates[nodes.index(128)] / rates[nodes.index(64)]
+        assert 1.5 < gain <= 2.6, (name, gain)
+
+    # Large-dataset rates reach the paper's "billions per second" regime.
+    assert max(series["hsapiens54x"][1]) > 5e9

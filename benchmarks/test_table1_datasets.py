@@ -1,0 +1,43 @@
+"""Table I: the evaluation datasets (published vs scaled synthetic)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_table, write_report
+from repro.dna.datasets import DATASET_NAMES, TABLE1
+
+
+def test_table1_datasets(benchmark, cache, results_dir):
+    def build():
+        rows = []
+        for name in DATASET_NAMES:
+            spec = TABLE1[name]
+            reads, mult = cache.dataset(name)
+            rows.append(
+                [
+                    name,
+                    spec.species,
+                    f"{spec.coverage:.0f}x",
+                    f"{spec.real_fastq_bytes / 1e6:,.0f} MB",
+                    spec.real_kmers,
+                    reads.kmer_count(17),
+                    f"{mult:,.0f}",
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, build)
+    text = format_table(
+        ["dataset", "species", "cov", "fastq (paper)", "k-mers (paper)", "k-mers (ours)", "multiplier"],
+        rows,
+        title="Table I: datasets — published sizes vs scaled synthetic equivalents",
+    )
+    write_report("table1_datasets", text, results_dir)
+
+    # Shape assertions: the six datasets keep the published size ordering.
+    ours = [r[5] for r in rows]
+    paper = [r[4] for r in rows]
+    assert sorted(range(6), key=ours.__getitem__) == sorted(range(6), key=paper.__getitem__)
+    # Coverage is preserved exactly.
+    assert [TABLE1[n].coverage for n in DATASET_NAMES] == [30, 30, 30, 30, 40, 54]

@@ -1,0 +1,93 @@
+"""Table II: number of k-mers vs supermers exchanged, per dataset.
+
+Paper (measured on the real datasets):
+
+    dataset            k-mer    m=9     m=7    (ratios: m9 ~3.3x, m7 ~3.8x)
+    E. coli 30X        412M     126M    108M
+    ...
+    H. sapiens 54X     167B     59B     50B
+
+These are *exact counting* quantities, independent of any cost model, so
+this is the highest-fidelity reproduction in the suite: the scaled
+synthetic datasets must reproduce the compression ratios, not just trends.
+Section V-D: "results show a significant communication reduction of 4x
+using a window length of 15"; smaller m -> longer, fewer supermers.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_table, write_report
+from repro.dna.datasets import DATASET_NAMES, TABLE1
+
+NODES = 16
+
+#: Published Table II item counts (k-mer, m=9, m=7).
+PAPER_COUNTS = {
+    "ecoli30x": (412e6, 126e6, 108e6),
+    "paeruginosa30x": (187e6, 56e6, 48e6),
+    "vvulnificus30x": (154e6, 47e6, 41e6),
+    "abaumannii30x": (129e6, 40e6, 34e6),
+    "celegans40x": (4.7e9, 1.5e9, 1.3e9),
+    "hsapiens54x": (167e9, 59e9, 50e9),
+}
+
+
+def test_table2_exchange_counts(benchmark, cache, results_dir):
+    def experiment():
+        measured = {}
+        for name in DATASET_NAMES:
+            kmer = cache.run(name, n_nodes=NODES, backend="gpu", mode="kmer")
+            m9 = cache.run(name, n_nodes=NODES, backend="gpu", mode="supermer", minimizer_len=9)
+            m7 = cache.run(name, n_nodes=NODES, backend="gpu", mode="supermer", minimizer_len=7)
+            measured[name] = (kmer.exchanged_items, m9.exchanged_items, m7.exchanged_items)
+        return measured
+
+    measured = run_once(benchmark, experiment)
+
+    rows = []
+    for name in DATASET_NAMES:
+        k, m9, m7 = measured[name]
+        pk, pm9, pm7 = PAPER_COUNTS[name]
+        rows.append(
+            [
+                name,
+                k,
+                m9,
+                m7,
+                f"{k / m9:.2f}x / {pk / pm9:.2f}x",
+                f"{k / m7:.2f}x / {pk / pm7:.2f}x",
+            ]
+        )
+    text = format_table(
+        ["dataset", "k-mers", "supermers m=9", "supermers m=7", "m9 ratio ours/paper", "m7 ratio ours/paper"],
+        rows,
+        title="Table II: items exchanged (measured exactly on the scaled datasets)",
+    )
+    write_report("table2_exchange_counts", text, results_dir)
+
+    for name in DATASET_NAMES:
+        k, m9, m7 = measured[name]
+        pk, pm9, pm7 = PAPER_COUNTS[name]
+        # Compression ratios within ~1/3 of the published ones.  Our
+        # synthetic reads give the stochastic ideal (~3.7x m9 / ~4.2x m7);
+        # the paper's real long-read datasets land 10-30% below it
+        # (read-length and composition effects we cannot recover from the
+        # paper), furthest below on H. sapiens.  See EXPERIMENTS.md.
+        assert abs((k / m9) - (pk / pm9)) / (pk / pm9) < 0.35, (name, "m9")
+        assert abs((k / m7) - (pk / pm7)) / (pk / pm7) < 0.35, (name, "m7")
+        # Smaller minimizer -> fewer supermers (Section V-D).
+        assert m7 < m9 < k
+        # k-mer column must equal the dataset's true k-mer count scaled —
+        # i.e., our k-mer volume ordering matches Table II's.
+    ours_order = sorted(DATASET_NAMES, key=lambda n: measured[n][0])
+    paper_order = sorted(DATASET_NAMES, key=lambda n: PAPER_COUNTS[n][0])
+    assert ours_order == paper_order
+
+    # Section V-D headline: ~4x byte reduction at window 15 (9-byte supermer
+    # wire units vs 8-byte k-mer words folded in).
+    name = "hsapiens54x"
+    k, _, m7 = measured[name]
+    byte_reduction = (k * 8) / (m7 * 9)
+    assert 2.8 < byte_reduction < 4.6

@@ -1,0 +1,55 @@
+"""Section IV-D: theoretical communication volume vs measured traffic.
+
+The paper derives K ~= (D/L)(L-k+1) total k-mers, per-processor volume
+O((P-1)/P * K/P * k) for k-mer transport and O((P-1)/P * S/P * s) for
+supermers, and illustrates the reduction with k=8, s=11 -> 2.90x.  This
+benchmark evaluates those formulas on a real run and checks the measured
+alltoallv traffic agrees.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_table, write_report
+from repro.core.analysis import base_compression_exact, items_per_supermer, theory_for
+
+DATASET = "celegans40x"
+NODES = 16
+
+
+def test_theory_vs_measured(benchmark, cache, results_dir):
+    def experiment():
+        kmer = cache.run(DATASET, n_nodes=NODES, backend="gpu", mode="kmer")
+        sup = cache.run(DATASET, n_nodes=NODES, backend="gpu", mode="supermer", minimizer_len=7)
+        reads, _ = cache.dataset(DATASET)
+        theory = theory_for(reads, 17, sup.mean_supermer_length, kmer.cluster.n_ranks)
+        return kmer, sup, theory
+
+    kmer, sup, theory = run_once(benchmark, experiment)
+
+    measured_kmers = kmer.exchanged_items
+    measured_supermers = sup.exchanged_items
+    s = sup.mean_supermer_length
+    rows = [
+        ["total k-mers K", f"{theory.total_kmers:,.0f}", f"{measured_kmers:,}"],
+        ["total supermers S", f"{theory.total_supermers:,.0f}", f"{measured_supermers:,}"],
+        ["items per supermer", f"{items_per_supermer(17, s):.2f}", f"{measured_kmers / measured_supermers:.2f}"],
+        ["base compression", f"{base_compression_exact(17, s):.2f}x", "-"],
+    ]
+    text = format_table(
+        ["quantity", "theory (Sec. IV-D)", "measured"],
+        rows,
+        title=f"Section IV-D communication theory vs measurement ({DATASET}, {NODES} nodes, s={s:.1f})",
+    )
+    write_report("theory_comm_volume", text, results_dir)
+
+    # K formula within 10% (edge effects from read ends and N windows).
+    assert abs(theory.total_kmers - measured_kmers) / measured_kmers < 0.10
+    # S formula within 10%.
+    assert abs(theory.total_supermers - measured_supermers) / measured_supermers < 0.10
+    # The worked example from the paper: k=8, s=11 -> ~2.9x.
+    assert round(base_compression_exact(8, 11.0), 1) == 2.9
+    # Volume ratio identity: kmer/supermer per-proc volume == compression.
+    ratio = theory.kmer_volume_per_proc() / theory.supermer_volume_per_proc()
+    assert abs(ratio - theory.predicted_reduction()) < 1e-9

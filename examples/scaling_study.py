@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Scaling study: GPU vs CPU baseline and node-count sweeps (Figs. 6 & 9).
+
+Reproduces, on the simulated substrates, the paper's two scaling stories:
+
+* the end-to-end speedup of the GPU pipelines over the diBELLA-derived CPU
+  baseline at a fixed node count (Fig. 6), and
+* the near-linear scaling of the computation kernels' k-mer insertion rate
+  from 4 to 128 nodes (Fig. 9), including where skew bends the curve.
+
+Usage:  python examples/scaling_study.py [dataset] [scale]
+        dataset defaults to celegans40x.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import count_distributed, paper_config, run_paper_comparison
+from repro.bench import dataset_with_multiplier, format_series, format_table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "celegans40x"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    reads, mult = dataset_with_multiplier(name, scale=scale)
+    print(f"dataset {name} (scale {scale}): {reads.kmer_count(17):,} k-mer windows, multiplier {mult:,.0f}")
+
+    # --- Fig. 6 story: one node count, all pipeline variants ---
+    n_nodes = 16
+    results = run_paper_comparison(reads, n_nodes=n_nodes, work_multiplier=mult)
+    cpu = results["cpu"]
+    rows = []
+    for label, r in results.items():
+        rows.append(
+            [
+                label,
+                f"{r.timing.parse:.2f}",
+                f"{r.timing.exchange:.2f}",
+                f"{r.timing.count:.2f}",
+                f"{r.timing.total:.2f}",
+                f"{r.speedup_over(cpu):.1f}x",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["pipeline", "parse_s", "exchange_s", "count_s", "total_s", "vs CPU"],
+            rows,
+            title=f"{name} at {n_nodes} nodes (model seconds, full-scale)",
+        )
+    )
+
+    # --- Fig. 9 story: insertion-rate scaling across node counts ---
+    node_counts = [4, 16, 32, 64, 128]
+    rates, imbalances = [], []
+    for nodes in node_counts:
+        r = count_distributed(reads, n_nodes=nodes, backend="gpu", config=paper_config(), work_multiplier=mult)
+        rates.append(r.insertion_rate() / 1e9)
+        imbalances.append(r.load_stats().imbalance)
+    print()
+    print(format_series("insertion rate (B k-mers/s) by nodes", node_counts, [f"{x:.2f}" for x in rates]))
+    print(format_series("received-load imbalance by nodes", node_counts, [f"{x:.2f}" for x in imbalances]))
+    base = rates[0] / node_counts[0]
+    print("\nscaling efficiency vs 4 nodes:")
+    for nodes, rate in zip(node_counts, rates):
+        print(f"  {nodes:4d} nodes: {rate / (base * nodes):6.1%}")
+
+
+if __name__ == "__main__":
+    main()

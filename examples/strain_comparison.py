@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Comparative genomics: k-mer distances between related strains.
+
+The paper's introduction lists "comparisons to massive genome or protein
+databases" among the applications its counter unlocks (Section VII), and
+cites multiset k-mer comparison [3] and k-mer LSH [18].  This example
+builds that workflow end to end: three simulated strains diverge from a
+common ancestor at different mutation rates; each strain's reads are
+counted on the simulated distributed system; pairwise Mash distances
+recover the divergence structure, first from full spectra and then from
+1000-value MinHash sketches.
+
+Usage:  python examples/strain_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import count_distributed
+from repro.bench import format_table
+from repro.core.config import PipelineConfig
+from repro.dna.reads import ReadSet
+from repro.dna.simulate import GenomeSimulator, ReadLengthProfile, ReadSimulator
+from repro.kmers import MinHashSketch, compare_spectra, mash_distance
+
+K = 21
+RATES = {"ancestor": 0.0, "strain_near": 0.005, "strain_far": 0.03}
+
+
+def mutate(genome: np.ndarray, rate: float, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    out = genome.copy()
+    flips = rng.random(out.shape[0]) < rate
+    out[flips] = (out[flips] + rng.integers(1, 4, size=int(flips.sum()), dtype=np.uint8)) % 4
+    return out
+
+
+def main() -> None:
+    ancestor = GenomeSimulator(80_000, repeat_fraction=0.05, seed=31).generate_codes()
+    spectra = {}
+    for i, (name, rate) in enumerate(RATES.items()):
+        genome = mutate(ancestor, rate, seed=100 + i)
+        reads = ReadSimulator(
+            genome,
+            coverage=15,
+            length_profile=ReadLengthProfile.long_read(mean=2500),
+            error_rate=0.002,
+            seed=200 + i,
+        ).generate()
+        result = count_distributed(
+            reads,
+            n_nodes=4,
+            config=PipelineConfig(k=K, mode="supermer", minimizer_len=7, window=None),
+        )
+        # Drop likely-error k-mers before comparing (count >= 3).
+        spectra[name] = result.spectrum.frequent(3)
+        print(f"{name}: {reads.n_reads} reads -> {spectra[name].n_distinct:,} solid {K}-mers")
+
+    names = list(spectra)
+    rows = []
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            cmp = compare_spectra(spectra[a], spectra[b])
+            sk_a = MinHashSketch.from_spectrum(spectra[a], size=1000)
+            sk_b = MinHashSketch.from_spectrum(spectra[b], size=1000)
+            rows.append(
+                [
+                    f"{a} vs {b}",
+                    f"{cmp.jaccard:.3f}",
+                    f"{cmp.mash_distance:.4f}",
+                    f"{sk_a.mash_distance_estimate(sk_b):.4f}",
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["pair", "jaccard", "mash distance (full)", "mash distance (1k sketch)"],
+            rows,
+            title=f"pairwise strain comparison at k={K}",
+        )
+    )
+
+    d_near = mash_distance(spectra["ancestor"], spectra["strain_near"])
+    d_far = mash_distance(spectra["ancestor"], spectra["strain_far"])
+    print(
+        f"\nrecovered divergence: ancestor->near {d_near:.4f} (true rate 0.005), "
+        f"ancestor->far {d_far:.4f} (true rate 0.03)"
+    )
+    assert d_near < d_far, "distances must order by true divergence"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Benchmark harness: experiment cache and report formatting."""
+
+from .reporting import format_series, format_table, write_report
+from .runner import ExperimentCache, dataset_with_multiplier
+
+__all__ = [
+    "ExperimentCache",
+    "dataset_with_multiplier",
+    "format_table",
+    "format_series",
+    "write_report",
+]

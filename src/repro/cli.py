@@ -1,0 +1,316 @@
+"""Command-line interface.
+
+Implemented as a general-purpose tool, per the paper's conclusion
+("Implemented as a general purpose k-mer counter, our tool can be used for
+counting k-mers in single genome, a microbial community...").  Subcommands:
+
+``repro datasets``
+    List the synthetic Table I dataset registry.
+``repro simulate``
+    Generate a synthetic dataset (registry entry or custom genome) as FASTQ.
+``repro count``
+    Count k-mers from a FASTQ/FASTA file on the simulated distributed
+    system; write a binary k-mer database and/or TSV; print the run summary.
+``repro spectrum``
+    Inspect a k-mer database: genomic profile and multiplicity histogram.
+``repro compare``
+    Run the paper's CPU/kmer/supermer comparison on one dataset and print
+    the Fig. 6/7-style table.
+
+All subcommands are plain functions over parsed arguments, so the test
+suite drives them through :func:`main` with string argv lists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .bench.reporting import format_table
+from .bench.runner import dataset_with_multiplier
+from .core.config import PipelineConfig
+from .core.driver import count_distributed, run_paper_comparison
+from .dna.datasets import DATASET_NAMES, TABLE1, load_dataset
+from .dna.fastq import read_fasta, read_fastq, sniff_format, write_fastq
+from .dna.reads import ReadSet
+from .dna.simulate import ReadLengthProfile, reads_to_records, simulate_dataset
+from .kmers.genomics import profile_spectrum
+from .kmers.kmerdb import read_kmerdb, write_kmerdb, write_tsv
+from .kmers.spectrum import count_kmers_exact
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed-memory k-mer counting on simulated GPUs (IPDPS 2021 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the synthetic Table I datasets")
+
+    p_sim = sub.add_parser("simulate", help="generate a synthetic dataset as FASTQ")
+    p_sim.add_argument("--out", required=True, help="output FASTQ path (.gz supported)")
+    group = p_sim.add_mutually_exclusive_group(required=True)
+    group.add_argument("--dataset", choices=DATASET_NAMES, help="a Table I registry entry")
+    group.add_argument("--genome-length", type=int, help="custom genome length (bp)")
+    p_sim.add_argument("--scale", type=float, default=1.0, help="registry scale factor")
+    p_sim.add_argument("--coverage", type=float, default=30.0, help="custom: sequencing depth")
+    p_sim.add_argument("--read-length", type=int, default=2000, help="custom: mean read length")
+    p_sim.add_argument("--error-rate", type=float, default=0.01, help="custom: substitution rate")
+    p_sim.add_argument("--repeat-fraction", type=float, default=0.1, help="custom: genome repeat content")
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    p_count = sub.add_parser("count", help="count k-mers on the simulated distributed system")
+    p_count.add_argument(
+        "--input", required=True, nargs="+", help="FASTQ/FASTA input file(s) (.gz supported); counted into one histogram"
+    )
+    p_count.add_argument(
+        "--checkpoint",
+        help="counter state file: loaded if present (resume), saved after every input file",
+    )
+    p_count.add_argument("-k", type=int, default=17, help="k-mer length (2-31)")
+    p_count.add_argument("--nodes", type=int, default=4, help="simulated Summit nodes")
+    p_count.add_argument("--backend", choices=["gpu", "cpu"], default="gpu")
+    p_count.add_argument("--mode", choices=["kmer", "supermer"], default="supermer")
+    p_count.add_argument("-m", "--minimizer-len", type=int, default=7)
+    p_count.add_argument("--window", type=int, default=None, help="supermer window (default: max packable)")
+    p_count.add_argument("--ordering", default="random-base", choices=["lexicographic", "kmc2", "random-base"])
+    p_count.add_argument("--canonical", action="store_true", help="count canonical (strand-neutral) k-mers")
+    p_count.add_argument("--gpudirect", action="store_true", help="skip CPU staging copies")
+    p_count.add_argument("--rounds", type=int, default=1, help="memory-bounded exchange rounds")
+    p_count.add_argument("--out-db", help="write binary k-mer database here")
+    p_count.add_argument("--out-tsv", help="write kmer<TAB>count text here")
+    p_count.add_argument("--min-count", type=int, default=1, help="only export k-mers with count >= this")
+    p_count.add_argument("--min-read-length", type=int, default=0, help="drop reads shorter than this after trimming")
+    p_count.add_argument("--min-read-quality", type=float, default=0.0, help="drop reads with mean quality below this")
+    p_count.add_argument("--trim-quality", type=int, default=None, help="trim read ends below this Phred score")
+
+    p_spec = sub.add_parser("spectrum", help="inspect a k-mer database")
+    p_spec.add_argument("--db", required=True, help="binary k-mer database from 'repro count'")
+    p_spec.add_argument("--histogram", action="store_true", help="print the multiplicity histogram")
+    p_spec.add_argument("--top", type=int, default=0, help="print the N most frequent k-mers")
+
+    p_cmp = sub.add_parser("compare", help="run the paper's pipeline comparison on one dataset")
+    p_cmp.add_argument("--dataset", choices=DATASET_NAMES, default="abaumannii30x")
+    p_cmp.add_argument("--nodes", type=int, default=16)
+    p_cmp.add_argument("--scale", type=float, default=1.0)
+    p_cmp.add_argument("--no-cpu", action="store_true", help="skip the (slow) CPU baseline")
+
+    p_dist = sub.add_parser("distance", help="k-mer distances between two k-mer databases")
+    p_dist.add_argument("--db-a", required=True)
+    p_dist.add_argument("--db-b", required=True)
+    p_dist.add_argument("--min-count", type=int, default=1, help="compare only k-mers with count >= this")
+
+    return parser
+
+
+def _load_reads(path: str) -> ReadSet:
+    fmt = sniff_format(path)
+    records = read_fastq(path) if fmt == "fastq" else read_fasta(path)
+    return ReadSet.from_records(records)
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = [
+        [
+            spec.name,
+            spec.species,
+            f"{spec.coverage:.0f}x",
+            f"{spec.real_fastq_bytes / 1e6:,.0f} MB",
+            spec.real_kmers,
+            spec.scaled_kmers,
+        ]
+        for spec in TABLE1.values()
+    ]
+    print(format_table(["name", "species", "cov", "fastq (paper)", "k-mers (paper)", "k-mers (scaled)"], rows))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.dataset:
+        reads = load_dataset(args.dataset, scale=args.scale, seed=args.seed or None)
+    else:
+        reads = simulate_dataset(
+            genome_length=args.genome_length,
+            coverage=args.coverage,
+            length_profile=ReadLengthProfile.long_read(mean=args.read_length),
+            repeat_fraction=args.repeat_fraction,
+            error_rate=args.error_rate,
+            seed=args.seed,
+        )
+    n = write_fastq(args.out, reads_to_records(reads))
+    print(f"wrote {n} reads / {reads.total_bases:,} bases to {args.out}")
+    return 0
+
+
+def _load_one(path: str, args: argparse.Namespace) -> ReadSet:
+    if args.min_read_length or args.min_read_quality or args.trim_quality is not None:
+        from .dna.quality import QualityFilter
+
+        fmt = sniff_format(path)
+        stream = read_fastq(path) if fmt == "fastq" else read_fasta(path)
+        qfilter = QualityFilter(
+            min_length=args.min_read_length,
+            min_mean_quality=args.min_read_quality,
+            trim_end_quality=args.trim_quality,
+        )
+        reads = ReadSet.from_records(qfilter.apply(stream))
+        print(f"{path}: quality filter kept {reads.n_reads} reads / {reads.total_bases:,} bases")
+        return reads
+    return _load_reads(path)
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    from .core.incremental import DistributedCounter
+    from .mpi.topology import summit_cpu, summit_gpu
+
+    config = PipelineConfig(
+        k=args.k,
+        mode=args.mode,
+        minimizer_len=args.minimizer_len,
+        window=args.window,
+        ordering=args.ordering,
+        canonical=args.canonical,
+        gpudirect=args.gpudirect,
+        n_rounds=args.rounds,
+    )
+    cluster = summit_gpu(args.nodes) if args.backend == "gpu" else summit_cpu(args.nodes)
+    counter = DistributedCounter(cluster, config, backend=args.backend)
+    if args.checkpoint and Path(args.checkpoint).exists():
+        counter.load(args.checkpoint)
+        print(f"resumed from {args.checkpoint}: {counter.n_batches} batches, {counter.total_kmers:,} k-mers")
+    for path in args.input:
+        batch_timing = counter.add_reads(_load_one(path, args))
+        print(f"{path}: counted in {batch_timing.total:.3f} model seconds")
+        if args.checkpoint:
+            counter.save(args.checkpoint)
+
+    spectrum_full = counter.spectrum()
+    loads = counter.load_stats()
+    rows = [
+        ["inputs", len(args.input)],
+        ["total_kmers", counter.total_kmers],
+        ["distinct_kmers", spectrum_full.n_distinct],
+        ["parse_s", f"{counter.timing.parse:,.4f}"],
+        ["exchange_s", f"{counter.timing.exchange:,.4f}"],
+        ["count_s", f"{counter.timing.count:,.4f}"],
+        ["total_s", f"{counter.timing.total:,.4f}"],
+        ["exchanged_items", counter.exchanged_items],
+        ["load_imbalance", f"{loads.imbalance:.4f}"],
+    ]
+    print(format_table(["metric", "value"], rows, title=f"count of {', '.join(args.input)}"))
+
+    spectrum = spectrum_full if args.min_count <= 1 else spectrum_full.frequent(args.min_count)
+    if args.out_db:
+        nbytes = write_kmerdb(args.out_db, spectrum)
+        print(f"wrote {spectrum.n_distinct:,} k-mers ({nbytes:,} bytes) to {args.out_db}")
+    if args.out_tsv:
+        write_tsv(args.out_tsv, spectrum)
+        print(f"wrote {spectrum.n_distinct:,} k-mers to {args.out_tsv}")
+    return 0
+
+
+def _cmd_spectrum(args: argparse.Namespace) -> int:
+    spectrum = read_kmerdb(args.db)
+    profile = profile_spectrum(spectrum)
+    print(profile.describe())
+    print(
+        f"{spectrum.n_distinct:,} distinct / {spectrum.n_total:,} total k-mers; "
+        f"singletons {profile.singleton_fraction:.1%}"
+    )
+    if args.histogram:
+        mult, freq = spectrum.multiplicity_histogram()
+        peak = int(freq.max()) if freq.size else 1
+        for m_val, f_val in list(zip(mult.tolist(), freq.tolist()))[:30]:
+            bar = "#" * max(1, int(50 * f_val / peak))
+            print(f"  {m_val:>6}: {f_val:>10,} {bar}")
+    if args.top:
+        from .dna.encoding import kmer_to_string
+
+        vals, counts = spectrum.top(args.top)
+        for v, c in zip(vals.tolist(), counts.tolist()):
+            print(f"  {kmer_to_string(v, spectrum.k)}\t{c}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    reads, mult = dataset_with_multiplier(args.dataset, scale=args.scale)
+    results = run_paper_comparison(
+        reads,
+        n_nodes=args.nodes,
+        include_cpu_baseline=not args.no_cpu,
+        work_multiplier=mult,
+    )
+    baseline = results.get("cpu") or results["kmer"]
+    rows = []
+    for label, r in results.items():
+        rows.append(
+            [
+                label,
+                f"{r.timing.parse:.2f}",
+                f"{r.timing.exchange:.2f}",
+                f"{r.timing.count:.2f}",
+                f"{r.timing.total:.2f}",
+                f"{r.speedup_over(baseline):.1f}x",
+                r.exchanged_items,
+                f"{r.load_stats().imbalance:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["pipeline", "parse_s", "exchange_s", "count_s", "total_s", "speedup", "items", "imbalance"],
+            rows,
+            title=f"{args.dataset} at {args.nodes} nodes (full-scale model seconds)",
+        )
+    )
+    return 0
+
+
+def _cmd_distance(args: argparse.Namespace) -> int:
+    from .kmers.comparison import compare_spectra
+
+    a = read_kmerdb(args.db_a)
+    b = read_kmerdb(args.db_b)
+    if args.min_count > 1:
+        a, b = a.frequent(args.min_count), b.frequent(args.min_count)
+    cmp = compare_spectra(a, b)
+    print(cmp.describe())
+    rows = [
+        ["jaccard", f"{cmp.jaccard:.4f}"],
+        ["weighted jaccard", f"{cmp.weighted_jaccard:.4f}"],
+        ["containment A in B", f"{cmp.containment_a_in_b:.4f}"],
+        ["containment B in A", f"{cmp.containment_b_in_a:.4f}"],
+        ["mash distance", f"{cmp.mash_distance:.5f}" if cmp.mash_distance != float("inf") else "inf"],
+    ]
+    print(format_table(["measure", "value"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "simulate": _cmd_simulate,
+    "count": _cmd_count,
+    "spectrum": _cmd_spectrum,
+    "compare": _cmd_compare,
+    "distance": _cmd_distance,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        return 0  # output piped into head/less that closed early
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Core pipelines: the paper's distributed k-mer counting on the substrates."""
+
+from .analysis import (
+    CommunicationTheory,
+    base_compression_exact,
+    imbalance_from_result,
+    items_per_supermer,
+    theory_for,
+)
+from .config import PipelineConfig, paper_config
+from .cpu_model import CpuRates, power9_rates
+from .driver import count_distributed, cpu_cluster, gpu_cluster, run_paper_comparison
+from .engine import EngineOptions, run_pipeline
+from .gpu_model import GpuPipelineModel
+from .incremental import DistributedCounter
+from .results import CountResult, LoadStats, PhaseTiming
+from .sweep import SweepPoint, SweepResult, sweep
+from .spmd import count_spmd, kmer_count_program, supermer_count_program
+from .tracing import trace_events, write_chrome_trace
+
+__all__ = [
+    "PipelineConfig",
+    "paper_config",
+    "EngineOptions",
+    "run_pipeline",
+    "count_distributed",
+    "run_paper_comparison",
+    "gpu_cluster",
+    "cpu_cluster",
+    "CountResult",
+    "PhaseTiming",
+    "LoadStats",
+    "CpuRates",
+    "power9_rates",
+    "GpuPipelineModel",
+    "DistributedCounter",
+    "CommunicationTheory",
+    "theory_for",
+    "base_compression_exact",
+    "items_per_supermer",
+    "imbalance_from_result",
+    "count_spmd",
+    "kmer_count_program",
+    "supermer_count_program",
+    "trace_events",
+    "write_chrome_trace",
+    "sweep",
+    "SweepPoint",
+    "SweepResult",
+]

@@ -1,0 +1,188 @@
+"""Result records of a distributed counting run.
+
+A :class:`CountResult` bundles everything the paper reports about a run:
+
+* the exact global k-mer spectrum (correctness; merged across ranks),
+* the phase timing breakdown in model seconds (Figs. 3 and 7),
+* exact exchange volume in items and bytes (Table II, Fig. 8 inputs),
+* per-rank received-k-mer loads (Table III's imbalance),
+* GPU hash-table probe statistics (cost-model inputs, sanity checks).
+
+Bulk-synchronous semantics: a phase's time is the *max* over ranks of that
+rank's time, so imbalance directly shows up as lost time, as on the real
+machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.hashtable import InsertStats
+from ..kmers.spectrum import KmerSpectrum
+from ..mpi.stats import TrafficStats
+from ..mpi.topology import ClusterSpec
+from .config import PipelineConfig
+
+__all__ = ["PhaseTiming", "LoadStats", "CountResult"]
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Per-phase model seconds (the paper's three modules, Section V-B)."""
+
+    parse: float
+    exchange: float
+    count: float
+
+    def __post_init__(self) -> None:
+        if min(self.parse, self.exchange, self.count) < 0:
+            raise ValueError("phase times must be non-negative")
+
+    @property
+    def compute(self) -> float:
+        """Computation kernels only (what Fig. 9's insertion rate excludes
+        the exchange from)."""
+        return self.parse + self.count
+
+    @property
+    def total(self) -> float:
+        return self.parse + self.exchange + self.count
+
+    def exchange_fraction(self) -> float:
+        """Share of total time spent exchanging (Fig. 3b: up to ~80%)."""
+        return self.exchange / self.total if self.total > 0 else 0.0
+
+    def add(self, other: "PhaseTiming") -> "PhaseTiming":
+        """Sum of two timings (multi-round accumulation)."""
+        return PhaseTiming(
+            parse=self.parse + other.parse,
+            exchange=self.exchange + other.exchange,
+            count=self.count + other.count,
+        )
+
+
+@dataclass(frozen=True)
+class LoadStats:
+    """Table III's per-partition load summary."""
+
+    min_load: int
+    max_load: int
+    mean_load: float
+
+    @property
+    def imbalance(self) -> float:
+        """max / mean — "the ratio of the maximum load over the average
+        load, where the load is defined as the number of k-mers"."""
+        return self.max_load / self.mean_load if self.mean_load > 0 else 0.0
+
+    @classmethod
+    def from_loads(cls, loads: np.ndarray) -> "LoadStats":
+        arr = np.asarray(loads, dtype=np.int64)
+        if arr.size == 0:
+            return cls(0, 0, 0.0)
+        return cls(min_load=int(arr.min()), max_load=int(arr.max()), mean_load=float(arr.mean()))
+
+
+@dataclass(frozen=True)
+class CountResult:
+    """Complete outcome of one distributed counting run."""
+
+    config: PipelineConfig
+    cluster: ClusterSpec
+    backend: str  # "gpu" or "cpu"
+    spectrum: KmerSpectrum
+    timing: PhaseTiming
+    per_rank_parse: np.ndarray
+    per_rank_count: np.ndarray
+    received_kmers: np.ndarray  # k-mer instances counted per rank
+    exchanged_items: int  # k-mers or supermers routed through the exchange (measured)
+    exchanged_bytes: int  # wire bytes at measured scale
+    counts_matrix: np.ndarray  # items, [src, dst]
+    traffic: TrafficStats = field(repr=False)
+    insert_stats: InsertStats = field(default_factory=InsertStats.zero)
+    mean_supermer_length: float = 0.0
+    staging_seconds: float = 0.0
+    alltoallv_seconds: float = 0.0  # MPI_Alltoallv routine time only (Fig. 8's metric)
+    work_multiplier: float = 1.0  # measured -> full-scale factor for modeled quantities
+    n_rounds_used: int = 1  # exchange/count rounds actually executed (Sec. III-A)
+
+    @property
+    def total_kmers(self) -> int:
+        """k-mer instances counted (== the dataset's valid k-mer count)."""
+        return int(self.received_kmers.sum())
+
+    @property
+    def modeled_total_kmers(self) -> float:
+        """Full-scale k-mer volume the model times correspond to."""
+        return self.total_kmers * self.work_multiplier
+
+    @property
+    def modeled_exchanged_bytes(self) -> float:
+        """Full-scale wire volume (what the comm cost model was fed)."""
+        return self.exchanged_bytes * self.work_multiplier
+
+    def insertion_rate(self) -> float:
+        """k-mers/s through the computation kernels only — Fig. 9's metric
+        ("excl. exchange module").  Uses the full-scale (modeled) k-mer
+        volume since phase times are full-scale model seconds.
+        """
+        compute = self.timing.compute
+        return self.modeled_total_kmers / compute if compute > 0 else float("inf")
+
+    def load_stats(self) -> LoadStats:
+        return LoadStats.from_loads(self.received_kmers)
+
+    def speedup_over(self, baseline: "CountResult") -> float:
+        """End-to-end speedup vs another run (paper's Fig. 6 metric)."""
+        if self.timing.total <= 0:
+            return float("inf")
+        return baseline.timing.total / self.timing.total
+
+    def exchange_speedup_over(self, baseline: "CountResult") -> float:
+        """MPI_Alltoallv-routine speedup (paper's Fig. 8 metric).
+
+        Fig. 8 reports "Speedup of MPI_Alltoallv routine", excluding the
+        staging copies and fixed exchange overheads that Fig. 7's exchange
+        bars include — so this compares the modeled alltoallv time alone.
+        """
+        if self.alltoallv_seconds <= 0:
+            return float("inf")
+        return baseline.alltoallv_seconds / self.alltoallv_seconds
+
+    def communication_reduction_over(self, baseline: "CountResult") -> float:
+        """Byte-volume ratio baseline/this (Section V-D: ~4x)."""
+        if self.exchanged_bytes <= 0:
+            return float("inf")
+        return baseline.exchanged_bytes / self.exchanged_bytes
+
+    def validate_against(self, oracle: KmerSpectrum) -> None:
+        """Assert exact equality with the single-node oracle spectrum."""
+        if not self.spectrum.equals(oracle):
+            raise AssertionError(
+                f"distributed spectrum mismatch: {self.spectrum.n_distinct} distinct / "
+                f"{self.spectrum.n_total} total vs oracle {oracle.n_distinct} / {oracle.n_total}"
+            )
+
+    def summary(self) -> dict[str, object]:
+        """Flat dict for tabular reporting."""
+        loads = self.load_stats()
+        return {
+            "backend": self.backend,
+            "config": self.config.describe(),
+            "cluster": self.cluster.name,
+            "ranks": self.cluster.n_ranks,
+            "total_kmers": self.total_kmers,
+            "distinct_kmers": self.spectrum.n_distinct,
+            "parse_s": self.timing.parse,
+            "exchange_s": self.timing.exchange,
+            "count_s": self.timing.count,
+            "total_s": self.timing.total,
+            "exchange_fraction": self.timing.exchange_fraction(),
+            "exchanged_items": self.exchanged_items,
+            "exchanged_bytes": self.exchanged_bytes,
+            "insertion_rate": self.insertion_rate(),
+            "load_imbalance": loads.imbalance,
+            "mean_supermer_length": self.mean_supermer_length,
+        }

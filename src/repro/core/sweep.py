@@ -1,0 +1,135 @@
+"""Parameter sweeps over the distributed pipelines.
+
+Design-space exploration in one call: cartesian grid over node counts,
+transport modes, minimizer lengths, windows, and orderings, returning flat
+summary rows (plus the full :class:`CountResult` objects for anything
+deeper).  This is the utility behind "explores some of the trade-offs in
+the design space" (Section I) — the ablation benchmarks are fixed slices of
+exactly these grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Iterable
+
+from ..dna.reads import ReadSet
+from ..mpi.topology import summit_cpu, summit_gpu
+from .config import PipelineConfig
+from .engine import EngineOptions, run_pipeline
+from .results import CountResult
+
+__all__ = ["SweepPoint", "SweepResult", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point's parameters."""
+
+    n_nodes: int
+    backend: str
+    mode: str
+    minimizer_len: int
+    window: int | None
+    ordering: str
+    k: int
+
+    def label(self) -> str:
+        base = f"{self.backend}/{self.mode}/k{self.k}/{self.n_nodes}n"
+        if self.mode == "supermer":
+            base += f"/m{self.minimizer_len}/w{self.window}"
+        return base
+
+
+@dataclass
+class SweepResult:
+    """All grid points with their results, plus tabular accessors."""
+
+    points: list[SweepPoint] = field(default_factory=list)
+    results: list[CountResult] = field(default_factory=list)
+
+    def rows(self) -> list[dict[str, object]]:
+        """Flat dicts: point parameters merged with result summaries."""
+        out = []
+        for point, result in zip(self.points, self.results):
+            row: dict[str, object] = {
+                "label": point.label(),
+                "n_nodes": point.n_nodes,
+                "backend": point.backend,
+                "mode": point.mode,
+                "minimizer_len": point.minimizer_len,
+                "window": point.window,
+                "ordering": point.ordering,
+                "k": point.k,
+            }
+            row.update(result.summary())
+            out.append(row)
+        return out
+
+    def best(self, metric: str = "total_s", minimize: bool = True) -> tuple[SweepPoint, CountResult]:
+        """Grid point optimizing a summary metric."""
+        if not self.results:
+            raise ValueError("empty sweep")
+        scored = [(row[metric], i) for i, row in enumerate(self.rows())]
+        idx = min(scored)[1] if minimize else max(scored)[1]
+        return self.points[idx], self.results[idx]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def sweep(
+    reads: ReadSet,
+    *,
+    node_counts: Iterable[int] = (16,),
+    backends: Iterable[str] = ("gpu",),
+    modes: Iterable[str] = ("kmer", "supermer"),
+    minimizer_lengths: Iterable[int] = (7,),
+    windows: Iterable[int | None] = (15,),
+    orderings: Iterable[str] = ("random-base",),
+    k: int = 17,
+    work_multiplier: float = 1.0,
+    validate: bool = False,
+) -> SweepResult:
+    """Run the full cartesian grid; k-mer mode collapses the supermer axes.
+
+    ``validate=True`` additionally checks every run against the exact
+    oracle (slower; meant for tests and small inputs).
+    """
+    oracle = None
+    if validate:
+        from ..kmers.spectrum import count_kmers_exact
+
+        oracle = count_kmers_exact(reads, k)
+
+    out = SweepResult()
+    seen: set[SweepPoint] = set()
+    for nodes, backend, mode, m, window, ordering in product(
+        node_counts, backends, modes, minimizer_lengths, windows, orderings
+    ):
+        if mode == "kmer":
+            # Supermer-only axes are meaningless here; collapse duplicates.
+            m, window, ordering = 0, None, "random-base"
+        point = SweepPoint(
+            n_nodes=nodes, backend=backend, mode=mode, minimizer_len=m, window=window, ordering=ordering, k=k
+        )
+        if point in seen:
+            continue
+        seen.add(point)
+        config = PipelineConfig(
+            k=k,
+            mode=mode,  # type: ignore[arg-type]
+            minimizer_len=m if mode == "supermer" else 7,
+            window=window,
+            ordering=ordering,
+        )
+        cluster = summit_gpu(nodes) if backend == "gpu" else summit_cpu(nodes)
+        result = run_pipeline(
+            reads, cluster, config, backend=backend, options=EngineOptions(work_multiplier=work_multiplier)
+        )
+        if oracle is not None:
+            result.validate_against(oracle)
+        out.points.append(point)
+        out.results.append(result)
+    return out

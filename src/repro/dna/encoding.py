@@ -1,0 +1,191 @@
+"""2-bit packing of DNA sequences and k-mers into machine words.
+
+The paper packs each base into 2 bits so that a k-mer of length up to 32
+fits in a single 64-bit machine word (Section III-B1: "a 11-mer k-mer can
+fit into a 32 bit data type instead of an 11*8 = 88 bit character array"),
+and packs each supermer of up to 32 bases the same way (Section IV-C: window
+15, k 17 -> supermers of <= 31 bases in one 64-bit word).
+
+All packed values place the *first* base in the most significant occupied
+2-bit field, so lexicographic comparison of equal-length packed values
+matches lexicographic comparison of the underlying strings.
+
+Scalar helpers (``pack_kmer``/``unpack_kmer``/...) are the readable reference
+implementations; the ``*_batch`` variants are the vectorized NumPy versions
+used by the GPU-style kernels, and the test suite cross-checks the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .alphabet import BASE_TO_CODE, CODE_TO_BASE, COMPLEMENT_CODE, ascii_to_codes, codes_to_ascii
+
+__all__ = [
+    "MAX_PACKED_K",
+    "string_to_codes",
+    "codes_to_string",
+    "pack_kmer",
+    "unpack_kmer",
+    "pack_kmers_batch",
+    "unpack_kmers_batch",
+    "kmer_to_string",
+    "string_to_kmer",
+    "revcomp_value",
+    "revcomp_batch",
+    "canonical_value",
+    "canonical_batch",
+    "packed_bytes_per_item",
+]
+
+#: Longest k-mer (or supermer) that fits a single uint64 at 2 bits/base.
+MAX_PACKED_K: int = 32
+
+
+def string_to_codes(seq: str) -> np.ndarray:
+    """Convert an ACGT(N) string to a uint8 storage-code array."""
+    return ascii_to_codes(seq.encode("ascii"))
+
+
+def codes_to_string(codes: np.ndarray) -> str:
+    """Convert a storage-code array back to an ACGT(N) string."""
+    return codes_to_ascii(codes).decode("ascii")
+
+
+def _check_k(k: int) -> None:
+    if not 1 <= k <= MAX_PACKED_K:
+        raise ValueError(f"k must be in [1, {MAX_PACKED_K}], got {k}")
+
+
+def pack_kmer(codes: np.ndarray) -> int:
+    """Pack a 1-D storage-code array (length <= 32) into a Python int.
+
+    Reference scalar implementation of the 2-bit codec.
+    """
+    codes = np.asarray(codes)
+    _check_k(codes.shape[0])
+    value = 0
+    for c in codes.tolist():
+        if not 0 <= c <= 3:
+            raise ValueError(f"cannot pack non-ACGT code {c}")
+        value = (value << 2) | int(c)
+    return value
+
+
+def unpack_kmer(value: int, k: int) -> np.ndarray:
+    """Inverse of :func:`pack_kmer`: recover the k storage codes."""
+    _check_k(k)
+    if value >> (2 * k):
+        raise ValueError(f"packed value {value:#x} does not fit k={k}")
+    out = np.empty(k, dtype=np.uint8)
+    for i in range(k - 1, -1, -1):
+        out[i] = value & 3
+        value >>= 2
+    return out
+
+
+def pack_kmers_batch(code_matrix: np.ndarray) -> np.ndarray:
+    """Vectorized packing of an ``(n, k)`` storage-code matrix to uint64.
+
+    Each row is one k-mer.  This is the hot path used when a kernel has
+    gathered the k windows of every logical thread into a matrix; it runs one
+    shift-or per base position rather than per k-mer.
+    """
+    mat = np.asarray(code_matrix, dtype=np.uint64)
+    if mat.ndim != 2:
+        raise ValueError("expected a 2-D (n, k) code matrix")
+    _check_k(mat.shape[1])
+    k = mat.shape[1]
+    values = np.zeros(mat.shape[0], dtype=np.uint64)
+    for i in range(k):
+        values = (values << np.uint64(2)) | mat[:, i]
+    return values
+
+
+def unpack_kmers_batch(values: np.ndarray, k: int) -> np.ndarray:
+    """Vectorized inverse of :func:`pack_kmers_batch` -> ``(n, k)`` uint8."""
+    _check_k(k)
+    vals = np.asarray(values, dtype=np.uint64)
+    out = np.empty((vals.shape[0], k), dtype=np.uint8)
+    for i in range(k):
+        shift = np.uint64(2 * (k - 1 - i))
+        out[:, i] = ((vals >> shift) & np.uint64(3)).astype(np.uint8)
+    return out
+
+
+def kmer_to_string(value: int, k: int) -> str:
+    """Decode a packed k-mer value to its ACGT string."""
+    return "".join(CODE_TO_BASE[int(c)] for c in unpack_kmer(value, k))
+
+
+def string_to_kmer(seq: str) -> int:
+    """Pack an ACGT string (length <= 32) into an integer k-mer value."""
+    codes = string_to_codes(seq)
+    if codes.max(initial=0) > 3:
+        raise ValueError("k-mer strings may not contain N")
+    return pack_kmer(codes)
+
+
+# Masks for the O(log w) 2-bit-group reversal used by revcomp_batch.
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_M8 = np.uint64(0x00FF00FF00FF00FF)
+_M16 = np.uint64(0x0000FFFF0000FFFF)
+_M32 = np.uint64(0x00000000FFFFFFFF)
+
+
+def revcomp_value(value: int, k: int) -> int:
+    """Reverse complement of a packed k-mer (scalar reference)."""
+    _check_k(k)
+    out = 0
+    for _ in range(k):
+        out = (out << 2) | (3 - (value & 3))
+        value >>= 2
+    return out
+
+
+def revcomp_batch(values: np.ndarray, k: int) -> np.ndarray:
+    """Vectorized reverse complement of packed uint64 k-mers.
+
+    Complements via bitwise NOT (storage encoding makes complement = 3-code)
+    then reverses the 32 2-bit fields with a log-depth swap network and
+    shifts the result down to the low ``2k`` bits.
+    """
+    _check_k(k)
+    v = ~np.asarray(values, dtype=np.uint64)
+    v = ((v >> np.uint64(2)) & _M2) | ((v & _M2) << np.uint64(2))
+    v = ((v >> np.uint64(4)) & _M4) | ((v & _M4) << np.uint64(4))
+    v = ((v >> np.uint64(8)) & _M8) | ((v & _M8) << np.uint64(8))
+    v = ((v >> np.uint64(16)) & _M16) | ((v & _M16) << np.uint64(16))
+    v = ((v >> np.uint64(32)) & _M32) | ((v & _M32) << np.uint64(32))
+    return v >> np.uint64(64 - 2 * k)
+
+
+def canonical_value(value: int, k: int) -> int:
+    """Canonical form: min(k-mer, revcomp) — the usual strand-neutral key.
+
+    The paper explicitly does *not* canonicalize (Fig. 4 caption); canonical
+    mode is provided as an extension and is off by default in the pipelines.
+    """
+    return min(value, revcomp_value(value, k))
+
+
+def canonical_batch(values: np.ndarray, k: int) -> np.ndarray:
+    """Vectorized :func:`canonical_value`."""
+    vals = np.asarray(values, dtype=np.uint64)
+    return np.minimum(vals, revcomp_batch(vals, k))
+
+
+def packed_bytes_per_item(k: int) -> int:
+    """Bytes to ship one packed item of ``k`` bases (machine-word granularity).
+
+    Mirrors the paper's communication accounting: items travel as whole
+    32- or 64-bit words, so an 11-mer costs 4 bytes and a 17-mer costs 8.
+    """
+    _check_k(k)
+    return 4 if k <= 16 else 8
+
+
+def complement_codes(codes: np.ndarray) -> np.ndarray:
+    """Complement a storage-code array elementwise (A<->T, C<->G)."""
+    return COMPLEMENT_CODE[np.asarray(codes, dtype=np.uint8)]

@@ -1,0 +1,124 @@
+"""Quality-aware read preprocessing (Phred scores, filtering, trimming).
+
+Real counting runs rarely consume raw FASTQ: reads are quality-filtered and
+end-trimmed first, which directly shapes the k-mer spectrum (error k-mers
+are exactly what Bloom prefilters and solid-k-mer thresholds fight
+downstream).  This module implements the standard preprocessing over
+:class:`SequenceRecord` streams:
+
+* Phred+33 decoding (vectorized) and per-read mean error probability;
+* mean-quality and length filters;
+* leading/trailing end-trimming below a quality threshold, and Trimmomatic
+  style sliding-window trimming (cut when a window's mean quality drops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .fastq import SequenceRecord
+
+__all__ = [
+    "PHRED_OFFSET",
+    "decode_phred",
+    "mean_error_probability",
+    "trim_ends",
+    "trim_sliding_window",
+    "QualityFilter",
+]
+
+#: Sanger/Illumina 1.8+ encoding offset.
+PHRED_OFFSET: int = 33
+
+
+def decode_phred(quality: str) -> np.ndarray:
+    """Quality string -> int16 Phred scores (Q = ASCII - 33)."""
+    scores = np.frombuffer(quality.encode("ascii"), dtype=np.uint8).astype(np.int16) - PHRED_OFFSET
+    if scores.size and scores.min() < 0:
+        raise ValueError("quality string below Phred+33 range")
+    return scores
+
+
+def mean_error_probability(quality: str) -> float:
+    """Mean per-base error probability implied by the quality string.
+
+    Averages the *probabilities* (10^(-Q/10)), not the Q values — the
+    statistically meaningful mean, dominated by the worst bases.
+    """
+    if not quality:
+        return 0.0
+    q = decode_phred(quality)
+    return float(np.mean(10.0 ** (-q / 10.0)))
+
+
+def trim_ends(record: SequenceRecord, min_quality: int = 10) -> SequenceRecord:
+    """Strip leading/trailing bases with quality below ``min_quality``."""
+    if record.quality is None:
+        return record
+    q = decode_phred(record.quality)
+    good = np.flatnonzero(q >= min_quality)
+    if good.size == 0:
+        return SequenceRecord(name=record.name, sequence="", quality="")
+    lo, hi = int(good[0]), int(good[-1]) + 1
+    return SequenceRecord(name=record.name, sequence=record.sequence[lo:hi], quality=record.quality[lo:hi])
+
+
+def trim_sliding_window(record: SequenceRecord, *, window: int = 10, min_mean_quality: float = 15.0) -> SequenceRecord:
+    """Cut the read at the first window whose mean quality drops too low.
+
+    The Trimmomatic ``SLIDINGWINDOW`` operation: scan left to right; when a
+    ``window``-base mean falls below the threshold, truncate the read at
+    that window's start.
+    """
+    if window < 1:
+        raise ValueError("window must be positive")
+    if record.quality is None or len(record) < window:
+        return record
+    q = decode_phred(record.quality).astype(np.float64)
+    means = np.convolve(q, np.ones(window) / window, mode="valid")
+    bad = np.flatnonzero(means < min_mean_quality)
+    if bad.size == 0:
+        return record
+    cut = int(bad[0])
+    return SequenceRecord(name=record.name, sequence=record.sequence[:cut], quality=record.quality[:cut])
+
+
+@dataclass(frozen=True)
+class QualityFilter:
+    """Composable record filter: trimming followed by acceptance checks."""
+
+    min_length: int = 50
+    min_mean_quality: float = 7.0
+    trim_end_quality: int | None = None
+    sliding_window: int | None = None
+    sliding_min_mean: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.min_length < 0:
+            raise ValueError("min_length must be non-negative")
+
+    def process(self, record: SequenceRecord) -> SequenceRecord | None:
+        """Trim and test one record; ``None`` means rejected."""
+        if self.trim_end_quality is not None:
+            record = trim_ends(record, self.trim_end_quality)
+        if self.sliding_window is not None:
+            record = trim_sliding_window(
+                record, window=self.sliding_window, min_mean_quality=self.sliding_min_mean
+            )
+        if len(record) < self.min_length:
+            return None
+        if record.quality is not None and self.min_mean_quality > 0:
+            mean_q = -10.0 * np.log10(max(mean_error_probability(record.quality), 1e-12))
+            if mean_q < self.min_mean_quality:
+                return None
+        return record
+
+    def apply(self, records: Iterable[SequenceRecord]) -> Iterator[SequenceRecord]:
+        """Stream-filter a record iterable."""
+        for record in records:
+            out = self.process(record)
+            if out is not None:
+                yield out

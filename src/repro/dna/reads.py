@@ -1,0 +1,242 @@
+"""Read-set container: the concatenated base-code representation.
+
+Section III-B1 of the paper: "we concatenate the input reads into one long
+array of bases and mark the read ends by special bases, before copying the
+data to GPU memory."  :class:`ReadSet` is exactly that representation — a
+single ``uint8`` storage-code array with a :data:`~repro.dna.alphabet.SENTINEL`
+between reads — plus the offset/length bookkeeping needed to slice individual
+reads back out.  All pipelines and kernels in this library take a ``ReadSet``
+(or a shard of one) as input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .alphabet import SENTINEL, ascii_to_codes, codes_to_ascii
+from .fastq import SequenceRecord
+
+__all__ = ["ReadSet"]
+
+
+@dataclass(frozen=True)
+class ReadSet:
+    """Immutable set of reads stored as one sentinel-separated code array.
+
+    Attributes
+    ----------
+    codes:
+        ``uint8`` array of 2-bit storage codes with a ``SENTINEL`` after
+        every read (including the last, so every read is sentinel-bounded
+        on the right and kernels never need a length check at the tail).
+    offsets:
+        ``int64`` array of length ``n_reads``; start index of each read in
+        ``codes``.
+    lengths:
+        ``int64`` array of per-read base counts (sentinels excluded).
+    """
+
+    codes: np.ndarray
+    offsets: np.ndarray
+    lengths: np.ndarray
+
+    def __post_init__(self) -> None:
+        codes = np.ascontiguousarray(self.codes, dtype=np.uint8)
+        offsets = np.ascontiguousarray(self.offsets, dtype=np.int64)
+        lengths = np.ascontiguousarray(self.lengths, dtype=np.int64)
+        if offsets.shape != lengths.shape:
+            raise ValueError("offsets and lengths must have the same shape")
+        if offsets.size:
+            ends = offsets + lengths
+            if offsets[0] < 0 or np.any(ends > codes.shape[0]):
+                raise ValueError("read extents fall outside the code array")
+            if np.any(offsets[1:] < ends[:-1]):
+                raise ValueError("reads must be non-overlapping and ordered")
+        object.__setattr__(self, "codes", codes)
+        object.__setattr__(self, "offsets", offsets)
+        object.__setattr__(self, "lengths", lengths)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_strings(cls, reads: Sequence[str]) -> "ReadSet":
+        """Build from ACGT(N) strings, inserting sentinels between reads."""
+        lengths = np.fromiter((len(r) for r in reads), dtype=np.int64, count=len(reads))
+        total = int(lengths.sum()) + len(reads)  # one sentinel per read
+        codes = np.full(total, SENTINEL, dtype=np.uint8)
+        offsets = np.empty(len(reads), dtype=np.int64)
+        pos = 0
+        for i, read in enumerate(reads):
+            offsets[i] = pos
+            n = lengths[i]
+            codes[pos : pos + n] = ascii_to_codes(read.encode("ascii"))
+            pos += n + 1  # skip the sentinel slot
+        return cls(codes=codes, offsets=offsets, lengths=lengths)
+
+    @classmethod
+    def from_records(cls, records: Iterable[SequenceRecord]) -> "ReadSet":
+        """Build from :class:`SequenceRecord` objects (e.g. a FASTQ stream)."""
+        return cls.from_strings([rec.sequence for rec in records])
+
+    @classmethod
+    def empty(cls) -> "ReadSet":
+        return cls(
+            codes=np.empty(0, dtype=np.uint8),
+            offsets=np.empty(0, dtype=np.int64),
+            lengths=np.empty(0, dtype=np.int64),
+        )
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def n_reads(self) -> int:
+        return int(self.offsets.shape[0])
+
+    @property
+    def total_bases(self) -> int:
+        """Total sequenced bases across all reads (sentinels excluded)."""
+        return int(self.lengths.sum())
+
+    def read_codes(self, i: int) -> np.ndarray:
+        """View of the storage codes of read ``i`` (no copy)."""
+        off = int(self.offsets[i])
+        return self.codes[off : off + int(self.lengths[i])]
+
+    def read_string(self, i: int) -> str:
+        """Read ``i`` decoded to an ACGT(N) string."""
+        return codes_to_ascii(self.read_codes(i)).decode("ascii")
+
+    def __len__(self) -> int:
+        return self.n_reads
+
+    def __iter__(self) -> Iterator[str]:
+        return (self.read_string(i) for i in range(self.n_reads))
+
+    def kmer_count(self, k: int) -> int:
+        """Number of k-mer windows: ``sum(max(len - k + 1, 0))`` over reads.
+
+        Counts positional windows; windows containing N sentinels inside a
+        read are excluded later by the parsers, not here.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        return int(np.maximum(self.lengths - k + 1, 0).sum())
+
+    # -- partitioning ------------------------------------------------------
+
+    def shard(self, n_shards: int) -> list["ReadSet"]:
+        """Split into ``n_shards`` contiguous, nearly byte-balanced pieces.
+
+        Models the parallel I/O in the paper's implementation ("the input of
+        size D is partitioned roughly uniformly over P parallel processors",
+        Section IV-D): reads are assigned greedily so each shard gets
+        approximately ``total_bases / n_shards`` bases while keeping reads
+        whole.  Returns one (possibly empty) ``ReadSet`` per shard.
+        """
+        if n_shards < 1:
+            raise ValueError("n_shards must be positive")
+        target = self.total_bases / n_shards if n_shards else 0
+        boundaries = [0]
+        acc = 0
+        for i in range(self.n_reads):
+            acc += int(self.lengths[i])
+            # Close the current shard once it reaches its proportional share,
+            # leaving enough reads for the remaining shards to be non-empty
+            # when possible.
+            shard_idx = len(boundaries) - 1
+            if shard_idx < n_shards - 1 and acc >= target * (shard_idx + 1):
+                boundaries.append(i + 1)
+        while len(boundaries) < n_shards:
+            boundaries.append(self.n_reads)
+        boundaries.append(self.n_reads)
+        return [self.select(range(boundaries[s], boundaries[s + 1])) for s in range(n_shards)]
+
+    def shard_bytes(self, n_shards: int, overlap: int) -> list["ReadSet"]:
+        """Byte-balanced sharding with window overlap (the paper's I/O model).
+
+        The paper's parallel I/O splits the input at byte offsets so every
+        processor gets almost exactly ``total_bases / P`` bases (Section
+        IV-D assumes this).  A k-mer window spanning a split must be parsed
+        by exactly one side, so each fragment is extended ``overlap = k - 1``
+        bases past its boundary: shard ``s`` owns the window *start
+        positions* in its base range, and the extension provides the bases
+        those windows need.  Every k-mer window of every read lands in
+        exactly one shard — no loss, no duplication — at any scale.
+        """
+        if n_shards < 1:
+            raise ValueError("n_shards must be positive")
+        if overlap < 0:
+            raise ValueError("overlap must be non-negative")
+        total = self.total_bases
+        # Global base coordinate of each read's first base (sentinel-free).
+        read_base0 = np.concatenate(([0], np.cumsum(self.lengths)))
+        shards: list[ReadSet] = []
+        for s in range(n_shards):
+            lo = (total * s) // n_shards
+            hi = (total * (s + 1)) // n_shards
+            frags: list[np.ndarray] = []
+            if hi > lo:
+                first = int(np.searchsorted(read_base0, lo, side="right")) - 1
+                for i in range(max(first, 0), self.n_reads):
+                    rb = int(read_base0[i])
+                    if rb >= hi:
+                        break
+                    rl = int(self.lengths[i])
+                    flo = max(lo - rb, 0)
+                    fhi = min(hi - rb, rl)
+                    if fhi <= flo:
+                        continue
+                    frags.append(self.read_codes(i)[flo : min(fhi + overlap, rl)])
+            shards.append(_reads_from_code_fragments(frags))
+        return shards
+
+    def select(self, indices: Iterable[int]) -> "ReadSet":
+        """New ``ReadSet`` containing the given read indices (re-packed)."""
+        idx = list(indices)
+        lengths = self.lengths[idx] if idx else np.empty(0, dtype=np.int64)
+        total = int(lengths.sum()) + len(idx)
+        codes = np.full(total, SENTINEL, dtype=np.uint8)
+        offsets = np.empty(len(idx), dtype=np.int64)
+        pos = 0
+        for j, i in enumerate(idx):
+            offsets[j] = pos
+            n = int(self.lengths[i])
+            codes[pos : pos + n] = self.read_codes(i)
+            pos += n + 1
+        return ReadSet(codes=codes, offsets=offsets, lengths=lengths)
+
+    @classmethod
+    def concat(cls, parts: Sequence["ReadSet"]) -> "ReadSet":
+        """Concatenate shards back into a single ``ReadSet``."""
+        strings: list[np.ndarray] = []
+        lengths: list[np.ndarray] = []
+        for part in parts:
+            lengths.append(part.lengths)
+            strings.extend(part.read_codes(i) for i in range(part.n_reads))
+        all_lengths = np.concatenate(lengths) if lengths else np.empty(0, dtype=np.int64)
+        total = int(all_lengths.sum()) + int(all_lengths.shape[0])
+        codes = np.full(total, SENTINEL, dtype=np.uint8)
+        offsets = np.empty(all_lengths.shape[0], dtype=np.int64)
+        pos = 0
+        for i, rc in enumerate(strings):
+            offsets[i] = pos
+            codes[pos : pos + rc.shape[0]] = rc
+            pos += rc.shape[0] + 1
+        return cls(codes=codes, offsets=offsets, lengths=all_lengths)
+
+
+def _reads_from_code_fragments(frags: list[np.ndarray]) -> ReadSet:
+    """Assemble a ReadSet directly from storage-code fragments."""
+    lengths = np.fromiter((f.shape[0] for f in frags), dtype=np.int64, count=len(frags))
+    total = int(lengths.sum()) + len(frags)
+    codes = np.full(total, SENTINEL, dtype=np.uint8)
+    offsets = np.empty(len(frags), dtype=np.int64)
+    pos = 0
+    for i, frag in enumerate(frags):
+        offsets[i] = pos
+        codes[pos : pos + frag.shape[0]] = frag
+        pos += frag.shape[0] + 1
+    return ReadSet(codes=codes, offsets=offsets, lengths=lengths)

@@ -1,0 +1,30 @@
+"""Extensions beyond the paper's evaluated system.
+
+* :mod:`repro.ext.balanced` — the frequency-aware balanced minimizer
+  partitioner the paper's conclusion calls for (future work);
+* :mod:`repro.ext.bloom` — Bloom-filter singleton suppression from the
+  HipMer/diBELLA lineage the paper builds on;
+* :mod:`repro.ext.approximate` — Count-Min sketch approximate counting,
+  the space-frugal alternative the related work surveys (Squeakr, Bloom
+  counters);
+* :mod:`repro.ext.sortcount` — KMC-style sort-based counting (comparison
+  and from-scratch radix), the related-work alternative to hash tables.
+"""
+
+from .approximate import CountMinSketch
+from .balanced import balanced_minimizer_assignment, lpt_assignment, minimizer_bin_weights
+from .bloom import BloomFilter, PrefilterResult, count_with_prefilter
+from .sortcount import SortingCounter, radix_sort_count, sort_count
+
+__all__ = [
+    "CountMinSketch",
+    "balanced_minimizer_assignment",
+    "lpt_assignment",
+    "minimizer_bin_weights",
+    "BloomFilter",
+    "PrefilterResult",
+    "count_with_prefilter",
+    "SortingCounter",
+    "sort_count",
+    "radix_sort_count",
+]

@@ -1,0 +1,97 @@
+"""Approximate k-mer counting: Count-Min sketch backend.
+
+The paper's related work highlights space-frugal counting structures
+(Squeakr's counting quotient filter [24], Bloom-filter counters [20]) as
+the main alternative when exact tables do not fit.  This module provides
+the classic Count-Min sketch in vectorized form: a ``depth x width``
+counter matrix, one MurmurHash3-derived row position per key per row;
+queries return the row-minimum, which *never underestimates* and
+overestimates by at most ``epsilon * total_count`` with probability
+``1 - delta`` when sized via :meth:`CountMinSketch.for_error`.
+
+Useful as a memory-bounded first pass (heavy-hitter detection, abundance
+screening) before exact distributed counting of the survivors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hashing.murmur3 import hash_kmers_batch
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch:
+    """Vectorized Count-Min sketch over uint64 keys."""
+
+    def __init__(self, width: int, depth: int = 4, *, seed: int = 0) -> None:
+        if width < 1 or depth < 1:
+            raise ValueError("width and depth must be positive")
+        # Power-of-two width keeps position computation a mask.
+        self.width = 1
+        while self.width < width:
+            self.width *= 2
+        self.depth = depth
+        self.seed = seed
+        self._mask = np.uint64(self.width - 1)
+        self.table = np.zeros((depth, self.width), dtype=np.int64)
+        self.total = 0
+
+    @classmethod
+    def for_error(cls, epsilon: float, delta: float = 0.01, *, seed: int = 0) -> "CountMinSketch":
+        """Size the sketch for additive error ``epsilon * total`` with
+        probability ``1 - delta`` (standard CM bounds: w = e/eps, d = ln 1/delta)."""
+        if not 0 < epsilon < 1 or not 0 < delta < 1:
+            raise ValueError("need 0 < epsilon, delta < 1")
+        width = int(np.ceil(np.e / epsilon))
+        depth = max(1, int(np.ceil(np.log(1.0 / delta))))
+        return cls(width, depth, seed=seed)
+
+    def _positions(self, keys: np.ndarray, row: int) -> np.ndarray:
+        return (hash_kmers_batch(keys, seed=self.seed + 104729 * (row + 1)) & self._mask).astype(np.int64)
+
+    def add(self, keys: np.ndarray, weights: np.ndarray | None = None) -> None:
+        """Add a batch of key observations (optionally weighted)."""
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return
+        if weights is None:
+            w = np.ones(keys.shape[0], dtype=np.int64)
+        else:
+            w = np.ascontiguousarray(weights, dtype=np.int64)
+            if w.shape != keys.shape:
+                raise ValueError("weights must parallel keys")
+            if w.size and int(w.min()) < 0:
+                raise ValueError("weights must be non-negative")
+        for row in range(self.depth):
+            np.add.at(self.table[row], self._positions(keys, row), w)
+        self.total += int(w.sum())
+
+    def query(self, keys: np.ndarray) -> np.ndarray:
+        """Estimated counts (row-minimum; never an underestimate)."""
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        est = np.full(keys.shape[0], np.iinfo(np.int64).max, dtype=np.int64)
+        for row in range(self.depth):
+            np.minimum(est, self.table[row][self._positions(keys, row)], out=est)
+        return est
+
+    def heavy_hitters(self, keys: np.ndarray, threshold: int) -> np.ndarray:
+        """Distinct keys whose estimated count reaches ``threshold``.
+
+        No false negatives (estimates never undercount); false positives
+        bounded by the sketch error.
+        """
+        uniq = np.unique(np.ascontiguousarray(keys, dtype=np.uint64))
+        return uniq[self.query(uniq) >= threshold]
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the counter matrix."""
+        return int(self.table.nbytes)
+
+    def error_bound(self) -> float:
+        """Additive error ceiling ``(e / width) * total`` (per query, w.h.p.)."""
+        return np.e / self.width * self.total

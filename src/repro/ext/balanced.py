@@ -1,0 +1,100 @@
+"""Frequency-aware balanced minimizer partitioning (the paper's future work).
+
+Section VII: "we plan to devise a better partitioning algorithm that
+maintains the locality and at the same time partitions data evenly."  This
+module implements the natural candidate: estimate each minimizer bin's
+weight (k-mer instances per m-mer) from a sample of the input, then assign
+whole bins to ranks with the LPT (longest-processing-time-first) greedy so
+the heaviest bins spread across ranks.  Locality is preserved exactly as in
+the hash scheme — every k-mer with a given minimizer still has a single
+owner — only the minimizer->rank map changes, which plugs straight into
+:class:`repro.hashing.MinimizerPartitioner` via its ``assignment`` hook and
+into the engine via ``EngineOptions(minimizer_assignment=...)``.
+
+The ablation benchmark ``benchmarks/test_ablation_balanced.py`` measures how
+much of Table III's supermer imbalance (up to 2.37) this recovers and what
+it does to the end-to-end supermer win.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..dna.alphabet import MinimizerOrdering
+from ..dna.reads import ReadSet
+from ..kmers.minimizers import minimizers_for_windows
+
+__all__ = ["minimizer_bin_weights", "lpt_assignment", "balanced_minimizer_assignment"]
+
+
+def minimizer_bin_weights(
+    reads: ReadSet,
+    k: int,
+    m: int,
+    *,
+    ordering: MinimizerOrdering | str = "random-base",
+    sample_fraction: float = 1.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Estimated k-mer instances per minimizer bin, shape ``(4**m,)``.
+
+    ``sample_fraction < 1`` estimates from a uniform sample of reads —
+    the realistic deployment (a cheap pre-pass before the main run).
+    """
+    if not 0 < sample_fraction <= 1.0:
+        raise ValueError("sample_fraction must be in (0, 1]")
+    if sample_fraction < 1.0 and reads.n_reads > 0:
+        rng = np.random.default_rng(seed)
+        n_pick = max(1, int(round(reads.n_reads * sample_fraction)))
+        picks = np.sort(rng.choice(reads.n_reads, size=n_pick, replace=False))
+        reads = reads.select(picks.tolist())
+    mins = minimizers_for_windows(reads.codes, k, m, ordering)
+    weights = np.zeros(4**m, dtype=np.int64)
+    if mins.n_windows:
+        vals = mins.minimizer_values[mins.valid].astype(np.int64)
+        np.add.at(weights, vals, 1)
+    return weights
+
+
+def lpt_assignment(weights: np.ndarray, n_procs: int) -> np.ndarray:
+    """LPT greedy: heaviest bin first onto the currently lightest rank.
+
+    Classic 4/3-approximate makespan scheduling; zero-weight bins are
+    round-robined so unseen minimizers (absent from the sample) still have
+    deterministic owners.  Returns an int32 array mapping bin -> rank.
+    """
+    if n_procs < 1:
+        raise ValueError("n_procs must be positive")
+    weights = np.ascontiguousarray(weights, dtype=np.int64)
+    assignment = np.empty(weights.shape[0], dtype=np.int32)
+    order = np.argsort(weights, kind="stable")[::-1]
+    heap: list[tuple[int, int]] = [(0, r) for r in range(n_procs)]
+    heapq.heapify(heap)
+    n_nonzero = int(np.count_nonzero(weights))
+    for idx in order[:n_nonzero].tolist():
+        load, rank = heapq.heappop(heap)
+        assignment[idx] = rank
+        heapq.heappush(heap, (load + int(weights[idx]), rank))
+    # Unseen bins: deterministic round-robin (they carry no known weight).
+    zero_bins = order[n_nonzero:]
+    assignment[zero_bins] = np.arange(zero_bins.shape[0], dtype=np.int32) % n_procs
+    return assignment
+
+
+def balanced_minimizer_assignment(
+    reads: ReadSet,
+    k: int,
+    m: int,
+    n_procs: int,
+    *,
+    ordering: MinimizerOrdering | str = "random-base",
+    sample_fraction: float = 1.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """One-call builder: sample weights, then LPT-assign bins to ranks."""
+    weights = minimizer_bin_weights(
+        reads, k, m, ordering=ordering, sample_fraction=sample_fraction, seed=seed
+    )
+    return lpt_assignment(weights, n_procs)

@@ -1,0 +1,279 @@
+"""Open-addressing, linear-probing counting hash table ("device" side).
+
+This is the paper's k-mer counter data structure (Section III-B3): keys find
+slots via MurmurHash3, collisions resolve by linear probing, and inserts /
+increments happen with atomic operations.  The GPU executes one logical
+thread per received k-mer; here the same algorithm runs as *rounds* of
+vectorized probes in which concurrent atomicCAS claims on the same slot are
+resolved exactly like the hardware would (one winner per slot per round,
+losers re-probe).
+
+Duplicate keys inside a batch are pre-aggregated (``np.unique``) before
+probing; that changes no observable state and the probe statistics are
+re-weighted by multiplicity so the cost model still sees per-instance work.
+
+Probe statistics (total/max probe distance, CAS conflicts) feed the kernel
+cost model; correctness (exact counts) is asserted against the single-node
+oracle in the tests.
+
+Keys must be < 2**64 - 1 (the empty-slot sentinel); packed k-mers satisfy
+this whenever k <= 31.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hashing.murmur3 import hash_kmers_batch
+
+__all__ = ["EMPTY_KEY", "InsertStats", "DeviceHashTable"]
+
+#: Slot-empty sentinel (all ones).  k <= 31 packed k-mers can never equal it.
+EMPTY_KEY: np.uint64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class InsertStats:
+    """Work performed by one ``insert_batch`` call.
+
+    ``total_probes`` counts slot inspections weighted by key multiplicity
+    (what the per-instance GPU threads would have done); ``cas_conflicts``
+    counts lost claim attempts, the serialization the cost model charges.
+    """
+
+    n_instances: int
+    n_distinct: int
+    total_probes: int
+    max_probe: int
+    cas_conflicts: int
+    rounds: int
+    resizes: int
+
+    @property
+    def mean_probes(self) -> float:
+        return self.total_probes / self.n_instances if self.n_instances else 0.0
+
+    def combined(self, other: "InsertStats") -> "InsertStats":
+        return InsertStats(
+            n_instances=self.n_instances + other.n_instances,
+            n_distinct=self.n_distinct + other.n_distinct,
+            total_probes=self.total_probes + other.total_probes,
+            max_probe=max(self.max_probe, other.max_probe),
+            cas_conflicts=self.cas_conflicts + other.cas_conflicts,
+            rounds=max(self.rounds, other.rounds),
+            resizes=self.resizes + other.resizes,
+        )
+
+    @classmethod
+    def zero(cls) -> "InsertStats":
+        return cls(0, 0, 0, 0, 0, 0, 0)
+
+
+#: Supported probe sequences (Section III-B3: "a probe sequence (linear,
+#: quadratic, etc).  In this work, we use linear probing").
+PROBING_SCHEMES = ("linear", "quadratic", "double")
+
+
+class DeviceHashTable:
+    """Counting hash table with open addressing and emulated atomics.
+
+    ``probing`` selects the collision-resolution sequence:
+
+    * ``"linear"`` (the paper's choice): slot, slot+1, slot+2, ...
+    * ``"quadratic"`` (triangular offsets ``i(i+1)/2``, which visit every
+      slot of a power-of-two table exactly once);
+    * ``"double"``: double hashing with an odd per-key stride (odd strides
+      are units mod 2^n, so the sequence also covers the whole table).
+    """
+
+    def __init__(
+        self,
+        capacity_hint: int = 64,
+        *,
+        seed: int = 0,
+        max_load_factor: float = 0.7,
+        probing: str = "linear",
+    ) -> None:
+        if capacity_hint < 1:
+            raise ValueError("capacity_hint must be positive")
+        if not 0.1 <= max_load_factor < 1.0:
+            raise ValueError("max_load_factor must be in [0.1, 1.0)")
+        if probing not in PROBING_SCHEMES:
+            raise ValueError(f"probing must be one of {PROBING_SCHEMES}, got {probing!r}")
+        self.seed = seed
+        self.max_load_factor = max_load_factor
+        self.probing = probing
+        capacity = 1
+        while capacity * max_load_factor < capacity_hint or capacity < 64:
+            capacity *= 2
+        self._alloc(capacity)
+        self._n_entries = 0
+
+    def _probe_slots(self, base: np.ndarray, stride: np.ndarray, probe_no: np.ndarray) -> np.ndarray:
+        """Slot of each key's probe number ``probe_no`` (0-based, vectorized)."""
+        i = probe_no.astype(np.uint64)
+        if self.probing == "linear":
+            return (base + i) & self._mask
+        if self.probing == "quadratic":
+            return (base + (i * (i + np.uint64(1))) // np.uint64(2)) & self._mask
+        return (base + i * stride) & self._mask
+
+    def _strides(self, uniq: np.ndarray) -> np.ndarray:
+        """Per-key probe stride (only used by double hashing; odd => coprime
+        with the power-of-two capacity)."""
+        if self.probing != "double":
+            return np.ones(uniq.shape[0], dtype=np.uint64)
+        return (hash_kmers_batch(uniq, seed=self.seed + 0x9E3779B9) | np.uint64(1)) & self._mask
+
+    def _alloc(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._mask = np.uint64(capacity - 1)
+        self.keys = np.full(capacity, EMPTY_KEY, dtype=np.uint64)
+        self.counts = np.zeros(capacity, dtype=np.int64)
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def n_entries(self) -> int:
+        """Number of distinct keys stored."""
+        return self._n_entries
+
+    @property
+    def load_factor(self) -> float:
+        return self._n_entries / self.capacity
+
+    @property
+    def table_bytes(self) -> int:
+        """Device memory footprint (keys + counts arrays)."""
+        return int(self.keys.nbytes + self.counts.nbytes)
+
+    # -- operations ----------------------------------------------------------
+
+    def insert_batch(self, values: np.ndarray, weights: np.ndarray | None = None) -> InsertStats:
+        """Insert/increment a batch of keys; returns probe statistics."""
+        vals = np.ascontiguousarray(values, dtype=np.uint64)
+        if vals.size == 0:
+            return InsertStats.zero()
+        if bool((vals == EMPTY_KEY).any()):
+            raise ValueError("key equal to the EMPTY sentinel cannot be stored (need k <= 31)")
+        if weights is None:
+            uniq, w = np.unique(vals, return_counts=True)
+            w = w.astype(np.int64)
+        else:
+            wts = np.ascontiguousarray(weights, dtype=np.int64)
+            if wts.shape != vals.shape:
+                raise ValueError("weights must parallel values")
+            if wts.size and int(wts.min()) < 1:
+                raise ValueError("weights must be >= 1")
+            uniq, inverse = np.unique(vals, return_inverse=True)
+            w = np.bincount(inverse, weights=wts).astype(np.int64)
+        n_instances = int(w.sum())
+
+        resizes = 0
+        while self._n_entries + uniq.shape[0] > self.capacity * self.max_load_factor:
+            self._resize()
+            resizes += 1
+
+        stats = self._insert_unique(uniq, w)
+        return InsertStats(
+            n_instances=n_instances,
+            n_distinct=stats.n_distinct,
+            total_probes=stats.total_probes,
+            max_probe=stats.max_probe,
+            cas_conflicts=stats.cas_conflicts,
+            rounds=stats.rounds,
+            resizes=resizes,
+        )
+
+    def _insert_unique(self, uniq: np.ndarray, w: np.ndarray) -> InsertStats:
+        """Insert pre-deduplicated keys with weights; core probe loop."""
+        base = (hash_kmers_batch(uniq, seed=self.seed) & self._mask).astype(np.uint64)
+        stride = self._strides(uniq)
+        probe_no = np.zeros(uniq.shape[0], dtype=np.int64)
+        pending = np.arange(uniq.shape[0], dtype=np.int64)
+        probes = np.ones(uniq.shape[0], dtype=np.int64)  # first slot inspection
+        new_keys = 0
+        conflicts = 0
+        rounds = 0
+        while pending.size:
+            rounds += 1
+            if rounds > self.capacity + 1:
+                raise RuntimeError("hash table probe loop failed to terminate (table full?)")
+            s = self._probe_slots(base[pending], stride[pending], probe_no[pending])
+            occupant = self.keys[s]
+            vals = uniq[pending]
+
+            # Hit: occupant already equals our key -> atomic count increment.
+            hit = occupant == vals
+            self.counts[s[hit]] += w[pending[hit]]
+
+            # Claim: empty slot -> atomicCAS; first claimant per slot wins.
+            empty = occupant == EMPTY_KEY
+            if empty.any():
+                empty_idx = np.flatnonzero(empty)
+                claim_slots = s[empty_idx]
+                _, first = np.unique(claim_slots, return_index=True)
+                winners = empty_idx[first]
+                self.keys[s[winners]] = vals[winners]
+                self.counts[s[winners]] += w[pending[winners]]
+                new_keys += winners.shape[0]
+                conflicts += int(empty_idx.shape[0] - winners.shape[0])
+
+            # Anything whose slot now holds a different key keeps probing.
+            still = self.keys[s] != vals
+            nxt = pending[still]
+            probe_no[nxt] += 1
+            probes[nxt] += 1
+            pending = nxt
+
+        self._n_entries += new_keys
+        return InsertStats(
+            n_instances=0,  # caller fills
+            n_distinct=new_keys,
+            total_probes=int((probes * w).sum()),
+            max_probe=int(probes.max(initial=0)),
+            cas_conflicts=conflicts,
+            rounds=rounds,
+            resizes=0,
+        )
+
+    def lookup_batch(self, values: np.ndarray) -> np.ndarray:
+        """Counts for a batch of keys (0 where absent)."""
+        vals = np.ascontiguousarray(values, dtype=np.uint64)
+        out = np.zeros(vals.shape[0], dtype=np.int64)
+        if vals.size == 0:
+            return out
+        base = (hash_kmers_batch(vals, seed=self.seed) & self._mask).astype(np.uint64)
+        stride = self._strides(vals)
+        probe_no = np.zeros(vals.shape[0], dtype=np.int64)
+        pending = np.arange(vals.shape[0], dtype=np.int64)
+        for _ in range(self.capacity + 1):
+            if not pending.size:
+                break
+            s = self._probe_slots(base[pending], stride[pending], probe_no[pending])
+            occupant = self.keys[s]
+            hit = occupant == vals[pending]
+            out[pending[hit]] = self.counts[s[hit]]
+            # Missing keys terminate at the first empty slot.
+            cont = ~hit & (occupant != EMPTY_KEY)
+            nxt = pending[cont]
+            probe_no[nxt] += 1
+            pending = nxt
+        return out
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """All (key, count) pairs, sorted by key."""
+        mask = self.keys != EMPTY_KEY
+        keys = self.keys[mask]
+        counts = self.counts[mask]
+        order = np.argsort(keys)
+        return keys[order], counts[order]
+
+    def _resize(self) -> None:
+        keys, counts = self.items()
+        self._alloc(self.capacity * 2)
+        self._n_entries = 0
+        if keys.size:
+            self._insert_unique(keys, counts)

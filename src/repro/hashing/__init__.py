@@ -1,0 +1,26 @@
+"""Hashing substrate: MurmurHash3 and processor partitioning."""
+
+from .murmur3 import (
+    fmix32,
+    fmix64,
+    fmix64_batch,
+    hash_kmer,
+    hash_kmers_batch,
+    murmur3_x64_128,
+    murmur3_x86_32,
+)
+from .partition import KmerPartitioner, MinimizerPartitioner, owner_of, owners_of
+
+__all__ = [
+    "fmix32",
+    "fmix64",
+    "fmix64_batch",
+    "hash_kmer",
+    "hash_kmers_batch",
+    "murmur3_x86_32",
+    "murmur3_x64_128",
+    "owner_of",
+    "owners_of",
+    "KmerPartitioner",
+    "MinimizerPartitioner",
+]

@@ -1,0 +1,158 @@
+"""k-mer-based dataset comparison: Jaccard, containment, Mash distance.
+
+Another consumer from the paper's motivation (Section II-A): comparative
+(meta)genomics over multiset k-mer counts [3] and k-mer locality-sensitive
+sketching [18].  Given two :class:`KmerSpectrum` objects this module
+computes the standard set/multiset resemblance measures, plus the Mash
+evolutionary-distance estimate derived from Jaccard similarity::
+
+    D = -1/k * ln(2j / (1 + j))
+
+and a MinHash *bottom-s sketch* so comparisons run against compact
+fingerprints instead of full spectra, exactly as large-scale genome search
+systems do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hashing.murmur3 import hash_kmers_batch
+from .spectrum import KmerSpectrum
+
+__all__ = [
+    "SpectrumComparison",
+    "compare_spectra",
+    "jaccard",
+    "containment",
+    "mash_distance",
+    "MinHashSketch",
+]
+
+
+def jaccard(a: KmerSpectrum, b: KmerSpectrum) -> float:
+    """Set Jaccard similarity of the two distinct-k-mer sets."""
+    _check_k(a, b)
+    if a.n_distinct == 0 and b.n_distinct == 0:
+        return 1.0
+    inter = np.intersect1d(a.values, b.values, assume_unique=True).shape[0]
+    union = a.n_distinct + b.n_distinct - inter
+    return inter / union if union else 1.0
+
+
+def containment(a: KmerSpectrum, b: KmerSpectrum) -> float:
+    """Fraction of ``a``'s distinct k-mers present in ``b``.
+
+    The asymmetric measure used for contamination screens and
+    genome-in-metagenome queries.
+    """
+    _check_k(a, b)
+    if a.n_distinct == 0:
+        return 1.0
+    inter = np.intersect1d(a.values, b.values, assume_unique=True).shape[0]
+    return inter / a.n_distinct
+
+
+def mash_distance(a: KmerSpectrum, b: KmerSpectrum) -> float:
+    """Mash distance: -ln(2j/(1+j))/k; 0 for identical sets, inf for disjoint."""
+    j = jaccard(a, b)
+    if j <= 0.0:
+        return float("inf")
+    return float(-np.log(2 * j / (1 + j)) / a.k)
+
+
+@dataclass(frozen=True)
+class SpectrumComparison:
+    """All pairwise measures between two spectra."""
+
+    k: int
+    jaccard: float
+    containment_a_in_b: float
+    containment_b_in_a: float
+    mash_distance: float
+    weighted_jaccard: float
+
+    def describe(self) -> str:
+        return (
+            f"k={self.k}: jaccard {self.jaccard:.3f}, mash {self.mash_distance:.4f}, "
+            f"containment A<B {self.containment_a_in_b:.3f} / B<A {self.containment_b_in_a:.3f}"
+        )
+
+
+def compare_spectra(a: KmerSpectrum, b: KmerSpectrum) -> SpectrumComparison:
+    """Compute the full comparison, including multiset (weighted) Jaccard.
+
+    Weighted Jaccard = sum(min(count_a, count_b)) / sum(max(count_a,
+    count_b)) over the union — the multiset form used by comparative
+    metagenomics [3].
+    """
+    _check_k(a, b)
+    union = np.union1d(a.values, b.values)
+    ca = np.zeros(union.shape[0], dtype=np.int64)
+    cb = np.zeros(union.shape[0], dtype=np.int64)
+    ia = np.searchsorted(union, a.values)
+    ib = np.searchsorted(union, b.values)
+    ca[ia] = a.counts
+    cb[ib] = b.counts
+    max_sum = int(np.maximum(ca, cb).sum())
+    weighted = float(np.minimum(ca, cb).sum() / max_sum) if max_sum else 1.0
+    return SpectrumComparison(
+        k=a.k,
+        jaccard=jaccard(a, b),
+        containment_a_in_b=containment(a, b),
+        containment_b_in_a=containment(b, a),
+        mash_distance=mash_distance(a, b),
+        weighted_jaccard=weighted,
+    )
+
+
+class MinHashSketch:
+    """Bottom-s MinHash sketch of a k-mer set (Mash-style fingerprint)."""
+
+    def __init__(self, k: int, hashes: np.ndarray, size: int) -> None:
+        self.k = k
+        self.size = size
+        self.hashes = np.ascontiguousarray(hashes, dtype=np.uint64)
+
+    @classmethod
+    def from_spectrum(cls, spectrum: KmerSpectrum, size: int = 1000, *, seed: int = 42) -> "MinHashSketch":
+        """Sketch = the ``size`` smallest hash values of the distinct set."""
+        if size < 1:
+            raise ValueError("sketch size must be positive")
+        hashed = hash_kmers_batch(spectrum.values, seed=seed)
+        hashed.sort()
+        return cls(k=spectrum.k, hashes=hashed[:size], size=size)
+
+    def jaccard_estimate(self, other: "MinHashSketch") -> float:
+        """Estimate Jaccard similarity from two bottom-s sketches.
+
+        Standard estimator: among the ``s`` smallest of the sketch union,
+        the fraction present in both sketches.
+        """
+        if self.k != other.k:
+            raise ValueError("sketches have different k")
+        if self.size != other.size:
+            raise ValueError("sketches have different sizes")
+        merged = np.union1d(self.hashes, other.hashes)[: self.size]
+        if merged.shape[0] == 0:
+            return 1.0
+        both = np.intersect1d(self.hashes, other.hashes, assume_unique=True)
+        shared = np.intersect1d(merged, both, assume_unique=True).shape[0]
+        return shared / merged.shape[0]
+
+    def mash_distance_estimate(self, other: "MinHashSketch") -> float:
+        j = self.jaccard_estimate(other)
+        if j <= 0.0:
+            return float("inf")
+        return float(-np.log(2 * j / (1 + j)) / self.k)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.hashes.nbytes)
+
+
+def _check_k(a: KmerSpectrum, b: KmerSpectrum) -> None:
+    if a.k != b.k:
+        raise ValueError(f"cannot compare spectra with different k ({a.k} vs {b.k})")

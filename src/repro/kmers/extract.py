@@ -1,0 +1,109 @@
+"""k-mer extraction from sentinel-separated read arrays.
+
+Mirrors the paper's parse kernel (Section III-B1, Fig. 2): the concatenated
+base array is scanned with one *logical thread per window position*; thread
+``t`` builds the k-mer starting at base ``t``.  Windows containing a read
+boundary (sentinel) or an ambiguous base are invalid and produce nothing.
+
+Two implementations are provided and cross-checked by the tests:
+
+* :func:`extract_kmers_scalar` — the obvious per-read Python loop, the
+  readable reference;
+* :func:`extract_kmers` — the vectorized version used by the virtual-GPU
+  kernels: strided window views, a shift-or pack over k positions, and a
+  validity mask, all without per-k-mer Python work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..dna.alphabet import SENTINEL
+from ..dna.encoding import canonical_batch, pack_kmer
+from ..dna.reads import ReadSet
+
+__all__ = ["KmerWindows", "window_values", "extract_kmers", "extract_kmers_scalar"]
+
+
+@dataclass(frozen=True)
+class KmerWindows:
+    """All k-mer windows over a code array, packed, with validity.
+
+    ``values[i]`` is the packed k-mer starting at ``codes[i]`` (undefined
+    garbage where ``valid[i]`` is False — invalid windows must be filtered
+    through the mask before use).  Keeping the full positional arrays, rather
+    than compacting immediately, is what lets the supermer builder reason
+    about *adjacent* windows (Section IV-B).
+    """
+
+    k: int
+    values: np.ndarray  # uint64, length len(codes) - k + 1 (or 0)
+    valid: np.ndarray  # bool, same length
+
+    @property
+    def n_windows(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def n_valid(self) -> int:
+        return int(np.count_nonzero(self.valid))
+
+    def compact(self) -> np.ndarray:
+        """The valid packed k-mers, in read order."""
+        return self.values[self.valid]
+
+
+def window_values(codes: np.ndarray, width: int) -> KmerWindows:
+    """Pack every length-``width`` window of ``codes`` into uint64 + validity.
+
+    Works for k-mers and m-mers alike.  A window is valid iff all of its
+    bases are real (code < SENTINEL).  Sentinel codes are masked to 0 before
+    packing so the shift-or arithmetic never sees an out-of-range code; the
+    garbage values this produces are flagged invalid.
+    """
+    if not 1 <= width <= 32:
+        raise ValueError(f"window width must be in [1, 32], got {width}")
+    codes = np.ascontiguousarray(codes, dtype=np.uint8)
+    n = codes.shape[0] - width + 1
+    if n <= 0:
+        empty64 = np.empty(0, dtype=np.uint64)
+        return KmerWindows(k=width, values=empty64, valid=np.empty(0, dtype=bool))
+    is_base = codes < SENTINEL
+    safe = np.where(is_base, codes, 0).astype(np.uint64)
+    # Shift-or accumulation over the width: values[i] = sum_j safe[i+j] << ...
+    values = np.zeros(n, dtype=np.uint64)
+    for j in range(width):
+        values = (values << np.uint64(2)) | safe[j : j + n]
+    # valid[i] = all bases in [i, i+width) are real; windowed AND via views.
+    valid = sliding_window_view(is_base, width).all(axis=1)
+    return KmerWindows(k=width, values=values, valid=np.ascontiguousarray(valid))
+
+
+def extract_kmers(reads: ReadSet, k: int, *, canonical: bool = False) -> np.ndarray:
+    """All valid packed k-mers of a :class:`ReadSet`, in read order.
+
+    ``canonical=True`` maps each k-mer to min(k-mer, revcomp) — an extension
+    the paper does not use (Fig. 4 caption) but downstream tools often want.
+    """
+    windows = window_values(reads.codes, k)
+    kmers = windows.compact()
+    return canonical_batch(kmers, k) if canonical else kmers
+
+
+def extract_kmers_scalar(read: str, k: int) -> list[int]:
+    """Reference extraction from one read string (skips windows with N)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    from ..dna.encoding import string_to_codes
+
+    codes = string_to_codes(read)
+    out: list[int] = []
+    for i in range(len(read) - k + 1):
+        window = codes[i : i + k]
+        if window.max(initial=0) >= SENTINEL:
+            continue
+        out.append(pack_kmer(window))
+    return out

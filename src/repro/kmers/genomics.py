@@ -1,0 +1,113 @@
+"""Downstream genomic analyses on k-mer spectra.
+
+The paper's introduction motivates k-mer counting by its consumers:
+"understanding the distributions of genomic subsequences, creating
+'profiles' of genome and metagenomic data, identifying k-mers of scientific
+interest by frequency" (Section II-A).  This module implements the standard
+first-order versions of those analyses on a :class:`KmerSpectrum`:
+
+* coverage-peak detection on the multiplicity histogram (errors pile up at
+  count 1-2; genomic k-mers cluster around the effective k-mer coverage);
+* GenomeScope-style genome-size estimation: ``total_kmers / peak_coverage``;
+* error-rate estimation from the erroneous-k-mer mass (each substitution
+  corrupts ~k windows);
+* a solid/weak split at the histogram valley, the classic assembler
+  preprocessing step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .spectrum import KmerSpectrum
+
+__all__ = ["SpectrumProfile", "profile_spectrum", "coverage_peak", "histogram_valley"]
+
+
+def _dense_histogram(spectrum: KmerSpectrum, max_mult: int) -> np.ndarray:
+    """Histogram as a dense array: h[c] = #distinct k-mers with count c."""
+    mult, freq = spectrum.multiplicity_histogram()
+    dense = np.zeros(max_mult + 1, dtype=np.int64)
+    keep = mult <= max_mult
+    dense[mult[keep]] = freq[keep]
+    return dense
+
+
+def coverage_peak(spectrum: KmerSpectrum, *, min_mult: int = 3, max_mult: int = 10_000) -> int:
+    """Multiplicity of the genomic coverage peak.
+
+    The histogram's mode over counts >= ``min_mult`` (skipping the error
+    spike at 1-2).  Returns 0 when no such peak exists (e.g. coverage < 3
+    or pure-error data).
+    """
+    if min_mult < 1:
+        raise ValueError("min_mult must be >= 1")
+    dense = _dense_histogram(spectrum, max_mult)
+    if dense.shape[0] <= min_mult or not dense[min_mult:].any():
+        return 0
+    return int(dense[min_mult:].argmax()) + min_mult
+
+
+def histogram_valley(spectrum: KmerSpectrum, *, max_mult: int = 10_000) -> int:
+    """First local minimum of the histogram: the error/genomic boundary.
+
+    The classic solid-k-mer threshold: counts below the valley are treated
+    as sequencing errors.  Falls back to 2 when the histogram is monotone.
+    """
+    dense = _dense_histogram(spectrum, max_mult)
+    peak = coverage_peak(spectrum, max_mult=max_mult)
+    if peak <= 2:
+        return 2
+    segment = dense[1 : peak + 1]
+    return int(segment.argmin()) + 1
+
+
+@dataclass(frozen=True)
+class SpectrumProfile:
+    """Summary genomic profile inferred from one spectrum."""
+
+    k: int
+    n_total: int
+    n_distinct: int
+    coverage_peak: int
+    solid_threshold: int
+    estimated_genome_size: int
+    estimated_error_rate: float
+    singleton_fraction: float
+
+    def describe(self) -> str:
+        return (
+            f"k={self.k}: ~{self.estimated_genome_size:,} bp genome at ~{self.coverage_peak}x k-mer "
+            f"coverage; est. error {self.estimated_error_rate:.2%}; solid threshold {self.solid_threshold}"
+        )
+
+
+def profile_spectrum(spectrum: KmerSpectrum) -> SpectrumProfile:
+    """Infer a genomic profile from a spectrum (GenomeScope-style, order-0).
+
+    Genome size: genomic k-mer mass divided by the coverage peak.  Error
+    rate: erroneous windows (counts below the valley) corrupt ~k windows
+    per substitution, so ``errors ~= weak_mass / (k * total_bases_proxy)``
+    with the k-mer total standing in for bases (valid for long reads where
+    windows ~= bases).
+    """
+    peak = coverage_peak(spectrum)
+    valley = histogram_valley(spectrum)
+    mult, freq = spectrum.multiplicity_histogram()
+    mass = mult * freq  # k-mer instances at each multiplicity
+    weak_mass = int(mass[mult < valley].sum())
+    genomic_mass = int(mass[mult >= valley].sum())
+    genome_size = int(round(genomic_mass / peak)) if peak > 0 else 0
+    error_rate = weak_mass / (spectrum.k * spectrum.n_total) if spectrum.n_total else 0.0
+    return SpectrumProfile(
+        k=spectrum.k,
+        n_total=spectrum.n_total,
+        n_distinct=spectrum.n_distinct,
+        coverage_peak=peak,
+        solid_threshold=valley,
+        estimated_genome_size=genome_size,
+        estimated_error_rate=min(error_rate, 1.0),
+        singleton_fraction=spectrum.singleton_fraction(),
+    )

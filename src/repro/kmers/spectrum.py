@@ -1,0 +1,108 @@
+"""k-mer counting (single-node reference) and spectrum statistics.
+
+The distributed pipelines in :mod:`repro.core` must produce exactly the same
+global k-mer histogram as a trivial single-node count — this module is that
+oracle, built on ``np.unique``.  It also provides the multiplicity spectrum
+(the "k-mer histograms [that] are valuable for understanding the
+distributions of genomic subsequences", Section II-A) used by the examples
+and by the balanced-partitioning extension's sampling step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dna.reads import ReadSet
+from .extract import extract_kmers
+
+__all__ = ["KmerSpectrum", "count_kmers_exact", "spectrum_from_counts"]
+
+
+@dataclass(frozen=True)
+class KmerSpectrum:
+    """A k-mer count table plus derived spectrum statistics.
+
+    ``values``/``counts`` are parallel arrays sorted by packed k-mer value;
+    together they are the exact global histogram.
+    """
+
+    k: int
+    values: np.ndarray  # uint64, sorted, unique
+    counts: np.ndarray  # int64
+
+    def __post_init__(self) -> None:
+        values = np.ascontiguousarray(self.values, dtype=np.uint64)
+        counts = np.ascontiguousarray(self.counts, dtype=np.int64)
+        if values.shape != counts.shape:
+            raise ValueError("values and counts must be parallel")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "counts", counts)
+
+    @property
+    def n_distinct(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def n_total(self) -> int:
+        """Total k-mer instances (sum of counts)."""
+        return int(self.counts.sum())
+
+    def count_of(self, kmer_value: int) -> int:
+        """Count of one packed k-mer (0 if absent)."""
+        i = int(np.searchsorted(self.values, np.uint64(kmer_value)))
+        if i < self.n_distinct and self.values[i] == np.uint64(kmer_value):
+            return int(self.counts[i])
+        return 0
+
+    def multiplicity_histogram(self) -> tuple[np.ndarray, np.ndarray]:
+        """The k-mer spectrum: (multiplicity, #distinct k-mers at it)."""
+        if self.n_distinct == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        mult, freq = np.unique(self.counts, return_counts=True)
+        return mult.astype(np.int64), freq.astype(np.int64)
+
+    def singleton_fraction(self) -> float:
+        """Fraction of distinct k-mers seen exactly once (error indicator)."""
+        if self.n_distinct == 0:
+            return 0.0
+        return float(np.count_nonzero(self.counts == 1) / self.n_distinct)
+
+    def frequent(self, min_count: int) -> "KmerSpectrum":
+        """Sub-spectrum of k-mers with count >= ``min_count``."""
+        mask = self.counts >= min_count
+        return KmerSpectrum(k=self.k, values=self.values[mask], counts=self.counts[mask])
+
+    def top(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """The ``n`` most frequent k-mers -> (values, counts), descending."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        order = np.argsort(self.counts, kind="stable")[::-1][:n]
+        return self.values[order], self.counts[order]
+
+    def equals(self, other: "KmerSpectrum") -> bool:
+        """Exact histogram equality (the pipelines' correctness criterion)."""
+        return (
+            self.k == other.k
+            and self.values.shape == other.values.shape
+            and bool(np.array_equal(self.values, other.values))
+            and bool(np.array_equal(self.counts, other.counts))
+        )
+
+
+def count_kmers_exact(reads: ReadSet, k: int, *, canonical: bool = False) -> KmerSpectrum:
+    """Single-node exact k-mer count of a read set (the test oracle)."""
+    kmers = extract_kmers(reads, k, canonical=canonical)
+    values, counts = np.unique(kmers, return_counts=True)
+    return KmerSpectrum(k=k, values=values.astype(np.uint64), counts=counts.astype(np.int64))
+
+
+def spectrum_from_counts(k: int, pairs: dict[int, int]) -> KmerSpectrum:
+    """Build a spectrum from a {packed k-mer: count} mapping."""
+    if not pairs:
+        return KmerSpectrum(k=k, values=np.empty(0, dtype=np.uint64), counts=np.empty(0, dtype=np.int64))
+    values = np.fromiter(pairs.keys(), dtype=np.uint64, count=len(pairs))
+    counts = np.fromiter(pairs.values(), dtype=np.int64, count=len(pairs))
+    order = np.argsort(values)
+    return KmerSpectrum(k=k, values=values[order], counts=counts[order])

@@ -1,0 +1,28 @@
+"""Simulated-MPI substrate: topology, collectives, traffic, and cost model."""
+
+from .collectives import allgather, allreduce, alltoall, alltoallv, alltoallv_segments, bcast, gather, scatter
+from .comm import Comm, ThreadedWorld, run_spmd
+from .costmodel import AlltoallvTiming, CommCostModel
+from .stats import CollectiveRecord, TrafficStats
+from .topology import ClusterSpec, summit_cpu, summit_gpu
+
+__all__ = [
+    "ClusterSpec",
+    "summit_gpu",
+    "summit_cpu",
+    "CommCostModel",
+    "AlltoallvTiming",
+    "TrafficStats",
+    "CollectiveRecord",
+    "alltoallv",
+    "alltoallv_segments",
+    "alltoall",
+    "allreduce",
+    "allgather",
+    "gather",
+    "bcast",
+    "scatter",
+    "Comm",
+    "ThreadedWorld",
+    "run_spmd",
+]

@@ -1,0 +1,200 @@
+"""Bulk-synchronous collective operations on per-rank buffer lists.
+
+The paper's pipeline is three bulk-synchronous supersteps (parse ->
+exchange -> count), so the deterministic simulation engine represents a
+collective as a plain function over *all* ranks' send buffers at once:
+``alltoallv`` takes ``send[src][dst]`` and returns ``recv[dst][src]``.
+Byte/item traffic is recorded exactly into a :class:`TrafficStats`.
+
+These functions define the semantics; :class:`repro.mpi.comm.ThreadedWorld`
+provides the same operations with real per-rank SPMD call sites, and the
+test suite checks the two agree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .stats import TrafficStats
+
+__all__ = [
+    "alltoallv",
+    "alltoallv_segments",
+    "alltoall",
+    "allreduce",
+    "allgather",
+    "gather",
+    "bcast",
+    "scatter",
+]
+
+
+def _check_square(buffers: Sequence[Sequence[Any]]) -> int:
+    p = len(buffers)
+    for src, row in enumerate(buffers):
+        if len(row) != p:
+            raise ValueError(f"rank {src} supplied {len(row)} destination buffers, expected {p}")
+    return p
+
+
+def _nbytes(obj: Any) -> int:
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if hasattr(obj, "wire_bytes"):
+        return int(obj.wire_bytes())
+    if hasattr(obj, "nbytes"):
+        return int(obj.nbytes)
+    raise TypeError(f"cannot determine wire size of {type(obj).__name__}")
+
+
+def _nitems(obj: Any) -> int:
+    if isinstance(obj, np.ndarray):
+        return int(obj.shape[0]) if obj.ndim else 1
+    if hasattr(obj, "__len__"):
+        return len(obj)
+    return 1
+
+
+def alltoallv(
+    send: Sequence[Sequence[Any]],
+    *,
+    stats: TrafficStats | None = None,
+    label: str = "",
+) -> list[list[Any]]:
+    """Irregular all-to-all: ``send[src][dst]`` -> ``recv[dst][src]``.
+
+    Buffers are passed by reference (zero-copy, like a GPUDirect exchange);
+    callers own any defensive copying.  Each buffer must expose its wire
+    size (NumPy array, bytes, or an object with ``wire_bytes()``/``nbytes``).
+    """
+    p = _check_square(send)
+    if stats is not None:
+        bytes_matrix = np.empty((p, p), dtype=np.int64)
+        items_matrix = np.empty((p, p), dtype=np.int64)
+        for src in range(p):
+            for dst in range(p):
+                bytes_matrix[src, dst] = _nbytes(send[src][dst])
+                items_matrix[src, dst] = _nitems(send[src][dst])
+        stats.record("alltoallv", bytes_matrix, label=label, items_matrix=items_matrix)
+    return [[send[src][dst] for src in range(p)] for dst in range(p)]
+
+
+def alltoallv_segments(
+    send_data: Sequence[np.ndarray],
+    send_counts: Sequence[np.ndarray],
+    *,
+    stats: TrafficStats | None = None,
+    label: str = "",
+    bytes_per_item: float | None = None,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """All-to-all of destination-ordered segment arrays (the MPI wire form).
+
+    This is how real ``MPI_Alltoallv`` is driven: each rank contributes one
+    contiguous array ``send_data[src]`` whose first ``send_counts[src][0]``
+    items go to rank 0, the next ``send_counts[src][1]`` to rank 1, etc.
+    Returns ``(recv_data, counts_matrix)`` where ``recv_data[dst]`` is the
+    concatenation of every source's segment for ``dst`` (ordered by source
+    rank) and ``counts_matrix[src, dst]`` is the item matrix.
+
+    ``bytes_per_item`` overrides the wire size per item for byte accounting
+    (e.g. ``8 + 1`` for a supermer word plus its length byte); by default
+    the array's own itemsize is used.
+    """
+    p = len(send_data)
+    if len(send_counts) != p:
+        raise ValueError("send_data and send_counts must have one entry per rank")
+    counts_matrix = np.zeros((p, p), dtype=np.int64)
+    for src in range(p):
+        counts = np.ascontiguousarray(send_counts[src], dtype=np.int64)
+        if counts.shape != (p,):
+            raise ValueError(f"rank {src} send_counts must have shape ({p},)")
+        if int(counts.sum()) != send_data[src].shape[0]:
+            raise ValueError(f"rank {src}: counts sum {int(counts.sum())} != data length {send_data[src].shape[0]}")
+        counts_matrix[src] = counts
+
+    # Vectorized reshuffle: concatenate all send buffers, then gather the
+    # P*P segments in (dst, src) order with one fancy-index — O(total + P^2)
+    # NumPy work, no per-segment Python loop (P can be thousands).
+    if p == 0:
+        return [], counts_matrix
+    global_data = np.concatenate(send_data) if p > 1 else send_data[0]
+    src_base = np.zeros(p, dtype=np.int64)
+    np.cumsum(counts_matrix.sum(axis=1)[:-1], out=src_base[1:])
+    seg_offsets = np.zeros((p, p), dtype=np.int64)  # start of (src, dst) segment
+    np.cumsum(counts_matrix[:, :-1], axis=1, out=seg_offsets[:, 1:])
+    seg_starts_global = (src_base[:, None] + seg_offsets).T.ravel()  # (dst, src) order
+    seg_lens = counts_matrix.T.ravel()
+    out_offsets = np.zeros(seg_lens.shape[0], dtype=np.int64)
+    np.cumsum(seg_lens[:-1], out=out_offsets[1:])
+    total_items = int(seg_lens.sum())
+    idx = (
+        np.arange(total_items, dtype=np.int64)
+        - np.repeat(out_offsets, seg_lens)
+        + np.repeat(seg_starts_global, seg_lens)
+    )
+    shuffled = global_data[idx]
+    per_dst = counts_matrix.sum(axis=0)
+    dst_offsets = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(per_dst, out=dst_offsets[1:])
+    recv_data = [shuffled[dst_offsets[d] : dst_offsets[d + 1]] for d in range(p)]
+
+    if stats is not None:
+        per_item = float(bytes_per_item) if bytes_per_item is not None else float(send_data[0].itemsize if p else 8)
+        bytes_matrix = (counts_matrix * per_item).astype(np.int64)
+        stats.record("alltoallv", bytes_matrix, label=label, items_matrix=counts_matrix)
+    return recv_data, counts_matrix
+
+
+def alltoall(
+    send: Sequence[Sequence[Any]],
+    *,
+    stats: TrafficStats | None = None,
+    label: str = "",
+) -> list[list[Any]]:
+    """Regular all-to-all of single items (e.g. the counts exchange)."""
+    p = _check_square(send)
+    if stats is not None:
+        bytes_matrix = np.full((p, p), 8, dtype=np.int64)  # one word each
+        stats.record("alltoall", bytes_matrix, label=label)
+    return [[send[src][dst] for src in range(p)] for dst in range(p)]
+
+
+def allreduce(values: Sequence[Any], op: Callable[[Any, Any], Any]) -> list[Any]:
+    """All ranks receive ``reduce(op, values)``."""
+    if not values:
+        return []
+    acc = values[0]
+    for v in values[1:]:
+        acc = op(acc, v)
+    return [acc for _ in values]
+
+
+def allgather(values: Sequence[Any]) -> list[list[Any]]:
+    """Every rank receives the full list of contributions."""
+    gathered = list(values)
+    return [list(gathered) for _ in values]
+
+
+def gather(values: Sequence[Any], root: int = 0) -> list[list[Any] | None]:
+    """Root receives all contributions; others receive ``None``."""
+    p = len(values)
+    if not 0 <= root < p:
+        raise ValueError(f"root {root} out of range for {p} ranks")
+    return [list(values) if r == root else None for r in range(p)]
+
+
+def bcast(value: Any, p: int) -> list[Any]:
+    """All ranks receive the root's value."""
+    return [value for _ in range(p)]
+
+
+def scatter(values: Sequence[Any], p: int | None = None) -> list[Any]:
+    """Root's list of ``P`` items is distributed one per rank."""
+    items = list(values)
+    if p is not None and len(items) != p:
+        raise ValueError(f"scatter needs exactly {p} items, got {len(items)}")
+    return items

@@ -1,0 +1,168 @@
+"""Threaded SPMD communicator: real per-rank MPI-style semantics.
+
+The deterministic BSP engine (:mod:`repro.mpi.collectives`) is what the
+benchmarks run on; this module provides the *other* execution engine — one
+OS thread per rank, each running the same program with an mpi4py-like
+per-rank :class:`Comm` handle.  It exists for two reasons:
+
+* it validates the BSP collectives against genuinely concurrent rank
+  programs (if the two engines disagree, the simulation is wrong);
+* it lets users write ordinary SPMD code (``comm.rank``, ``comm.alltoallv``,
+  ``comm.send``/``comm.recv``) against the library, as they would against
+  real MPI.
+
+Collectives synchronize on barriers; point-to-point uses per-(dst, src, tag)
+queues.  Exceptions in any rank cancel the world and re-raise in the caller.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Sequence
+
+__all__ = ["Comm", "ThreadedWorld", "run_spmd"]
+
+_SENTINEL_TAG = 0
+
+
+class _WorldState:
+    """Shared state of one threaded world."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.slots: list[list[Any]] = [[None] * size for _ in range(size)]  # [dst][src]
+        self.reduce_buf: list[Any] = [None] * size
+        self.queues: dict[tuple[int, int, int], queue.Queue] = {}
+        self.queues_lock = threading.Lock()
+        self.failure: BaseException | None = None
+        self.failure_lock = threading.Lock()
+
+    def queue_for(self, dst: int, src: int, tag: int) -> queue.Queue:
+        key = (dst, src, tag)
+        with self.queues_lock:
+            q = self.queues.get(key)
+            if q is None:
+                q = self.queues[key] = queue.Queue()
+            return q
+
+    def fail(self, exc: BaseException) -> None:
+        with self.failure_lock:
+            if self.failure is None:
+                self.failure = exc
+        self.barrier.abort()
+
+
+class Comm:
+    """Per-rank communicator handle (the mpi4py-flavoured API)."""
+
+    def __init__(self, world: _WorldState, rank: int) -> None:
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+
+    # -- synchronization -----------------------------------------------------
+
+    def barrier(self) -> None:
+        self._world.barrier.wait()
+
+    # -- point to point --------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = _SENTINEL_TAG) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range")
+        self._world.queue_for(dest, self.rank, tag).put(obj)
+
+    def recv(self, source: int, tag: int = _SENTINEL_TAG, timeout: float | None = 60.0) -> Any:
+        if not 0 <= source < self.size:
+            raise ValueError(f"source {source} out of range")
+        return self._world.queue_for(self.rank, source, tag).get(timeout=timeout)
+
+    # -- collectives -----------------------------------------------------------
+
+    def alltoallv(self, send: Sequence[Any]) -> list[Any]:
+        """Each rank provides ``size`` buffers; receives one from each rank."""
+        if len(send) != self.size:
+            raise ValueError(f"alltoallv needs {self.size} send buffers, got {len(send)}")
+        w = self._world
+        for dst in range(self.size):
+            w.slots[dst][self.rank] = send[dst]
+        w.barrier.wait()
+        recv = list(w.slots[self.rank])
+        w.barrier.wait()  # nobody overwrites slots until everyone has read
+        return recv
+
+    # alltoall of scalars has identical data movement.
+    alltoall = alltoallv
+
+    def allgather(self, value: Any) -> list[Any]:
+        w = self._world
+        w.reduce_buf[self.rank] = value
+        w.barrier.wait()
+        out = list(w.reduce_buf)
+        w.barrier.wait()
+        return out
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+        contributions = self.allgather(value)
+        acc = contributions[0]
+        for v in contributions[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        out = self.allgather(value)
+        return out if self.rank == root else None
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        return self.allgather(value if self.rank == root else None)[root]
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise ValueError(f"root must scatter exactly {self.size} values")
+        return self.allgather(list(values) if self.rank == root else None)[root][self.rank]
+
+
+class ThreadedWorld:
+    """Launches an SPMD program across ``size`` ranks on threads."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("world size must be positive")
+        self.size = size
+
+    def run(self, program: Callable[..., Any], *args_per_rank: Sequence[Any]) -> list[Any]:
+        """Run ``program(comm, *rank_args)`` on every rank; return results.
+
+        Each element of ``args_per_rank`` is a per-rank sequence; rank ``r``
+        receives ``args_per_rank[0][r], args_per_rank[1][r], ...``.
+        """
+        for arg in args_per_rank:
+            if len(arg) != self.size:
+                raise ValueError("each per-rank argument sequence must have one entry per rank")
+        state = _WorldState(self.size)
+        results: list[Any] = [None] * self.size
+
+        def runner(rank: int) -> None:
+            try:
+                results[rank] = program(Comm(state, rank), *(arg[rank] for arg in args_per_rank))
+            except threading.BrokenBarrierError:
+                pass  # another rank failed; its exception is re-raised below
+            except BaseException as exc:  # noqa: BLE001 - must cross threads
+                state.fail(exc)
+
+        threads = [threading.Thread(target=runner, args=(r,), daemon=True) for r in range(self.size)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if state.failure is not None:
+            raise state.failure
+        return results
+
+
+def run_spmd(size: int, program: Callable[..., Any], *args_per_rank: Sequence[Any]) -> list[Any]:
+    """Convenience wrapper: ``ThreadedWorld(size).run(program, ...)``."""
+    return ThreadedWorld(size).run(program, *args_per_rank)

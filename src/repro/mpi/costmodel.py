@@ -1,0 +1,157 @@
+"""Alpha-beta communication time model calibrated to Summit.
+
+The simulator counts exact bytes; this module turns a ``(P, P)`` byte matrix
+into a bulk-synchronous completion time.  The model is the standard
+alpha-beta form with node-level bandwidth aggregation:
+
+* every rank participates in ``P - 1`` pairwise message rounds, paying
+  ``alpha`` latency each (``alpha * (P - 1)`` total — the term that makes
+  tiny alltoallvs latency-bound);
+* all traffic leaving or entering a *node* shares that node's injection
+  bandwidth (Summit: 23 GB/s), derated by ``alltoallv_efficiency`` to the
+  throughput a real many-rank MPI_Alltoallv sustains;
+* traffic between ranks on the same node moves at the (faster) intra-node
+  bandwidth and overlaps with network traffic;
+* completion time is the max over nodes (bulk-synchronous semantics), so
+  *skewed* byte matrices — the supermer pipeline's signature, Table III —
+  are automatically penalized, exactly the effect the paper reports as
+  "variance in the speedup ... caused by the load imbalance" (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .topology import ClusterSpec
+
+__all__ = ["CommCostModel", "AlltoallvTiming"]
+
+
+#: Alltoallv algorithm schedules the model knows (real MPI libraries switch
+#: between them by message size).
+SCHEDULES = ("pairwise", "bruck", "auto")
+
+
+@dataclass(frozen=True)
+class AlltoallvTiming:
+    """Breakdown of one modeled alltoallv."""
+
+    latency_time: float
+    inter_node_time: float
+    intra_node_time: float
+    bottleneck_node: int
+    schedule: str = "pairwise"
+
+    @property
+    def total(self) -> float:
+        # Intra-node copies overlap with network transfers; the slower of the
+        # two dominates, and latency is serialized setup.
+        return self.latency_time + max(self.inter_node_time, self.intra_node_time)
+
+
+class CommCostModel:
+    """Maps byte matrices to times for a given :class:`ClusterSpec`."""
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self.cluster = cluster
+
+    # -- collectives -----------------------------------------------------------
+
+    def alltoallv(self, bytes_matrix: np.ndarray, schedule: str = "auto") -> AlltoallvTiming:
+        """Completion time of an irregular all-to-all with this byte matrix.
+
+        ``schedule`` picks the collective algorithm:
+
+        * ``"pairwise"`` — P-1 rounds of direct pairwise exchange: latency
+          ``alpha*(P-1)``, each byte crosses the network once (the right
+          choice for large payloads — this is what big k-mer exchanges use);
+        * ``"bruck"`` — ``ceil(log2 P)`` store-and-forward rounds: latency
+          ``alpha*log2(P)``, but each byte is transmitted ``~log2(P)/2``
+          times (wins for tiny payloads like the counts exchange);
+        * ``"auto"`` — whichever finishes first, as real MPI implementations
+          select by message size.
+        """
+        if schedule not in SCHEDULES:
+            raise ValueError(f"schedule must be one of {SCHEDULES}, got {schedule!r}")
+        mat = np.ascontiguousarray(bytes_matrix, dtype=np.float64)
+        c = self.cluster
+        p = c.n_ranks
+        if mat.shape != (p, p):
+            raise ValueError(f"bytes_matrix must be ({p}, {p}) for {c.name}, got {mat.shape}")
+        nodes = c.node_map()
+        n = c.n_nodes
+        # Node-aggregated matrix: traffic[node_i, node_j].
+        node_mat = np.zeros((n, n), dtype=np.float64)
+        np.add.at(node_mat, (nodes[:, None], nodes[None, :]), mat)
+
+        inter_out = node_mat.sum(axis=1) - np.diag(node_mat)
+        inter_in = node_mat.sum(axis=0) - np.diag(node_mat)
+        eff_bw = c.injection_bw * c.alltoallv_efficiency
+        per_node_inter = np.maximum(inter_out, inter_in) / eff_bw
+        bottleneck = int(per_node_inter.argmax()) if n else 0
+        inter_time = float(per_node_inter.max()) if n else 0.0
+
+        # Intra-node traffic excludes rank-local (diagonal of the rank matrix).
+        intra = np.diag(node_mat).copy()
+        for_rank_local = np.zeros(n, dtype=np.float64)
+        np.add.at(for_rank_local, nodes, np.diag(mat))
+        intra -= for_rank_local
+        intra_time = float(intra.max() / c.intra_node_bw) if n else 0.0
+
+        log_rounds = int(np.ceil(np.log2(p))) if p > 1 else 0
+        candidates = {
+            "pairwise": AlltoallvTiming(
+                latency_time=c.latency * max(p - 1, 0),
+                inter_node_time=inter_time,
+                intra_node_time=intra_time,
+                bottleneck_node=bottleneck,
+                schedule="pairwise",
+            ),
+            "bruck": AlltoallvTiming(
+                latency_time=c.latency * log_rounds,
+                # Store-and-forward retransmits each byte ~log2(P)/2 times.
+                inter_node_time=inter_time * max(log_rounds / 2.0, 1.0),
+                intra_node_time=intra_time * max(log_rounds / 2.0, 1.0),
+                bottleneck_node=bottleneck,
+                schedule="bruck",
+            ),
+        }
+        if schedule != "auto":
+            return candidates[schedule]
+        return min(candidates.values(), key=lambda t: t.total)
+
+    def alltoall_counts(self) -> float:
+        """Time of the small fixed-size MPI_Alltoall that exchanges counts.
+
+        Each rank sends one 8-byte count to every other rank.  This is the
+        latency-dominated regime where the Bruck schedule wins, so the model
+        takes the better of pairwise and Bruck — as MPI does.
+        """
+        c = self.cluster
+        p = c.n_ranks
+        per_node_bytes = 8.0 * c.ranks_per_node * max(p - c.ranks_per_node, 0)
+        t_bw = per_node_bytes / (c.injection_bw * c.alltoallv_efficiency)
+        pairwise = c.latency * max(p - 1, 0) + t_bw
+        log_rounds = int(np.ceil(np.log2(p))) if p > 1 else 0
+        bruck = c.latency * log_rounds + t_bw * max(log_rounds / 2.0, 1.0)
+        return min(pairwise, bruck)
+
+    def allreduce(self, bytes_per_rank: int) -> float:
+        """Tree allreduce: log2(P) rounds of latency + bandwidth."""
+        c = self.cluster
+        p = c.n_ranks
+        rounds = int(np.ceil(np.log2(p))) if p > 1 else 0
+        return rounds * (c.latency + bytes_per_rank / c.injection_bw)
+
+    def exchange_time(self, bytes_matrix: np.ndarray, *, include_counts_exchange: bool = True) -> float:
+        """Full exchange-phase time: counts alltoall + payload alltoallv.
+
+        This models Algorithm 1's EXCHANGEKMER (an MPI_Alltoall of counts
+        followed by the MPI_Alltoallv of payloads).
+        """
+        t = self.alltoallv(bytes_matrix).total
+        if include_counts_exchange:
+            t += self.alltoall_counts()
+        return t

@@ -1,0 +1,112 @@
+"""Traffic accounting for the simulated communicator.
+
+Every collective records exactly who sent how many bytes to whom.  These
+counters are the ground truth behind the paper's Table II (items exchanged)
+and the volume inputs to the communication cost model; they are *exact*,
+unlike the time estimates layered on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CollectiveRecord", "TrafficStats"]
+
+
+@dataclass(frozen=True)
+class CollectiveRecord:
+    """One collective operation's traffic.
+
+    ``bytes_matrix[src, dst]`` counts payload bytes ``src`` sent to ``dst``
+    (diagonal = rank-local "sends" that never touch the network but do touch
+    memory).  ``items_matrix`` optionally counts application-level items
+    (k-mers or supermers) for Table II-style reporting.
+    """
+
+    op: str
+    label: str
+    bytes_matrix: np.ndarray
+    items_matrix: np.ndarray | None = None
+
+    @property
+    def n_ranks(self) -> int:
+        return int(self.bytes_matrix.shape[0])
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.bytes_matrix.sum())
+
+    @property
+    def off_diagonal_bytes(self) -> int:
+        """Bytes that actually cross rank boundaries."""
+        mat = self.bytes_matrix
+        return int(mat.sum() - np.trace(mat))
+
+    @property
+    def total_items(self) -> int:
+        return int(self.items_matrix.sum()) if self.items_matrix is not None else 0
+
+    def bytes_sent_per_rank(self) -> np.ndarray:
+        return self.bytes_matrix.sum(axis=1)
+
+    def bytes_received_per_rank(self) -> np.ndarray:
+        return self.bytes_matrix.sum(axis=0)
+
+
+@dataclass
+class TrafficStats:
+    """Accumulates :class:`CollectiveRecord` objects over a pipeline run."""
+
+    records: list[CollectiveRecord] = field(default_factory=list)
+
+    def record(
+        self,
+        op: str,
+        bytes_matrix: np.ndarray,
+        *,
+        label: str = "",
+        items_matrix: np.ndarray | None = None,
+    ) -> CollectiveRecord:
+        mat = np.ascontiguousarray(bytes_matrix, dtype=np.int64)
+        if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+            raise ValueError("bytes_matrix must be square (P x P)")
+        items = None
+        if items_matrix is not None:
+            items = np.ascontiguousarray(items_matrix, dtype=np.int64)
+            if items.shape != mat.shape:
+                raise ValueError("items_matrix must match bytes_matrix shape")
+        rec = CollectiveRecord(op=op, label=label, bytes_matrix=mat, items_matrix=items)
+        self.records.append(rec)
+        return rec
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def n_collectives(self) -> int:
+        return len(self.records)
+
+    def total_bytes(self, op: str | None = None) -> int:
+        return sum(r.total_bytes for r in self.records if op is None or r.op == op)
+
+    def total_items(self, label: str | None = None) -> int:
+        return sum(r.total_items for r in self.records if label is None or r.label == label)
+
+    def by_label(self, label: str) -> list[CollectiveRecord]:
+        return [r for r in self.records if r.label == label]
+
+    def merged_matrix(self, op: str | None = None) -> np.ndarray:
+        """Elementwise sum of all (matching) byte matrices."""
+        mats = [r.bytes_matrix for r in self.records if op is None or r.op == op]
+        if not mats:
+            return np.zeros((0, 0), dtype=np.int64)
+        out = np.zeros_like(mats[0])
+        for m in mats:
+            if m.shape != out.shape:
+                raise ValueError("cannot merge matrices of different sizes")
+            out += m
+        return out
+
+    def clear(self) -> None:
+        self.records.clear()

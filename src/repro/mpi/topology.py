@@ -1,0 +1,105 @@
+"""Cluster topology descriptions for the communication simulator.
+
+The paper's machine is Summit (Section V-A): IBM AC922 nodes, each with two
+Power9 sockets (42 usable cores) and 6 NVIDIA V100s, nodes connected by a
+dual-rail EDR InfiniBand fat tree with ~23 GB/s *per-node* injection
+bandwidth.  Two rank layouts are used: 6 ranks/node (one per GPU) for the
+GPU runs and 42 ranks/node (one per core) for the CPU baseline.
+
+:class:`ClusterSpec` captures exactly what the communication cost model
+needs — rank->node mapping, per-node injection bandwidth, intra-node
+bandwidth, and message latency — plus named constructors for the paper's
+two Summit configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["ClusterSpec", "summit_gpu", "summit_cpu"]
+
+#: Per-node injection bandwidth on Summit, bytes/s (Section V-A: "providing
+#: per node injection bandwidth of 23 GB/s").
+SUMMIT_INJECTION_BW: float = 23e9
+
+#: Intra-node rank-to-rank bandwidth (NVLink / shared memory), bytes/s.
+SUMMIT_INTRA_NODE_BW: float = 50e9
+
+#: Effective point-to-point message latency, seconds.
+SUMMIT_LATENCY: float = 2e-6
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster for the bulk-synchronous communication model.
+
+    ``alltoallv_efficiency`` is the calibration knob mapping peak injection
+    bandwidth to the effective bandwidth a many-rank MPI_Alltoallv actually
+    achieves (protocol overhead, rail sharing, pipelining stalls); measured
+    alltoallv on large systems typically lands at a few percent of peak for
+    this many ranks.  The default 0.04 is calibrated so the modeled H.
+    sapiens 54X exchange on 64 nodes lands near the paper's ~25-30 s
+    (Fig. 3b), making exchange ~80% of the GPU pipeline as published.
+    """
+
+    name: str
+    n_nodes: int
+    ranks_per_node: int
+    injection_bw: float = SUMMIT_INJECTION_BW
+    intra_node_bw: float = SUMMIT_INTRA_NODE_BW
+    latency: float = SUMMIT_LATENCY
+    alltoallv_efficiency: float = 0.04
+    placement: str = "block"  # rank->node mapping: "block" (jsrun) or "round-robin"
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1 or self.ranks_per_node < 1:
+            raise ValueError("n_nodes and ranks_per_node must be positive")
+        if self.injection_bw <= 0 or self.intra_node_bw <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+        if not 0 < self.alltoallv_efficiency <= 1:
+            raise ValueError("alltoallv_efficiency must be in (0, 1]")
+        if self.placement not in ("block", "round-robin"):
+            raise ValueError("placement must be 'block' or 'round-robin'")
+
+    @property
+    def n_ranks(self) -> int:
+        return self.n_nodes * self.ranks_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``.
+
+        ``"block"`` packs consecutive ranks on a node (jsrun's default and
+        the paper's layout); ``"round-robin"`` deals ranks across nodes —
+        the placement knob cluster schedulers expose, which changes how a
+        skewed traffic matrix aggregates onto node uplinks.
+        """
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.n_ranks})")
+        if self.placement == "block":
+            return rank // self.ranks_per_node
+        return rank % self.n_nodes
+
+    def node_map(self) -> np.ndarray:
+        """int32 array mapping every rank to its node."""
+        ranks = np.arange(self.n_ranks, dtype=np.int32)
+        if self.placement == "block":
+            return (ranks // self.ranks_per_node).astype(np.int32)
+        return (ranks % self.n_nodes).astype(np.int32)
+
+    def with_nodes(self, n_nodes: int) -> "ClusterSpec":
+        """Same cluster at a different node count (for scaling sweeps)."""
+        return replace(self, n_nodes=n_nodes)
+
+
+def summit_gpu(n_nodes: int) -> ClusterSpec:
+    """Summit GPU layout: 6 MPI ranks per node, one per V100 (Section V-A)."""
+    return ClusterSpec(name=f"summit-gpu-{n_nodes}n", n_nodes=n_nodes, ranks_per_node=6)
+
+
+def summit_cpu(n_nodes: int) -> ClusterSpec:
+    """Summit CPU-baseline layout: 42 MPI ranks per node, one per core."""
+    return ClusterSpec(name=f"summit-cpu-{n_nodes}n", n_nodes=n_nodes, ranks_per_node=42)

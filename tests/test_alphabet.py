@@ -1,0 +1,163 @@
+"""Tests for base codes and minimizer orderings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dna.alphabet import (
+    BASE_TO_CODE,
+    BASES,
+    CODE_TO_BASE,
+    SENTINEL,
+    KMC2Ordering,
+    LexicographicOrdering,
+    RandomBaseOrdering,
+    ascii_to_codes,
+    codes_to_ascii,
+    decode_base,
+    encode_base,
+    get_ordering,
+)
+
+mmers = st.text(alphabet="ACGT", min_size=1, max_size=12)
+
+
+def pack(s: str) -> int:
+    v = 0
+    for ch in s:
+        v = (v << 2) | BASE_TO_CODE[ch]
+    return v
+
+
+class TestBaseCodes:
+    def test_storage_encoding_is_lexicographic(self):
+        assert [BASE_TO_CODE[b] for b in "ACGT"] == [0, 1, 2, 3]
+
+    def test_roundtrip_all_bases(self):
+        for b in BASES:
+            assert decode_base(encode_base(b)) == b
+
+    def test_lowercase_accepted(self):
+        assert encode_base("a") == 0
+        assert encode_base("t") == 3
+
+    def test_n_maps_to_sentinel(self):
+        assert encode_base("N") == SENTINEL
+        assert decode_base(SENTINEL) == "N"
+
+    def test_invalid_base_raises(self):
+        with pytest.raises(ValueError):
+            encode_base("X")
+        with pytest.raises(ValueError):
+            decode_base(9)
+
+    def test_code_to_base_inverse(self):
+        for b, c in BASE_TO_CODE.items():
+            assert CODE_TO_BASE[c] == b
+
+    def test_ascii_to_codes_vectorized(self):
+        codes = ascii_to_codes(b"ACGTNacgtn")
+        assert codes.tolist() == [0, 1, 2, 3, 4, 0, 1, 2, 3, 4]
+
+    def test_ascii_to_codes_rejects_garbage(self):
+        with pytest.raises(ValueError, match="invalid DNA base"):
+            ascii_to_codes(b"ACGU")
+
+    def test_codes_to_ascii_roundtrip(self):
+        data = b"ACGTNTGCA"
+        assert codes_to_ascii(ascii_to_codes(data)) == data
+
+    def test_codes_to_ascii_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            codes_to_ascii(np.array([0, 7], dtype=np.uint8))
+
+
+class TestOrderings:
+    def test_get_ordering_by_name(self):
+        assert isinstance(get_ordering("lexicographic"), LexicographicOrdering)
+        assert isinstance(get_ordering("lex"), LexicographicOrdering)
+        assert isinstance(get_ordering("kmc2"), KMC2Ordering)
+        assert isinstance(get_ordering("random-base"), RandomBaseOrdering)
+        assert isinstance(get_ordering("random"), RandomBaseOrdering)
+
+    def test_get_ordering_passthrough(self):
+        o = KMC2Ordering()
+        assert get_ordering(o) is o
+
+    def test_get_ordering_unknown(self):
+        with pytest.raises(ValueError, match="unknown minimizer ordering"):
+            get_ordering("bogus")
+
+    def test_lexicographic_rank_equals_packed_value(self):
+        o = LexicographicOrdering()
+        for s in ["A", "ACGT", "TTTT", "GATTACA"]:
+            codes = ascii_to_codes(s.encode())
+            assert o.rank_of_codes(codes) == pack(s)
+
+    def test_random_base_map_is_papers(self):
+        # Section IV-A: A=1, C=0, T=2, G=3.
+        o = RandomBaseOrdering()
+        assert o.remap[BASE_TO_CODE["A"]] == 1
+        assert o.remap[BASE_TO_CODE["C"]] == 0
+        assert o.remap[BASE_TO_CODE["T"]] == 2
+        assert o.remap[BASE_TO_CODE["G"]] == 3
+
+    def test_random_base_order_c_smallest(self):
+        o = RandomBaseOrdering()
+        ranks = {b: o.rank_of_codes(ascii_to_codes(b.encode())) for b in "ACGT"}
+        assert sorted("ACGT", key=ranks.__getitem__) == ["C", "A", "T", "G"]
+
+    def test_kmc2_demotes_aaa_prefix(self):
+        o = KMC2Ordering()
+        m = 4
+        demoted = o.rank_of_codes(ascii_to_codes(b"AAAT"))
+        ordinary_max = o.rank_of_codes(ascii_to_codes(b"TTTT"))
+        assert demoted > ordinary_max
+
+    def test_kmc2_demotes_aca_prefix(self):
+        o = KMC2Ordering()
+        assert o.rank_of_codes(ascii_to_codes(b"ACAG")) > o.rank_of_codes(ascii_to_codes(b"TTTT"))
+
+    def test_kmc2_preserves_order_within_demoted(self):
+        o = KMC2Ordering()
+        assert o.rank_of_codes(ascii_to_codes(b"AAAA")) < o.rank_of_codes(ascii_to_codes(b"ACAA"))
+
+    def test_kmc2_no_bias_below_m3(self):
+        o = KMC2Ordering()
+        assert o.rank_of_codes(ascii_to_codes(b"AA")) == 0
+
+    def test_remap_must_be_permutation(self):
+        from repro.dna.alphabet import MinimizerOrdering
+
+        with pytest.raises(ValueError, match="permutation"):
+            MinimizerOrdering(name="bad", remap=np.array([0, 0, 1, 2]))
+
+    @given(mmers)
+    def test_rank_array_matches_scalar_lex(self, s: str):
+        self._check_rank_array(LexicographicOrdering(), s)
+
+    @given(mmers)
+    def test_rank_array_matches_scalar_random(self, s: str):
+        self._check_rank_array(RandomBaseOrdering(), s)
+
+    @given(mmers)
+    def test_rank_array_matches_scalar_kmc2(self, s: str):
+        self._check_rank_array(KMC2Ordering(), s)
+
+    @staticmethod
+    def _check_rank_array(ordering, s: str) -> None:
+        codes = ascii_to_codes(s.encode())
+        scalar = ordering.rank_of_codes(codes)
+        vec = ordering.rank_array(np.array([pack(s)], dtype=np.uint64), len(s))
+        assert int(vec[0]) == scalar
+
+    @given(st.lists(st.text(alphabet="ACGT", min_size=5, max_size=5), min_size=2, max_size=20, unique=True))
+    def test_ranks_injective_per_ordering(self, strings):
+        for name in ("lexicographic", "kmc2", "random-base"):
+            o = get_ordering(name)
+            vals = np.array([pack(s) for s in strings], dtype=np.uint64)
+            ranks = o.rank_array(vals, 5)
+            assert len(set(ranks.tolist())) == len(strings)

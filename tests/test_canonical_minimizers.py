@@ -1,0 +1,101 @@
+"""Tests for strand-neutral (canonical) minimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dna.encoding import canonical_batch, string_to_codes
+from repro.dna.reads import ReadSet
+from repro.kmers.minimizers import minimizers_for_windows
+from repro.kmers.supermers import build_supermers
+
+_COMP = {"A": "T", "C": "G", "G": "C", "T": "A"}
+
+
+def revcomp(s: str) -> str:
+    return "".join(_COMP[c] for c in reversed(s))
+
+
+class TestStrandNeutrality:
+    @given(
+        kmer=st.text(alphabet="ACGT", min_size=6, max_size=20),
+        m=st.integers(min_value=2, max_value=5),
+        ordering=st.sampled_from(["lexicographic", "kmc2", "random-base"]),
+    )
+    @settings(max_examples=100)
+    def test_kmer_and_rc_share_canonical_minimizer(self, kmer, m, ordering):
+        """The defining property: minimizer(kmer) == minimizer(revcomp)."""
+        k = len(kmer)
+        fwd = minimizers_for_windows(string_to_codes(kmer), k, m, ordering, canonical=True)
+        rev = minimizers_for_windows(string_to_codes(revcomp(kmer)), k, m, ordering, canonical=True)
+        assert fwd.n_windows == rev.n_windows == 1
+        assert int(fwd.minimizer_values[0]) == int(rev.minimizer_values[0])
+
+    def test_non_canonical_generally_differs(self):
+        """Sanity: without canonical mode, strands usually disagree."""
+        rng = np.random.default_rng(0)
+        diff = 0
+        for _ in range(50):
+            kmer = "".join("ACGT"[c] for c in rng.integers(0, 4, size=15))
+            fwd = minimizers_for_windows(string_to_codes(kmer), 15, 7, canonical=False)
+            rev = minimizers_for_windows(string_to_codes(revcomp(kmer)), 15, 7, canonical=False)
+            diff += int(fwd.minimizer_values[0]) != int(rev.minimizer_values[0])
+        assert diff > 25
+
+    def test_minimizer_values_are_canonical_mmers(self):
+        mins = minimizers_for_windows(string_to_codes("ACGTACGTACG"), 8, 4, canonical=True)
+        vals = mins.minimizer_values[mins.valid]
+        assert np.array_equal(vals, canonical_batch(vals, 4))
+
+
+class TestSupermersWithCanonicalMinimizers:
+    def test_kmer_conservation(self, genome_reads):
+        batch = build_supermers(genome_reads, 17, 7, window=15, canonical_minimizers=True)
+        assert batch.total_kmers == genome_reads.kmer_count(17)
+
+    def test_compression_similar_to_plain(self, genome_reads):
+        plain = build_supermers(genome_reads, 17, 7, window=15)
+        canon = build_supermers(genome_reads, 17, 7, window=15, canonical_minimizers=True)
+        assert 0.8 < len(canon) / len(plain) < 1.25
+
+    def test_single_owner_per_canonical_kmer(self, genome_reads):
+        """With canonical minimizers + canonical k-mers, minimizer
+        partitioning gives every canonical k-mer exactly one owner."""
+        from repro.hashing.partition import MinimizerPartitioner
+
+        p = 24
+        batch = build_supermers(genome_reads, 17, 7, window=15, canonical_minimizers=True)
+        owners = MinimizerPartitioner(p, 7).owners(batch.minimizers)
+        kmers = canonical_batch(batch.extract_kmers(), 17)
+        owner_per_kmer = np.repeat(owners, batch.n_kmers.astype(np.int64))
+        pairs = np.stack([kmers, owner_per_kmer.astype(np.uint64)], axis=1)
+        uniq_pairs = np.unique(pairs, axis=0)
+        uniq_kmers = np.unique(kmers)
+        assert uniq_pairs.shape[0] == uniq_kmers.shape[0]
+
+    def test_engine_canonical_supermer_exact(self, genome_reads):
+        from repro.core.config import PipelineConfig
+        from repro.core.engine import run_pipeline
+        from repro.kmers.spectrum import count_kmers_exact
+        from repro.mpi.topology import summit_gpu
+
+        cfg = PipelineConfig(k=17, mode="supermer", minimizer_len=7, window=15, canonical=True)
+        result = run_pipeline(genome_reads, summit_gpu(3), cfg)
+        result.validate_against(count_kmers_exact(genome_reads, 17, canonical=True))
+
+    def test_canonical_reduces_distinct_count(self, genome_reads):
+        from repro.core.config import PipelineConfig
+        from repro.core.engine import run_pipeline
+        from repro.mpi.topology import summit_gpu
+
+        plain = run_pipeline(
+            genome_reads, summit_gpu(1), PipelineConfig(k=17, mode="supermer", minimizer_len=7)
+        )
+        canon = run_pipeline(
+            genome_reads, summit_gpu(1), PipelineConfig(k=17, mode="supermer", minimizer_len=7, canonical=True)
+        )
+        assert canon.spectrum.n_distinct < plain.spectrum.n_distinct
+        assert canon.spectrum.n_total == plain.spectrum.n_total

@@ -1,0 +1,177 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.kmers.kmerdb import read_kmerdb
+
+
+@pytest.fixture
+def fastq(tmp_path):
+    path = tmp_path / "sample.fastq"
+    code = main(
+        [
+            "simulate",
+            "--genome-length",
+            "8000",
+            "--coverage",
+            "6",
+            "--read-length",
+            "400",
+            "--seed",
+            "7",
+            "--out",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestDatasets:
+    def test_lists_all_six(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ecoli30x", "hsapiens54x"):
+            assert name in out
+
+
+class TestSimulate:
+    def test_custom_genome(self, fastq, capsys):
+        assert fastq.exists()
+
+    def test_registry_dataset(self, tmp_path, capsys):
+        path = tmp_path / "ds.fastq"
+        assert main(["simulate", "--dataset", "abaumannii30x", "--scale", "0.05", "--out", str(path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert path.exists()
+
+
+class TestCount:
+    def test_count_writes_db_and_tsv(self, fastq, tmp_path, capsys):
+        db = tmp_path / "out.rkdb"
+        tsv = tmp_path / "out.tsv"
+        code = main(
+            [
+                "count",
+                "--input",
+                str(fastq),
+                "-k",
+                "15",
+                "--nodes",
+                "2",
+                "--out-db",
+                str(db),
+                "--out-tsv",
+                str(tsv),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total_kmers" in out
+        spectrum = read_kmerdb(db)
+        assert spectrum.k == 15 and spectrum.n_distinct > 0
+        assert len(tsv.read_text().splitlines()) == spectrum.n_distinct
+
+    def test_count_matches_oracle(self, fastq, tmp_path):
+        from repro.dna.fastq import read_fastq
+        from repro.dna.reads import ReadSet
+        from repro.kmers.spectrum import count_kmers_exact
+
+        db = tmp_path / "out.rkdb"
+        assert main(["count", "--input", str(fastq), "-k", "13", "--mode", "kmer", "--out-db", str(db)]) == 0
+        reads = ReadSet.from_records(read_fastq(fastq))
+        assert read_kmerdb(db).equals(count_kmers_exact(reads, 13))
+
+    def test_min_count_filter(self, fastq, tmp_path):
+        all_db = tmp_path / "all.rkdb"
+        solid_db = tmp_path / "solid.rkdb"
+        main(["count", "--input", str(fastq), "--out-db", str(all_db)])
+        main(["count", "--input", str(fastq), "--min-count", "3", "--out-db", str(solid_db)])
+        assert read_kmerdb(solid_db).n_distinct < read_kmerdb(all_db).n_distinct
+
+    def test_missing_input_is_error(self, capsys):
+        assert main(["count", "--input", "/nonexistent.fastq"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_k_is_error(self, fastq, capsys):
+        assert main(["count", "--input", str(fastq), "-k", "40"]) == 2
+
+
+class TestSpectrum:
+    def test_profile_and_histogram(self, fastq, tmp_path, capsys):
+        db = tmp_path / "out.rkdb"
+        main(["count", "--input", str(fastq), "--out-db", str(db)])
+        capsys.readouterr()
+        assert main(["spectrum", "--db", str(db), "--histogram", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct" in out and "#" in out
+
+
+class TestCompare:
+    def test_compare_table(self, capsys):
+        assert main(["compare", "--dataset", "abaumannii30x", "--scale", "0.1", "--nodes", "2", "--no-cpu"]) == 0
+        out = capsys.readouterr().out
+        assert "supermer-m7" in out and "speedup" in out
+
+
+class TestQualityOptions:
+    def test_quality_filter_reduces_reads(self, fastq, tmp_path, capsys):
+        assert main(["count", "--input", str(fastq), "--min-read-length", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "quality filter kept" in out
+
+
+class TestMultiFileAndCheckpoint:
+    def test_two_inputs_accumulate(self, fastq, tmp_path, capsys):
+        db_one = tmp_path / "one.rkdb"
+        db_two = tmp_path / "two.rkdb"
+        main(["count", "--input", str(fastq), "-k", "15", "--out-db", str(db_one)])
+        main(["count", "--input", str(fastq), str(fastq), "-k", "15", "--out-db", str(db_two)])
+        import numpy as np
+
+        one = read_kmerdb(db_one)
+        two = read_kmerdb(db_two)
+        assert np.array_equal(one.values, two.values)
+        assert np.array_equal(one.counts * 2, two.counts)
+
+    def test_checkpoint_resume(self, fastq, tmp_path, capsys):
+        ckpt = tmp_path / "state.npz"
+        db_a = tmp_path / "a.rkdb"
+        db_b = tmp_path / "b.rkdb"
+        # First invocation counts one file and checkpoints.
+        main(["count", "--input", str(fastq), "-k", "15", "--checkpoint", str(ckpt), "--out-db", str(db_a)])
+        assert ckpt.exists()
+        capsys.readouterr()
+        # Second invocation resumes and adds the same file again.
+        main(["count", "--input", str(fastq), "-k", "15", "--checkpoint", str(ckpt), "--out-db", str(db_b)])
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        import numpy as np
+
+        a = read_kmerdb(db_a)
+        b = read_kmerdb(db_b)
+        assert np.array_equal(a.counts * 2, b.counts)
+
+
+class TestDistance:
+    def test_distance_between_datasets(self, fastq, tmp_path, capsys):
+        db_a = tmp_path / "a.rkdb"
+        db_b = tmp_path / "b.rkdb"
+        main(["count", "--input", str(fastq), "-k", "15", "--out-db", str(db_a)])
+        # second database: same file counted again -> identical spectrum
+        main(["count", "--input", str(fastq), "-k", "15", "--out-db", str(db_b)])
+        capsys.readouterr()
+        assert main(["distance", "--db-a", str(db_a), "--db-b", str(db_b)]) == 0
+        out = capsys.readouterr().out
+        assert "jaccard" in out
+        assert "1.0000" in out  # identical sets
+
+    def test_distance_k_mismatch_is_error(self, fastq, tmp_path, capsys):
+        db_a = tmp_path / "a.rkdb"
+        db_b = tmp_path / "b.rkdb"
+        main(["count", "--input", str(fastq), "-k", "15", "--out-db", str(db_a)])
+        main(["count", "--input", str(fastq), "-k", "17", "--out-db", str(db_b)])
+        assert main(["distance", "--db-a", str(db_a), "--db-b", str(db_b)]) == 2

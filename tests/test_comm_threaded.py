@@ -1,0 +1,173 @@
+"""Tests for the threaded SPMD engine, and its agreement with the BSP one."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import collectives as bsp
+from repro.mpi.comm import ThreadedWorld, run_spmd
+
+
+class TestCollectives:
+    def test_alltoallv_transpose(self):
+        def prog(comm):
+            send = [f"{comm.rank}->{d}" for d in range(comm.size)]
+            return comm.alltoallv(send)
+
+        results = run_spmd(5, prog)
+        for d in range(5):
+            assert results[d] == [f"{s}->{d}" for s in range(5)]
+
+    def test_alltoallv_matches_bsp_engine(self):
+        p = 4
+        payloads = [[np.arange(s * p + d, dtype=np.int64) for d in range(p)] for s in range(p)]
+
+        def prog(comm, my_payloads):
+            return comm.alltoallv(my_payloads)
+
+        threaded = run_spmd(p, prog, payloads)
+        central = bsp.alltoallv(payloads)
+        for d in range(p):
+            for s in range(p):
+                assert np.array_equal(threaded[d][s], central[d][s])
+
+    def test_allreduce(self):
+        results = run_spmd(6, lambda comm: comm.allreduce(comm.rank + 1, lambda a, b: a + b))
+        assert results == [21] * 6
+
+    def test_allgather(self):
+        results = run_spmd(3, lambda comm: comm.allgather(comm.rank * 2))
+        assert results == [[0, 2, 4]] * 3
+
+    def test_bcast(self):
+        def prog(comm):
+            return comm.bcast("hello" if comm.rank == 2 else None, root=2)
+
+        assert run_spmd(4, prog) == ["hello"] * 4
+
+    def test_gather(self):
+        def prog(comm):
+            return comm.gather(comm.rank**2, root=0)
+
+        results = run_spmd(4, prog)
+        assert results[0] == [0, 1, 4, 9]
+        assert results[1] is None
+
+    def test_scatter(self):
+        def prog(comm):
+            values = [f"item{i}" for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(values, root=0)
+
+        assert run_spmd(3, prog) == ["item0", "item1", "item2"]
+
+    def test_barrier_ordering(self):
+        log = []
+
+        def prog(comm):
+            log.append(("before", comm.rank))
+            comm.barrier()
+            log.append(("after", comm.rank))
+
+        run_spmd(4, prog)
+        befores = [i for i, (phase, _) in enumerate(log) if phase == "before"]
+        afters = [i for i, (phase, _) in enumerate(log) if phase == "after"]
+        assert max(befores) < min(afters)
+
+    def test_repeated_collectives(self):
+        def prog(comm):
+            total = 0
+            for _round in range(5):
+                recv = comm.alltoallv([comm.rank] * comm.size)
+                total += sum(recv)
+            return total
+
+        assert run_spmd(4, prog) == [5 * 6] * 4
+
+
+class TestEngineEquivalenceProperty:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        p=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_threaded_matches_bsp_for_random_payloads(self, p, seed):
+        """For arbitrary ragged payload shapes, the concurrent engine and
+        the central BSP function deliver identical buffers."""
+        rng = np.random.default_rng(seed)
+        payloads = [
+            [rng.integers(0, 100, size=int(rng.integers(0, 20))).astype(np.int64) for _ in range(p)]
+            for _ in range(p)
+        ]
+
+        threaded = run_spmd(p, lambda comm, mine: comm.alltoallv(mine), payloads)
+        central = bsp.alltoallv(payloads)
+        for d in range(p):
+            for s in range(p):
+                assert np.array_equal(threaded[d][s], central[d][s])
+
+
+class TestPointToPoint:
+    def test_ring(self):
+        def prog(comm):
+            comm.send(comm.rank, dest=(comm.rank + 1) % comm.size)
+            return comm.recv(source=(comm.rank - 1) % comm.size, timeout=10)
+
+        assert run_spmd(5, prog) == [4, 0, 1, 2, 3]
+
+    def test_tags_distinguish_messages(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            if comm.rank == 1:
+                second = comm.recv(source=0, tag=2, timeout=10)
+                first = comm.recv(source=0, tag=1, timeout=10)
+                return (first, second)
+            return None
+
+        assert run_spmd(2, prog)[1] == ("a", "b")
+
+    def test_invalid_destination(self):
+        def prog(comm):
+            comm.send("x", dest=99)
+
+        with pytest.raises(ValueError):
+            run_spmd(2, prog)
+
+
+class TestWorldMechanics:
+    def test_per_rank_args(self):
+        results = run_spmd(3, lambda comm, a, b: a + b, [1, 2, 3], [10, 20, 30])
+        assert results == [11, 22, 33]
+
+    def test_args_length_checked(self):
+        with pytest.raises(ValueError):
+            run_spmd(3, lambda comm, a: a, [1, 2])
+
+    def test_exception_propagates(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise RuntimeError("rank 1 exploded")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="rank 1 exploded"):
+            run_spmd(3, prog)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ThreadedWorld(0)
+
+    def test_alltoallv_wrong_buffer_count(self):
+        def prog(comm):
+            return comm.alltoallv([1])  # wrong length for size 3
+
+        with pytest.raises(ValueError):
+            run_spmd(3, prog)
+
+    def test_single_rank_world(self):
+        assert run_spmd(1, lambda comm: comm.allreduce(5, lambda a, b: a + b)) == [5]

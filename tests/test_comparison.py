@@ -1,0 +1,138 @@
+"""Tests for k-mer set comparison (Jaccard, containment, Mash, MinHash)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dna.simulate import GenomeSimulator, ReadLengthProfile, ReadSimulator
+from repro.kmers.comparison import MinHashSketch, compare_spectra, containment, jaccard, mash_distance
+from repro.kmers.spectrum import count_kmers_exact, spectrum_from_counts
+
+key_sets = st.sets(st.integers(min_value=0, max_value=5000), max_size=300)
+
+
+def spectrum_of(keys, k=13):
+    return spectrum_from_counts(k, {v: 1 for v in keys})
+
+
+class TestJaccard:
+    def test_identical(self):
+        s = spectrum_of({1, 2, 3})
+        assert jaccard(s, s) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(spectrum_of({1, 2}), spectrum_of({3, 4})) == 0.0
+
+    def test_known_overlap(self):
+        assert jaccard(spectrum_of({1, 2, 3}), spectrum_of({2, 3, 4})) == pytest.approx(2 / 4)
+
+    def test_empty_sets(self):
+        assert jaccard(spectrum_of(set()), spectrum_of(set())) == 1.0
+
+    @given(a=key_sets, b=key_sets)
+    @settings(max_examples=60)
+    def test_matches_python_sets(self, a, b):
+        got = jaccard(spectrum_of(a), spectrum_of(b))
+        expected = len(a & b) / len(a | b) if (a | b) else 1.0
+        assert got == pytest.approx(expected)
+
+    def test_k_mismatch(self):
+        with pytest.raises(ValueError, match="different k"):
+            jaccard(spectrum_of({1}, k=13), spectrum_of({1}, k=15))
+
+
+class TestContainment:
+    @given(a=key_sets, b=key_sets)
+    @settings(max_examples=60)
+    def test_matches_python_sets(self, a, b):
+        got = containment(spectrum_of(a), spectrum_of(b))
+        expected = len(a & b) / len(a) if a else 1.0
+        assert got == pytest.approx(expected)
+
+    def test_subset_fully_contained(self):
+        assert containment(spectrum_of({1, 2}), spectrum_of({1, 2, 3, 4})) == 1.0
+
+
+class TestMashDistance:
+    def test_identical_zero(self):
+        s = spectrum_of({1, 2, 3}, k=21)
+        assert mash_distance(s, s) == 0.0
+
+    def test_disjoint_infinite(self):
+        assert mash_distance(spectrum_of({1}), spectrum_of({2})) == float("inf")
+
+    def test_monotone_in_similarity(self):
+        a = spectrum_of(set(range(100)))
+        near = spectrum_of(set(range(95)) | {1000, 1001, 1002, 1003, 1004})
+        far = spectrum_of(set(range(50)) | set(range(1000, 1050)))
+        assert mash_distance(a, near) < mash_distance(a, far)
+
+    def test_mutation_rate_recovery(self):
+        """Mash's headline property: distance approximates the per-base
+        mutation rate between two related sequences."""
+        k = 21
+        rate = 0.01
+        genome = GenomeSimulator(60_000, repeat_fraction=0.0, seed=11).generate_codes()
+        profile = ReadLengthProfile(kind="fixed", mean=2000)
+        clean = ReadSimulator(genome, coverage=4, length_profile=profile, error_rate=0.0, seed=1).generate()
+        mutated = ReadSimulator(genome, coverage=4, length_profile=profile, error_rate=rate, seed=1).generate()
+        d = mash_distance(count_kmers_exact(clean, k), count_kmers_exact(mutated, k))
+        assert 0.4 * rate < d < 2.5 * rate
+
+
+class TestCompareSpectra:
+    def test_weighted_jaccard(self):
+        a = spectrum_from_counts(13, {1: 5, 2: 1})
+        b = spectrum_from_counts(13, {1: 3, 3: 2})
+        cmp = compare_spectra(a, b)
+        assert cmp.weighted_jaccard == pytest.approx(3 / (5 + 1 + 2))
+
+    def test_describe(self):
+        cmp = compare_spectra(spectrum_of({1, 2}), spectrum_of({2, 3}))
+        assert "jaccard" in cmp.describe()
+
+    def test_symmetric_fields(self):
+        a, b = spectrum_of({1, 2, 3}), spectrum_of({3})
+        cmp = compare_spectra(a, b)
+        assert cmp.containment_b_in_a == 1.0
+        assert cmp.containment_a_in_b == pytest.approx(1 / 3)
+
+
+class TestMinHash:
+    def test_estimates_jaccard(self):
+        rng = np.random.default_rng(0)
+        base = set(rng.integers(0, 2**40, size=20_000).tolist())
+        other = set(list(base)[:15_000]) | set(rng.integers(2**40, 2**41, size=5_000).tolist())
+        a, b = spectrum_of(base, k=21), spectrum_of(other, k=21)
+        true_j = jaccard(a, b)
+        sk_a = MinHashSketch.from_spectrum(a, size=2000)
+        sk_b = MinHashSketch.from_spectrum(b, size=2000)
+        assert abs(sk_a.jaccard_estimate(sk_b) - true_j) < 0.05
+
+    def test_sketch_much_smaller(self):
+        s = spectrum_of(set(range(50_000)), k=21)
+        sk = MinHashSketch.from_spectrum(s, size=1000)
+        assert sk.nbytes < s.values.nbytes / 10
+
+    def test_identical_sketches(self):
+        s = spectrum_of(set(range(5000)), k=21)
+        sk = MinHashSketch.from_spectrum(s, size=500)
+        assert sk.jaccard_estimate(sk) == 1.0
+        assert sk.mash_distance_estimate(sk) == 0.0
+
+    def test_mismatched_sketches_rejected(self):
+        s = spectrum_of({1, 2, 3}, k=21)
+        a = MinHashSketch.from_spectrum(s, size=10)
+        b = MinHashSketch.from_spectrum(s, size=20)
+        with pytest.raises(ValueError, match="sizes"):
+            a.jaccard_estimate(b)
+        c = MinHashSketch.from_spectrum(spectrum_of({1}, k=15), size=10)
+        with pytest.raises(ValueError, match="different k"):
+            a.jaccard_estimate(c)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            MinHashSketch.from_spectrum(spectrum_of({1}), size=0)

@@ -1,0 +1,88 @@
+"""Tests for the synthetic Table I dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dna.datasets import DATASET_NAMES, LARGE_DATASETS, SMALL_DATASETS, TABLE1, dataset_table, load_dataset
+
+
+class TestRegistry:
+    def test_six_datasets(self):
+        assert len(TABLE1) == 6
+        assert DATASET_NAMES[0] == "ecoli30x"
+        assert DATASET_NAMES[-1] == "hsapiens54x"
+
+    def test_small_large_split(self):
+        assert set(SMALL_DATASETS) | set(LARGE_DATASETS) <= set(DATASET_NAMES)
+        assert len(SMALL_DATASETS) == 4 and len(LARGE_DATASETS) == 2
+
+    def test_published_coverages(self):
+        assert TABLE1["ecoli30x"].coverage == 30
+        assert TABLE1["celegans40x"].coverage == 40
+        assert TABLE1["hsapiens54x"].coverage == 54
+
+    def test_published_kmer_counts_recorded(self):
+        # Table II's k-mer column.
+        assert TABLE1["ecoli30x"].real_kmers == 412_000_000
+        assert TABLE1["hsapiens54x"].real_kmers == 167_000_000_000
+
+    def test_size_ordering_matches_paper(self):
+        """Scaled volumes preserve Table II's dataset ordering."""
+        scaled = [TABLE1[n].scaled_kmers for n in DATASET_NAMES]
+        real = [TABLE1[n].real_kmers for n in DATASET_NAMES]
+        assert sorted(range(6), key=scaled.__getitem__) == sorted(range(6), key=real.__getitem__)
+
+    def test_repeat_content_increases_with_genome(self):
+        assert TABLE1["hsapiens54x"].repeat_fraction > TABLE1["celegans40x"].repeat_fraction
+        assert TABLE1["celegans40x"].repeat_fraction > TABLE1["ecoli30x"].repeat_fraction
+
+    def test_dataset_table_rows(self):
+        rows = dataset_table()
+        assert len(rows) == 6
+        assert {"name", "species", "coverage", "real_fastq_bytes", "real_kmers"} <= set(rows[0])
+
+
+class TestGeneration:
+    def test_volume_near_target(self):
+        spec = TABLE1["abaumannii30x"]
+        reads = spec.generate()
+        measured = reads.kmer_count(17)
+        assert abs(measured - spec.scaled_kmers) / spec.scaled_kmers < 0.15
+
+    def test_scale_parameter(self):
+        spec = TABLE1["vvulnificus30x"]
+        half = spec.generate(scale=0.5).kmer_count(17)
+        full = spec.generate().kmer_count(17)
+        assert 0.3 < half / full < 0.7
+
+    def test_memoized(self):
+        a = load_dataset("vvulnificus30x", scale=0.25)
+        b = load_dataset("vvulnificus30x", scale=0.25)
+        assert a is b
+
+    def test_deterministic_across_calls(self):
+        import numpy as np
+
+        a = TABLE1["paeruginosa30x"].generate(scale=0.2)
+        b = TABLE1["paeruginosa30x"].generate(scale=0.2)
+        assert np.array_equal(a.codes, b.codes)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            TABLE1["ecoli30x"].generate(scale=0)
+
+    def test_mean_multiplicity_tracks_coverage(self):
+        """Keeping published coverage preserves the count spectrum's mean."""
+        from repro.kmers.spectrum import count_kmers_exact
+
+        reads = load_dataset("abaumannii30x", scale=0.5)
+        sp = count_kmers_exact(reads, 17)
+        mean_mult = sp.n_total / sp.n_distinct
+        # errors and repeats pull this below raw coverage, but it must be
+        # well above 1 (30x data) and below coverage + repeat slack.
+        assert 2.0 < mean_mult < 45.0

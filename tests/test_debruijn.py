@@ -1,0 +1,115 @@
+"""Tests for weighted de Bruijn graph construction and compaction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dna.reads import ReadSet
+from repro.kmers.debruijn import build_debruijn, edge_string, graph_stats, node_string, unitigs
+from repro.kmers.spectrum import count_kmers_exact, spectrum_from_counts
+
+
+def spectrum_of(reads: list[str], k: int):
+    return count_kmers_exact(ReadSet.from_strings(reads), k)
+
+
+class TestConstruction:
+    def test_single_read_is_a_path(self):
+        seq = "ACGTACGGT"
+        k = 4
+        graph = build_debruijn(spectrum_of([seq], k))
+        assert graph.number_of_edges() == len(seq) - k + 1
+        # edges decode back to the read's k-mers
+        edges = {edge_string(graph, u, v) for u, v in graph.edges}
+        assert edges == {seq[i : i + k] for i in range(len(seq) - k + 1)}
+
+    def test_weights_are_counts(self):
+        graph = build_debruijn(spectrum_of(["AAAA", "AAA"], 3))
+        # AAA occurs 3 times (2 in AAAA, 1 in AAA); edge AA->AA weight 3.
+        (u, v, data), = graph.edges(data=True)
+        assert data["weight"] == 3
+        assert node_string(graph, u) == "AA"
+
+    def test_min_count_filters(self):
+        spectrum = spectrum_from_counts(3, {0b0000_01: 5, 0b11_11_11: 1})  # AAC x5, TTT x1
+        g_all = build_debruijn(spectrum)
+        g_solid = build_debruijn(spectrum, min_count=2)
+        assert g_all.number_of_edges() == 2
+        assert g_solid.number_of_edges() == 1
+
+    def test_k_attribute(self):
+        graph = build_debruijn(spectrum_of(["ACGTT"], 5))
+        assert graph.graph["k"] == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_debruijn(spectrum_from_counts(1, {0: 1}))
+        with pytest.raises(ValueError):
+            build_debruijn(spectrum_from_counts(5, {0: 1}), min_count=0)
+
+
+class TestUnitigs:
+    def test_linear_genome_compacts_to_one_unitig(self):
+        seq = "ACGTAGGCTTACG"
+        paths = unitigs(build_debruijn(spectrum_of([seq], 5)))
+        assert paths == [seq]
+
+    def test_branch_splits_unitigs(self):
+        # Two reads sharing a (k-1)-mer context create a branch.
+        reads = ["AACGTA", "AACGTC"]
+        graph = build_debruijn(spectrum_of(reads, 4))
+        paths = unitigs(graph)
+        # Every edge appears in exactly one unitig.
+        total_kmers = sum(len(p) - 3 for p in paths)
+        assert total_kmers == graph.number_of_edges()
+        assert any(p.endswith("A") for p in paths) and any(p.endswith("C") for p in paths)
+
+    def test_cycle_emitted_once(self):
+        # ACGACG... with k=3 creates the cycle AC->CG->GA->AC.
+        graph = build_debruijn(spectrum_of(["ACGACGACG"], 3))
+        paths = unitigs(graph)
+        total_kmers = sum(len(p) - 2 for p in paths)
+        assert total_kmers == graph.number_of_edges()
+
+    def test_genome_reconstruction_from_clean_reads(self):
+        """A repeat-free genome sampled without errors compacts back to
+        near-full-length unitigs — the textbook assembly sanity check."""
+        from repro.dna.simulate import GenomeSimulator, ReadLengthProfile, ReadSimulator
+
+        genome = GenomeSimulator(3000, repeat_fraction=0.0, seed=2).generate_codes()
+        reads = ReadSimulator(
+            genome,
+            coverage=20,
+            length_profile=ReadLengthProfile(kind="fixed", mean=300),
+            error_rate=0.0,
+            seed=3,
+        ).generate()
+        spectrum = count_kmers_exact(reads, 21)
+        paths = unitigs(build_debruijn(spectrum))
+        genome_str = "".join("ACGT"[c] for c in genome)
+        # the longest unitig should cover a large contiguous genome chunk
+        longest = max(paths, key=len)
+        assert len(longest) > 500
+        assert longest in genome_str or longest[::-1] in genome_str or True  # containment check below
+        assert longest in genome_str
+
+
+class TestStats:
+    def test_stats_consistency(self, genome_reads):
+        spectrum = count_kmers_exact(genome_reads, 17)
+        graph = build_debruijn(spectrum, min_count=3)
+        stats = graph_stats(graph)
+        assert stats.n_edges == graph.number_of_edges()
+        assert stats.n_unitigs >= 1
+        assert stats.max_unitig_length >= stats.mean_unitig_length
+        assert stats.total_edge_weight == int(
+            sum(d["weight"] for _, _, d in graph.edges(data=True))
+        )
+
+    def test_error_filtering_simplifies_graph(self, genome_reads):
+        spectrum = count_kmers_exact(genome_reads, 17)
+        noisy = graph_stats(build_debruijn(spectrum, min_count=1))
+        solid = graph_stats(build_debruijn(spectrum, min_count=3))
+        assert solid.n_edges < noisy.n_edges
+        assert solid.mean_unitig_length > noisy.mean_unitig_length

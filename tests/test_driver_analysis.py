@@ -1,0 +1,158 @@
+"""Tests for the high-level drivers and the Section IV-D analysis module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    CommunicationTheory,
+    base_compression_exact,
+    imbalance_from_result,
+    items_per_supermer,
+    node_level_loads,
+    theory_for,
+)
+from repro.core.config import PipelineConfig, paper_config
+from repro.core.driver import count_distributed, cpu_cluster, gpu_cluster, run_paper_comparison
+from repro.core.engine import EngineOptions
+from repro.dna.reads import ReadSet
+from repro.kmers.spectrum import count_kmers_exact
+
+
+class TestDriver:
+    def test_count_distributed_defaults(self, genome_reads):
+        result = count_distributed(genome_reads, n_nodes=2)
+        result.validate_against(count_kmers_exact(genome_reads, 17))
+        assert result.cluster.ranks_per_node == 6
+
+    def test_cpu_backend_layout(self, genome_reads):
+        result = count_distributed(genome_reads, n_nodes=1, backend="cpu")
+        assert result.cluster.ranks_per_node == 42
+
+    def test_explicit_cluster_wins(self, genome_reads):
+        result = count_distributed(genome_reads, cluster=gpu_cluster(3))
+        assert result.cluster.n_nodes == 3
+
+    def test_work_multiplier_plumbed(self, genome_reads):
+        result = count_distributed(genome_reads, n_nodes=1, work_multiplier=7.0)
+        assert result.work_multiplier == 7.0
+
+    def test_multiplier_conflict_rejected(self, genome_reads):
+        with pytest.raises(ValueError, match="work_multiplier"):
+            count_distributed(genome_reads, options=EngineOptions(), work_multiplier=2.0)
+
+    def test_cluster_helpers(self):
+        assert gpu_cluster(16).n_ranks == 96
+        assert cpu_cluster(16).n_ranks == 672
+
+    def test_run_paper_comparison_keys(self, genome_reads):
+        results = run_paper_comparison(genome_reads, n_nodes=1, minimizer_lengths=(7,))
+        assert set(results) == {"cpu", "kmer", "supermer-m7"}
+        oracle = count_kmers_exact(genome_reads, 17)
+        for r in results.values():
+            r.validate_against(oracle)
+
+    def test_run_paper_comparison_no_cpu(self, genome_reads):
+        results = run_paper_comparison(genome_reads, n_nodes=1, include_cpu_baseline=False, minimizer_lengths=())
+        assert set(results) == {"kmer"}
+
+
+class TestTheory:
+    def test_paper_example(self):
+        """Section IV-A / IV-D worked example: k=8, s=11 -> ~2.9x."""
+        assert base_compression_exact(8, 11.0) == pytest.approx(8 * 4 / 11)
+        assert round(base_compression_exact(8, 11.0), 1) == 2.9
+
+    def test_items_per_supermer(self):
+        assert items_per_supermer(8, 11.0) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            items_per_supermer(8, 5.0)
+
+    def test_volume_formulas(self):
+        th = CommunicationTheory(
+            total_bases=1e6, mean_read_length=1000, k=17, mean_supermer_length=20.0, n_procs=10
+        )
+        assert th.n_reads == pytest.approx(1000)
+        assert th.total_kmers == pytest.approx(1000 * (1000 - 16))
+        assert th.total_supermers == pytest.approx(th.total_kmers / 4.0)
+        # k-mer volume: (P-1)/P * K/P * k
+        assert th.kmer_volume_per_proc() == pytest.approx(0.9 * th.total_kmers / 10 * 17)
+        assert th.supermer_volume_per_proc() == pytest.approx(0.9 * th.total_supermers / 10 * 20)
+        # consistency: volume ratio equals the exact compression formula
+        ratio = th.kmer_volume_per_proc() / th.supermer_volume_per_proc()
+        assert ratio == pytest.approx(th.predicted_reduction())
+
+    def test_theory_for_reads(self, genome_reads):
+        th = theory_for(genome_reads, 17, 20.0, 96)
+        assert th.total_bases == genome_reads.total_bases
+        assert th.n_procs == 96
+
+    def test_theory_for_empty(self):
+        with pytest.raises(ValueError):
+            theory_for(ReadSet.empty(), 17, 20.0, 4)
+
+    def test_measured_compression_tracks_theory(self, genome_reads):
+        """The measured item ratio matches s - k + 1 within sampling noise."""
+        result = count_distributed(
+            genome_reads, n_nodes=2, config=paper_config(mode="supermer", minimizer_len=7)
+        )
+        kmer_result = count_distributed(genome_reads, n_nodes=2, config=paper_config())
+        measured_ratio = kmer_result.exchanged_items / result.exchanged_items
+        predicted = items_per_supermer(17, result.mean_supermer_length)
+        assert abs(measured_ratio - predicted) / predicted < 0.15
+
+
+class TestExpectedSupermerSize:
+    def test_paper_configuration_prediction(self):
+        """k=17, m=7, w=15 predicts ~4.3 k-mers/supermer — the stochastic
+        reading of Table II's m=7 column."""
+        from repro.core.analysis import expected_kmers_per_supermer
+
+        pred = expected_kmers_per_supermer(17, 7, window=15)
+        assert 4.0 < pred < 4.6
+
+    def test_matches_measurement_on_random_sequence(self, genome_reads):
+        from repro.core.analysis import expected_kmers_per_supermer
+        from repro.kmers import build_supermers
+
+        for m in (5, 7, 9):
+            batch = build_supermers(genome_reads, 17, m, window=15)
+            measured = batch.total_kmers / len(batch)
+            predicted = expected_kmers_per_supermer(17, m, window=15)
+            assert abs(measured - predicted) / predicted < 0.12, (m, measured, predicted)
+
+    def test_unbounded_window(self):
+        from repro.core.analysis import expected_kmers_per_supermer
+
+        # Without the window cap: (w+1)/2 with w = k-m+1.
+        assert expected_kmers_per_supermer(17, 7) == pytest.approx((11 + 1) / 2)
+
+    def test_monotone_in_m(self):
+        from repro.core.analysis import expected_kmers_per_supermer
+
+        sizes = [expected_kmers_per_supermer(17, m, window=15) for m in (5, 7, 9, 11)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_validation(self):
+        from repro.core.analysis import expected_kmers_per_supermer
+
+        with pytest.raises(ValueError):
+            expected_kmers_per_supermer(17, 17)
+        with pytest.raises(ValueError):
+            expected_kmers_per_supermer(17, 7, window=0)
+
+
+class TestImbalanceReporting:
+    def test_row_fields(self, genome_reads):
+        result = count_distributed(genome_reads, n_nodes=2)
+        row = imbalance_from_result(result)
+        assert row["ranks"] == 12
+        assert row["min_kmers"] <= row["avg_kmers"] <= row["max_kmers"]
+        assert row["load_imbalance"] >= 1.0
+
+    def test_node_level_loads(self, genome_reads):
+        result = count_distributed(genome_reads, n_nodes=2)
+        per_node = node_level_loads(result)
+        assert per_node.shape == (2,)
+        assert per_node.sum() == result.total_kmers

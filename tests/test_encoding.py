@@ -1,0 +1,167 @@
+"""Tests for 2-bit packing, reverse complement, and canonicalization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dna.encoding import (
+    MAX_PACKED_K,
+    canonical_batch,
+    canonical_value,
+    codes_to_string,
+    complement_codes,
+    kmer_to_string,
+    pack_kmer,
+    pack_kmers_batch,
+    packed_bytes_per_item,
+    revcomp_batch,
+    revcomp_value,
+    string_to_codes,
+    string_to_kmer,
+    unpack_kmer,
+    unpack_kmers_batch,
+)
+
+kmer_strings = st.text(alphabet="ACGT", min_size=1, max_size=32)
+
+_COMP = {"A": "T", "C": "G", "G": "C", "T": "A"}
+
+
+def revcomp_str(s: str) -> str:
+    return "".join(_COMP[c] for c in reversed(s))
+
+
+class TestScalarCodec:
+    def test_known_values(self):
+        assert string_to_kmer("A") == 0
+        assert string_to_kmer("C") == 1
+        assert string_to_kmer("G") == 2
+        assert string_to_kmer("T") == 3
+        assert string_to_kmer("AC") == 0b0001
+        assert string_to_kmer("TA") == 0b1100
+
+    def test_lexicographic_compare_matches_strings(self):
+        strings = ["AAAA", "ACGT", "CAAA", "GGGG", "TTTT"]
+        packed = [string_to_kmer(s) for s in strings]
+        assert packed == sorted(packed)
+
+    @given(kmer_strings)
+    def test_roundtrip(self, s: str):
+        assert kmer_to_string(string_to_kmer(s), len(s)) == s
+
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            pack_kmer(np.zeros(0, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            pack_kmer(np.zeros(MAX_PACKED_K + 1, dtype=np.uint8))
+
+    def test_pack_rejects_sentinel(self):
+        with pytest.raises(ValueError):
+            pack_kmer(np.array([0, 4, 1], dtype=np.uint8))
+
+    def test_string_to_kmer_rejects_n(self):
+        with pytest.raises(ValueError):
+            string_to_kmer("ACNGT")
+
+    def test_unpack_rejects_oversized_value(self):
+        with pytest.raises(ValueError):
+            unpack_kmer(1 << 10, 4)
+
+    def test_string_codes_roundtrip(self):
+        assert codes_to_string(string_to_codes("ACGTN")) == "ACGTN"
+
+
+class TestBatchCodec:
+    @given(st.lists(st.text(alphabet="ACGT", min_size=7, max_size=7), min_size=1, max_size=30))
+    def test_batch_matches_scalar(self, strings):
+        mat = np.stack([string_to_codes(s) for s in strings])
+        batch = pack_kmers_batch(mat)
+        assert batch.tolist() == [string_to_kmer(s) for s in strings]
+
+    @given(st.lists(st.integers(min_value=0, max_value=4**9 - 1), min_size=1, max_size=30))
+    def test_unpack_batch_matches_scalar(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        mat = unpack_kmers_batch(arr, 9)
+        for i, v in enumerate(values):
+            assert mat[i].tolist() == unpack_kmer(v, 9).tolist()
+
+    def test_batch_requires_2d(self):
+        with pytest.raises(ValueError):
+            pack_kmers_batch(np.zeros(5, dtype=np.uint8))
+
+    def test_empty_batch(self):
+        out = pack_kmers_batch(np.zeros((0, 5), dtype=np.uint8))
+        assert out.shape == (0,)
+
+
+class TestRevcomp:
+    @given(kmer_strings)
+    def test_scalar_matches_string_revcomp(self, s: str):
+        got = kmer_to_string(revcomp_value(string_to_kmer(s), len(s)), len(s))
+        assert got == revcomp_str(s)
+
+    @given(kmer_strings)
+    def test_involution(self, s: str):
+        v = string_to_kmer(s)
+        assert revcomp_value(revcomp_value(v, len(s)), len(s)) == v
+
+    @given(st.lists(st.text(alphabet="ACGT", min_size=11, max_size=11), min_size=1, max_size=20))
+    def test_batch_matches_scalar(self, strings):
+        vals = np.array([string_to_kmer(s) for s in strings], dtype=np.uint64)
+        batch = revcomp_batch(vals, 11)
+        for i, s in enumerate(strings):
+            assert int(batch[i]) == revcomp_value(string_to_kmer(s), 11)
+
+    def test_batch_full_width_k32(self):
+        s = "ACGT" * 8
+        vals = np.array([string_to_kmer(s)], dtype=np.uint64)
+        assert kmer_to_string(int(revcomp_batch(vals, 32)[0]), 32) == revcomp_str(s)
+
+    def test_palindrome(self):
+        # ACGT is its own reverse complement.
+        v = string_to_kmer("ACGT")
+        assert revcomp_value(v, 4) == v
+
+
+class TestCanonical:
+    @given(kmer_strings)
+    def test_canonical_is_min(self, s: str):
+        v = string_to_kmer(s)
+        rc = revcomp_value(v, len(s))
+        assert canonical_value(v, len(s)) == min(v, rc)
+
+    @given(kmer_strings)
+    def test_strand_neutral(self, s: str):
+        v = string_to_kmer(s)
+        k = len(s)
+        assert canonical_value(v, k) == canonical_value(revcomp_value(v, k), k)
+
+    @given(st.lists(st.text(alphabet="ACGT", min_size=6, max_size=6), min_size=1, max_size=20))
+    def test_batch_matches_scalar(self, strings):
+        vals = np.array([string_to_kmer(s) for s in strings], dtype=np.uint64)
+        batch = canonical_batch(vals, 6)
+        for i in range(len(strings)):
+            assert int(batch[i]) == canonical_value(int(vals[i]), 6)
+
+
+class TestWireSizes:
+    def test_word_sizes(self):
+        # Section III-B1: short k-mers fit 32-bit words, k=17 needs 64.
+        assert packed_bytes_per_item(11) == 4
+        assert packed_bytes_per_item(16) == 4
+        assert packed_bytes_per_item(17) == 8
+        assert packed_bytes_per_item(32) == 8
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            packed_bytes_per_item(0)
+        with pytest.raises(ValueError):
+            packed_bytes_per_item(33)
+
+
+class TestComplementCodes:
+    def test_complement_is_3_minus(self):
+        assert complement_codes(np.array([0, 1, 2, 3], dtype=np.uint8)).tolist() == [3, 2, 1, 0]

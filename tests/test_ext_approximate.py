@@ -1,0 +1,102 @@
+"""Tests for the Count-Min sketch approximate counter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ext.approximate import CountMinSketch
+
+key_batches = st.lists(st.integers(min_value=0, max_value=2**62), min_size=0, max_size=500)
+
+
+class TestGuarantees:
+    @given(keys=key_batches)
+    @settings(max_examples=50)
+    def test_never_underestimates(self, keys):
+        """The defining Count-Min property: estimate >= true count."""
+        sketch = CountMinSketch(64, depth=3)
+        arr = np.array(keys, dtype=np.uint64)
+        sketch.add(arr)
+        uniq, true_counts = np.unique(arr, return_counts=True)
+        est = sketch.query(uniq)
+        assert (est >= true_counts).all()
+
+    def test_exact_when_oversized(self):
+        rng = np.random.default_rng(0)
+        arr = rng.integers(0, 500, size=20_000).astype(np.uint64)
+        sketch = CountMinSketch(1 << 16, depth=4)
+        sketch.add(arr)
+        uniq, true_counts = np.unique(arr, return_counts=True)
+        assert np.array_equal(sketch.query(uniq), true_counts)
+
+    def test_error_bound_holds(self):
+        rng = np.random.default_rng(1)
+        arr = rng.integers(0, 200_000, size=200_000).astype(np.uint64)
+        sketch = CountMinSketch.for_error(epsilon=0.001, delta=0.01)
+        sketch.add(arr)
+        uniq, true_counts = np.unique(arr, return_counts=True)
+        err = sketch.query(uniq) - true_counts
+        bound = sketch.error_bound()
+        assert (err >= 0).all()
+        # w.h.p.: allow a sliver of violations above the analytic bound
+        assert (err <= bound).mean() > 0.98
+
+    def test_weighted_add(self):
+        sketch = CountMinSketch(1024)
+        sketch.add(np.array([7, 9], dtype=np.uint64), weights=np.array([5, 2]))
+        assert sketch.query(np.array([7, 9], dtype=np.uint64)).tolist() == [5, 2]
+        assert sketch.total == 7
+
+
+class TestHeavyHitters:
+    def test_no_false_negatives(self):
+        rng = np.random.default_rng(2)
+        background = rng.integers(1000, 2**40, size=50_000).astype(np.uint64)
+        heavy = np.repeat(np.array([1, 2, 3], dtype=np.uint64), 5000)
+        stream = np.concatenate([background, heavy])
+        sketch = CountMinSketch.for_error(epsilon=0.001)
+        sketch.add(stream)
+        hitters = set(sketch.heavy_hitters(stream, threshold=4000).tolist())
+        assert {1, 2, 3} <= hitters
+        # with eps=0.1% the false-positive set stays small
+        assert len(hitters) < 20
+
+    def test_memory_much_smaller_than_exact(self, genome_reads):
+        from repro.kmers import extract_kmers
+
+        kmers = extract_kmers(genome_reads, 17)
+        sketch = CountMinSketch.for_error(epsilon=0.01, delta=0.05)
+        sketch.add(kmers)
+        exact_bytes = np.unique(kmers).shape[0] * 16
+        assert sketch.nbytes < exact_bytes
+
+
+class TestMechanics:
+    def test_width_rounded_to_power_of_two(self):
+        sketch = CountMinSketch(1000)
+        assert sketch.width == 1024
+
+    def test_for_error_dimensions(self):
+        sketch = CountMinSketch.for_error(epsilon=0.01, delta=0.01)
+        assert sketch.width >= np.e / 0.01
+        assert sketch.depth >= np.log(100) - 1
+
+    def test_empty_operations(self):
+        sketch = CountMinSketch(64)
+        sketch.add(np.empty(0, dtype=np.uint64))
+        assert sketch.query(np.empty(0, dtype=np.uint64)).shape == (0,)
+        assert sketch.total == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0)
+        with pytest.raises(ValueError):
+            CountMinSketch.for_error(epsilon=2.0)
+        sketch = CountMinSketch(64)
+        with pytest.raises(ValueError):
+            sketch.add(np.array([1], dtype=np.uint64), weights=np.array([1, 2]))
+        with pytest.raises(ValueError):
+            sketch.add(np.array([1], dtype=np.uint64), weights=np.array([-1]))

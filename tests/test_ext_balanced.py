@@ -1,0 +1,113 @@
+"""Tests for the frequency-aware balanced minimizer partitioner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ext.balanced import balanced_minimizer_assignment, lpt_assignment, minimizer_bin_weights
+from repro.kmers.extract import extract_kmers
+from repro.kmers.minimizers import minimizers_for_windows
+
+
+class TestBinWeights:
+    def test_weights_sum_to_valid_kmers(self, genome_reads):
+        weights = minimizer_bin_weights(genome_reads, 17, 7)
+        assert weights.shape == (4**7,)
+        assert int(weights.sum()) == extract_kmers(genome_reads, 17).shape[0]
+
+    def test_weights_match_direct_count(self, genome_reads):
+        m = 5
+        weights = minimizer_bin_weights(genome_reads, 11, m)
+        mins = minimizers_for_windows(genome_reads.codes, 11, m)
+        direct = np.bincount(mins.minimizer_values[mins.valid].astype(np.int64), minlength=4**m)
+        assert np.array_equal(weights, direct)
+
+    def test_sampling_reduces_mass_but_keeps_shape(self, genome_reads):
+        full = minimizer_bin_weights(genome_reads, 17, 7)
+        sampled = minimizer_bin_weights(genome_reads, 17, 7, sample_fraction=0.3, seed=1)
+        assert 0 < sampled.sum() < full.sum()
+        # heaviest full bins should mostly be nonzero in the sample
+        top = np.argsort(full)[-20:]
+        assert (sampled[top] > 0).mean() > 0.7
+
+    def test_sample_fraction_validation(self, genome_reads):
+        with pytest.raises(ValueError):
+            minimizer_bin_weights(genome_reads, 17, 7, sample_fraction=0)
+
+
+class TestLpt:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=200),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60)
+    def test_every_bin_assigned_in_range(self, weights, p):
+        assignment = lpt_assignment(np.array(weights), p)
+        assert assignment.shape == (len(weights),)
+        assert assignment.min() >= 0 and assignment.max() < p
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=100), min_size=8, max_size=100),
+        st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=60)
+    def test_lpt_within_approximation_bound(self, weights, p):
+        """LPT's makespan is within 4/3 of OPT (Graham).  OPT is bounded
+        below by the mean load, the heaviest bin, and — by pigeonhole over
+        the p+1 largest bins — the smallest pair among them."""
+        w = np.array(weights)
+        lpt = lpt_assignment(w, p)
+        loads = np.zeros(p)
+        np.add.at(loads, lpt, w)
+        desc = np.sort(w)[::-1]
+        pair = int(desc[p - 1] + desc[p]) if w.shape[0] > p else 0
+        lower_bound = max(w.sum() / p, int(w.max()), pair)
+        assert loads.max() <= (4 / 3) * lower_bound + 1e-9
+
+    def test_lpt_4_3_bound(self):
+        """LPT is a 4/3-approximation of the optimal makespan."""
+        rng = np.random.default_rng(0)
+        w = rng.integers(1, 1000, size=300)
+        p = 7
+        assignment = lpt_assignment(w, p)
+        loads = np.zeros(p)
+        np.add.at(loads, assignment, w)
+        lower_bound = max(w.sum() / p, w.max())
+        assert loads.max() <= (4 / 3) * lower_bound + w.max() * 1e-9
+
+    def test_zero_bins_round_robined(self):
+        assignment = lpt_assignment(np.zeros(10, dtype=np.int64), 3)
+        counts = np.bincount(assignment, minlength=3)
+        assert counts.max() - counts.min() <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lpt_assignment(np.array([1]), 0)
+
+
+class TestEndToEnd:
+    def test_reduces_imbalance_on_skewed_data(self, genome_reads):
+        from repro.core import EngineOptions, PipelineConfig, run_pipeline
+        from repro.mpi.topology import summit_gpu
+
+        cluster = summit_gpu(4)
+        cfg = PipelineConfig(k=17, mode="supermer", minimizer_len=7, window=15)
+        hash_based = run_pipeline(genome_reads, cluster, cfg)
+        assign = balanced_minimizer_assignment(genome_reads, 17, 7, cluster.n_ranks)
+        balanced = run_pipeline(genome_reads, cluster, cfg, options=EngineOptions(minimizer_assignment=assign))
+        assert balanced.load_stats().imbalance < hash_based.load_stats().imbalance
+        assert balanced.load_stats().imbalance < 1.4
+
+    def test_sampled_assignment_still_helps(self, genome_reads):
+        from repro.core import EngineOptions, PipelineConfig, run_pipeline
+        from repro.mpi.topology import summit_gpu
+
+        cluster = summit_gpu(4)
+        cfg = PipelineConfig(k=17, mode="supermer", minimizer_len=7, window=15)
+        hash_based = run_pipeline(genome_reads, cluster, cfg)
+        assign = balanced_minimizer_assignment(genome_reads, 17, 7, cluster.n_ranks, sample_fraction=0.25)
+        balanced = run_pipeline(genome_reads, cluster, cfg, options=EngineOptions(minimizer_assignment=assign))
+        assert balanced.load_stats().imbalance <= hash_based.load_stats().imbalance * 1.05

@@ -1,0 +1,89 @@
+"""Tests for vectorized k-mer extraction (scalar cross-check, N handling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dna.encoding import canonical_value, string_to_kmer
+from repro.dna.reads import ReadSet
+from repro.kmers.extract import extract_kmers, extract_kmers_scalar, window_values
+
+dna_with_n = st.text(alphabet="ACGTN", min_size=0, max_size=120)
+read_lists = st.lists(dna_with_n, min_size=0, max_size=8)
+
+
+class TestWindowValues:
+    def test_simple(self):
+        from repro.dna.encoding import string_to_codes
+
+        w = window_values(string_to_codes("ACGT"), 2)
+        assert w.n_windows == 3
+        assert w.valid.all()
+        assert w.values.tolist() == [string_to_kmer(s) for s in ["AC", "CG", "GT"]]
+
+    def test_sentinel_invalidates_windows(self):
+        from repro.dna.encoding import string_to_codes
+
+        w = window_values(string_to_codes("ACNGT"), 2)
+        assert w.valid.tolist() == [True, False, False, True]
+
+    def test_too_short(self):
+        from repro.dna.encoding import string_to_codes
+
+        w = window_values(string_to_codes("AC"), 5)
+        assert w.n_windows == 0 and w.n_valid == 0
+
+    def test_width_bounds(self):
+        with pytest.raises(ValueError):
+            window_values(np.zeros(10, dtype=np.uint8), 0)
+        with pytest.raises(ValueError):
+            window_values(np.zeros(40, dtype=np.uint8), 33)
+
+    def test_compact(self):
+        from repro.dna.encoding import string_to_codes
+
+        w = window_values(string_to_codes("ANA"), 1)
+        assert w.compact().tolist() == [0, 0]
+
+
+class TestExtract:
+    @given(read_lists, st.integers(min_value=2, max_value=12))
+    @settings(max_examples=100)
+    def test_matches_scalar_reference(self, reads, k):
+        rs = ReadSet.from_strings(reads)
+        vec = extract_kmers(rs, k).tolist()
+        sca = [v for r in reads for v in extract_kmers_scalar(r, k)]
+        assert vec == sca
+
+    def test_no_cross_read_windows(self):
+        """Windows never span two reads (sentinels break them)."""
+        rs = ReadSet.from_strings(["AAA", "TTT"])
+        kmers = extract_kmers(rs, 3)
+        assert kmers.tolist() == [string_to_kmer("AAA"), string_to_kmer("TTT")]
+
+    def test_count_matches_kmer_count_when_no_n(self):
+        rs = ReadSet.from_strings(["ACGTACGTAC", "GGGGG"])
+        assert extract_kmers(rs, 4).shape[0] == rs.kmer_count(4)
+
+    def test_canonical_mode(self):
+        rs = ReadSet.from_strings(["ACGTT"])
+        k = 5
+        got = extract_kmers(rs, k, canonical=True)
+        assert int(got[0]) == canonical_value(string_to_kmer("ACGTT"), k)
+
+    def test_empty_readset(self):
+        assert extract_kmers(ReadSet.empty(), 5).shape == (0,)
+
+    def test_scalar_invalid_k(self):
+        with pytest.raises(ValueError):
+            extract_kmers_scalar("ACGT", 0)
+
+    @given(st.text(alphabet="ACGT", min_size=32, max_size=64))
+    def test_k32_full_word(self, s):
+        rs = ReadSet.from_strings([s])
+        kmers = extract_kmers(rs, 32)
+        assert int(kmers[0]) == string_to_kmer(s[:32])
+        assert kmers.shape[0] == len(s) - 31

@@ -1,0 +1,113 @@
+"""Tests for FASTA/FASTQ I/O."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.dna.fastq import SequenceRecord, read_fasta, read_fastq, sniff_format, write_fasta, write_fastq
+
+
+@pytest.fixture
+def records():
+    return [
+        SequenceRecord("read/1", "ACGTACGT", "IIIIIIII"),
+        SequenceRecord("read/2 extra words", "TTTT", "!!!!"),
+        SequenceRecord("read/3", "A" * 200),
+    ]
+
+
+class TestFastq:
+    def test_roundtrip(self, tmp_path, records):
+        path = tmp_path / "x.fastq"
+        assert write_fastq(path, records) == 3
+        back = list(read_fastq(path))
+        assert [r.name for r in back] == [r.name for r in records]
+        assert [r.sequence for r in back] == [r.sequence for r in records]
+        assert back[0].quality == "IIIIIIII"
+
+    def test_placeholder_quality(self, tmp_path, records):
+        path = tmp_path / "x.fastq"
+        write_fastq(path, records)
+        back = list(read_fastq(path))
+        assert back[2].quality == "I" * 200
+
+    def test_gzip_roundtrip(self, tmp_path, records):
+        path = tmp_path / "x.fastq.gz"
+        write_fastq(path, records)
+        with gzip.open(path, "rt") as fh:
+            assert fh.read(1) == "@"
+        assert [r.sequence for r in read_fastq(path)] == [r.sequence for r in records]
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("ACGT\nACGT\n+\nIIII\n")
+        with pytest.raises(ValueError, match="expected '@'"):
+            list(read_fastq(path))
+
+    def test_bad_separator(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("@r\nACGT\nIIII\nIIII\n")
+        with pytest.raises(ValueError, match="expected '\\+'"):
+            list(read_fastq(path))
+
+    def test_quality_length_mismatch(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("@r\nACGT\n+\nIII\n")
+        with pytest.raises(ValueError, match="mismatch"):
+            list(read_fastq(path))
+
+    def test_record_validates_quality_length(self):
+        with pytest.raises(ValueError):
+            SequenceRecord("r", "ACGT", "II")
+
+    def test_len(self):
+        assert len(SequenceRecord("r", "ACGTA")) == 5
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.fastq"
+        path.write_text("")
+        assert list(read_fastq(path)) == []
+
+
+class TestFasta:
+    def test_roundtrip_with_wrapping(self, tmp_path):
+        recs = [SequenceRecord("chr1 desc", "ACGT" * 50), SequenceRecord("chr2", "TT")]
+        path = tmp_path / "x.fasta"
+        assert write_fasta(path, recs, width=37) == 2
+        back = list(read_fasta(path))
+        assert back[0].name == "chr1 desc"
+        assert back[0].sequence == "ACGT" * 50
+        assert back[1].sequence == "TT"
+
+    def test_data_before_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text("ACGT\n>x\nACGT\n")
+        with pytest.raises(ValueError, match="before first"):
+            list(read_fasta(path))
+
+    def test_invalid_width(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fasta(tmp_path / "x.fasta", [], width=0)
+
+    def test_gzip(self, tmp_path):
+        path = tmp_path / "x.fasta.gz"
+        write_fasta(path, [SequenceRecord("a", "ACGT")])
+        assert list(read_fasta(path))[0].sequence == "ACGT"
+
+
+class TestSniff:
+    def test_sniff(self, tmp_path):
+        fq = tmp_path / "a.fastq"
+        write_fastq(fq, [SequenceRecord("r", "ACGT")])
+        fa = tmp_path / "a.fasta"
+        write_fasta(fa, [SequenceRecord("r", "ACGT")])
+        assert sniff_format(fq) == "fastq"
+        assert sniff_format(fa) == "fasta"
+
+    def test_sniff_unknown(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("hello")
+        with pytest.raises(ValueError):
+            sniff_format(path)

@@ -1,0 +1,83 @@
+"""Tests for spectrum profiling (coverage peak, genome size, error rate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dna.simulate import GenomeSimulator, ReadLengthProfile, ReadSimulator
+from repro.kmers.genomics import coverage_peak, histogram_valley, profile_spectrum
+from repro.kmers.spectrum import count_kmers_exact, spectrum_from_counts
+
+
+def simulate_and_count(genome_length, coverage, error_rate, seed=0, k=17):
+    genome = GenomeSimulator(genome_length, repeat_fraction=0.02, seed=seed).generate_codes()
+    reads = ReadSimulator(
+        genome,
+        coverage=coverage,
+        length_profile=ReadLengthProfile(kind="lognormal", mean=1500, sigma=0.4, min_len=200),
+        error_rate=error_rate,
+        seed=seed + 1,
+    ).generate()
+    return count_kmers_exact(reads, k)
+
+
+class TestCoveragePeak:
+    def test_clean_data_peak_near_coverage(self):
+        spectrum = simulate_and_count(30_000, coverage=20, error_rate=0.0)
+        peak = coverage_peak(spectrum)
+        # k-mer coverage is slightly below base coverage ((L-k+1)/L factor).
+        assert 14 <= peak <= 22
+
+    def test_synthetic_histogram(self):
+        spectrum = spectrum_from_counts(17, {i: (1 if i < 50 else 9) for i in range(60)})
+        # 50 k-mers at count 1, 10 at count 9 -> peak at 9.
+        assert coverage_peak(spectrum) == 9
+
+    def test_no_peak_on_pure_singletons(self):
+        spectrum = spectrum_from_counts(17, {i: 1 for i in range(100)})
+        assert coverage_peak(spectrum) == 0
+
+    def test_min_mult_validation(self):
+        with pytest.raises(ValueError):
+            coverage_peak(spectrum_from_counts(17, {1: 5}), min_mult=0)
+
+
+class TestValley:
+    def test_valley_separates_errors_from_signal(self):
+        spectrum = simulate_and_count(30_000, coverage=25, error_rate=0.01)
+        valley = histogram_valley(spectrum)
+        peak = coverage_peak(spectrum)
+        assert 1 <= valley < peak
+
+    def test_monotone_histogram_falls_back(self):
+        spectrum = spectrum_from_counts(17, {i: 1 for i in range(10)})
+        assert histogram_valley(spectrum) == 2
+
+
+class TestProfile:
+    def test_genome_size_estimate(self):
+        true_size = 40_000
+        spectrum = simulate_and_count(true_size, coverage=25, error_rate=0.005, seed=3)
+        profile = profile_spectrum(spectrum)
+        assert abs(profile.estimated_genome_size - true_size) / true_size < 0.25
+
+    def test_error_rate_estimate(self):
+        spectrum = simulate_and_count(40_000, coverage=30, error_rate=0.01, seed=4)
+        profile = profile_spectrum(spectrum)
+        assert 0.003 < profile.estimated_error_rate < 0.03
+
+    def test_clean_data_low_error_estimate(self):
+        spectrum = simulate_and_count(30_000, coverage=25, error_rate=0.0, seed=5)
+        profile = profile_spectrum(spectrum)
+        assert profile.estimated_error_rate < 0.005
+
+    def test_higher_error_more_singletons(self):
+        clean = profile_spectrum(simulate_and_count(20_000, 20, 0.0, seed=6))
+        noisy = profile_spectrum(simulate_and_count(20_000, 20, 0.03, seed=6))
+        assert noisy.singleton_fraction > clean.singleton_fraction
+        assert noisy.estimated_error_rate > clean.estimated_error_rate
+
+    def test_describe(self):
+        spectrum = simulate_and_count(10_000, coverage=15, error_rate=0.01)
+        text = profile_spectrum(spectrum).describe()
+        assert "genome" in text and "k=17" in text

@@ -1,0 +1,123 @@
+"""Tests for incremental counting and checkpoint/resume."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.incremental import DistributedCounter
+from repro.dna.reads import ReadSet
+from repro.kmers.spectrum import count_kmers_exact
+from repro.mpi.topology import summit_gpu
+
+
+@pytest.fixture(scope="module")
+def batches(genome_reads):
+    """The genome read set split into three streaming batches."""
+    n = genome_reads.n_reads
+    idx = list(range(n))
+    return [
+        genome_reads.select(idx[: n // 3]),
+        genome_reads.select(idx[n // 3 : 2 * n // 3]),
+        genome_reads.select(idx[2 * n // 3 :]),
+    ]
+
+
+class TestIncrementalCounting:
+    def test_batches_equal_single_shot(self, genome_reads, batches):
+        counter = DistributedCounter(summit_gpu(2), PipelineConfig(k=17))
+        for batch in batches:
+            counter.add_reads(batch)
+        assert counter.spectrum().equals(count_kmers_exact(genome_reads, 17))
+        assert counter.n_batches == 3
+        assert counter.total_kmers == count_kmers_exact(genome_reads, 17).n_total
+
+    def test_supermer_mode(self, genome_reads, batches):
+        cfg = PipelineConfig(k=17, mode="supermer", minimizer_len=7, window=15)
+        counter = DistributedCounter(summit_gpu(2), cfg)
+        for batch in batches:
+            counter.add_reads(batch)
+        assert counter.spectrum().equals(count_kmers_exact(genome_reads, 17))
+
+    def test_timing_accumulates(self, batches):
+        counter = DistributedCounter(summit_gpu(1), PipelineConfig(k=17))
+        t1 = counter.add_reads(batches[0])
+        total_after_one = counter.timing.total
+        counter.add_reads(batches[1])
+        assert counter.timing.total > total_after_one
+        assert t1.total <= counter.timing.total
+
+    def test_cpu_backend(self, batches):
+        from repro.mpi.topology import summit_cpu
+
+        counter = DistributedCounter(summit_cpu(1), PipelineConfig(k=17), backend="cpu")
+        counter.add_reads(batches[0])
+        partial = count_kmers_exact(batches[0], 17)
+        assert counter.spectrum().equals(partial)
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            DistributedCounter(summit_gpu(1), backend="fpga")
+
+    def test_empty_batch(self):
+        counter = DistributedCounter(summit_gpu(1), PipelineConfig(k=17))
+        counter.add_reads(ReadSet.empty())
+        assert counter.total_kmers == 0
+
+
+class TestCheckpointResume:
+    def test_resume_is_bit_identical(self, genome_reads, batches, tmp_path):
+        cfg = PipelineConfig(k=17)
+        cluster = summit_gpu(2)
+
+        # Uninterrupted run.
+        full = DistributedCounter(cluster, cfg)
+        for batch in batches:
+            full.add_reads(batch)
+
+        # Interrupted after batch 1, checkpointed, resumed in a new counter.
+        first = DistributedCounter(cluster, cfg)
+        first.add_reads(batches[0])
+        ckpt = first.save(tmp_path / "state.npz")
+
+        resumed = DistributedCounter(cluster, cfg)
+        resumed.load(ckpt)
+        assert resumed.n_batches == 1
+        for batch in batches[1:]:
+            resumed.add_reads(batch)
+
+        assert resumed.spectrum().equals(full.spectrum())
+        assert np.array_equal(resumed.received_kmers, full.received_kmers)
+        assert resumed.exchanged_items == full.exchanged_items
+
+    def test_timing_restored(self, batches, tmp_path):
+        counter = DistributedCounter(summit_gpu(1), PipelineConfig(k=17))
+        counter.add_reads(batches[0])
+        path = counter.save(tmp_path / "c.npz")
+        other = DistributedCounter(summit_gpu(1), PipelineConfig(k=17))
+        other.load(path)
+        assert other.timing.total == pytest.approx(counter.timing.total)
+
+    def test_k_mismatch_rejected(self, batches, tmp_path):
+        counter = DistributedCounter(summit_gpu(1), PipelineConfig(k=17))
+        counter.add_reads(batches[0])
+        path = counter.save(tmp_path / "c.npz")
+        wrong = DistributedCounter(summit_gpu(1), PipelineConfig(k=19))
+        with pytest.raises(ValueError, match="k="):
+            wrong.load(path)
+
+    def test_rank_mismatch_rejected(self, batches, tmp_path):
+        counter = DistributedCounter(summit_gpu(1), PipelineConfig(k=17))
+        counter.add_reads(batches[0])
+        path = counter.save(tmp_path / "c.npz")
+        wrong = DistributedCounter(summit_gpu(2), PipelineConfig(k=17))
+        with pytest.raises(ValueError, match="ranks"):
+            wrong.load(path)
+
+    def test_checkpoint_empty_counter(self, tmp_path):
+        counter = DistributedCounter(summit_gpu(1), PipelineConfig(k=17))
+        path = counter.save(tmp_path / "empty.npz")
+        other = DistributedCounter(summit_gpu(1), PipelineConfig(k=17))
+        other.load(path)
+        assert other.total_kmers == 0

@@ -1,0 +1,114 @@
+"""Tests for the on-disk k-mer database and TSV formats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kmers.kmerdb import read_kmerdb, read_kmerdb_header, read_tsv, write_kmerdb, write_tsv
+from repro.kmers.spectrum import count_kmers_exact, spectrum_from_counts
+
+spectra = st.dictionaries(
+    st.integers(min_value=0, max_value=4**9 - 1),
+    st.integers(min_value=1, max_value=10**12),
+    max_size=200,
+)
+
+
+class TestBinaryFormat:
+    @given(pairs=spectra)
+    @settings(max_examples=50)
+    def test_roundtrip_exact(self, pairs, tmp_path_factory):
+        spectrum = spectrum_from_counts(9, pairs)
+        path = tmp_path_factory.mktemp("db") / "x.rkdb"
+        write_kmerdb(path, spectrum)
+        back = read_kmerdb(path)
+        assert back.equals(spectrum)
+
+    def test_header_only_read(self, tmp_path):
+        spectrum = spectrum_from_counts(17, {10: 3, 20: 5})
+        path = tmp_path / "x.rkdb"
+        nbytes = write_kmerdb(path, spectrum)
+        assert path.stat().st_size == nbytes
+        k, n = read_kmerdb_header(path)
+        assert (k, n) == (17, 2)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rkdb"
+        path.write_bytes(b"NOPE" + b"\0" * 20)
+        with pytest.raises(ValueError, match="bad magic"):
+            read_kmerdb(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "trunc.rkdb"
+        path.write_bytes(b"RK")
+        with pytest.raises(ValueError, match="truncated"):
+            read_kmerdb_header(path)
+
+    def test_truncated_payload(self, tmp_path):
+        spectrum = spectrum_from_counts(17, {10: 3, 20: 5, 30: 9})
+        path = tmp_path / "x.rkdb"
+        write_kmerdb(path, spectrum)
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(ValueError, match="truncated payload"):
+            read_kmerdb(path)
+
+    def test_real_spectrum_roundtrip(self, genome_reads, tmp_path):
+        spectrum = count_kmers_exact(genome_reads, 17)
+        path = tmp_path / "genome.rkdb"
+        write_kmerdb(path, spectrum)
+        assert read_kmerdb(path).equals(spectrum)
+
+    def test_empty_spectrum(self, tmp_path):
+        spectrum = spectrum_from_counts(5, {})
+        path = tmp_path / "empty.rkdb"
+        write_kmerdb(path, spectrum)
+        back = read_kmerdb(path)
+        assert back.n_distinct == 0 and back.k == 5
+
+
+class TestTsvFormat:
+    @given(pairs=spectra)
+    @settings(max_examples=40)
+    def test_roundtrip(self, pairs, tmp_path_factory):
+        spectrum = spectrum_from_counts(9, pairs)
+        path = tmp_path_factory.mktemp("tsv") / "x.tsv"
+        n = write_tsv(path, spectrum)
+        assert n == spectrum.n_distinct
+        if n:
+            assert read_tsv(path).equals(spectrum)
+
+    def test_content_is_readable(self, tmp_path):
+        spectrum = spectrum_from_counts(3, {0: 2})  # AAA x2
+        path = tmp_path / "x.tsv"
+        write_tsv(path, spectrum)
+        assert path.read_text() == "AAA\t2\n"
+
+    def test_unsorted_input_accepted(self, tmp_path):
+        path = tmp_path / "shuffled.tsv"
+        path.write_text("TTT\t4\nAAA\t1\nCCC\t2\n")
+        spectrum = read_tsv(path)
+        assert spectrum.values.tolist() == sorted(spectrum.values.tolist())
+        assert spectrum.count_of(0) == 1  # AAA
+
+    def test_mixed_k_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("AAA\t1\nAAAA\t2\n")
+        with pytest.raises(ValueError, match="length"):
+            read_tsv(path)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("AAA 1\n")
+        with pytest.raises(ValueError, match="TAB"):
+            read_tsv(path)
+
+    def test_empty_needs_k(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no k"):
+            read_tsv(path)
+        assert read_tsv(path, k=5).n_distinct == 0

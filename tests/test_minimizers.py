@@ -1,0 +1,97 @@
+"""Tests for minimizer computation (scalar cross-check across orderings)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dna.encoding import string_to_codes, string_to_kmer
+from repro.kmers.minimizers import minimizer_scalar, minimizers_for_windows
+
+ORDERINGS = ["lexicographic", "kmc2", "random-base"]
+
+
+class TestMinimizerScalar:
+    def test_lexicographic_example(self):
+        # minimizers of GTCA with m=2: GT, TC, CA -> CA smallest.
+        value, pos = minimizer_scalar("GTCA", 2, "lexicographic")
+        assert value == string_to_kmer("CA")
+        assert pos == 2
+
+    def test_paper_fig4_style_example(self):
+        """Fig. 4 uses lexicographic minimizers of length 4 within k=8."""
+        kmer = "GGTCAGTC"
+        value, pos = minimizer_scalar(kmer, 4, "lexicographic")
+        # m-mers: GGTC GTCA TCAG CAGT AGTC -> AGTC smallest.
+        assert value == string_to_kmer("AGTC")
+        assert pos == 4
+
+    def test_leftmost_tie(self):
+        value, pos = minimizer_scalar("ACAC", 2, "lexicographic")
+        assert value == string_to_kmer("AC")
+        assert pos == 0
+
+    def test_random_base_changes_winner(self):
+        # lexicographic prefers A...; random-base prefers C... (C maps to 0).
+        v_lex, _ = minimizer_scalar("AACC", 2, "lexicographic")
+        v_rnd, _ = minimizer_scalar("AACC", 2, "random-base")
+        assert v_lex == string_to_kmer("AA")
+        assert v_rnd == string_to_kmer("CC")
+
+    def test_m_bounds(self):
+        with pytest.raises(ValueError):
+            minimizer_scalar("ACGT", 4)
+        with pytest.raises(ValueError):
+            minimizer_scalar("ACGT", 0)
+
+    def test_rejects_n(self):
+        with pytest.raises(ValueError):
+            minimizer_scalar("ACNT", 2)
+
+
+class TestVectorized:
+    @given(
+        st.text(alphabet="ACGTN", min_size=0, max_size=80),
+        st.integers(min_value=3, max_value=10),
+        st.integers(min_value=2, max_value=6),
+        st.sampled_from(ORDERINGS),
+    )
+    @settings(max_examples=120)
+    def test_matches_scalar(self, read, k, m_raw, ordering):
+        m = min(m_raw, k - 1)
+        codes = string_to_codes(read)
+        mins = minimizers_for_windows(codes, k, m, ordering)
+        for i in range(mins.n_windows):
+            window = read[i : i + k]
+            if "N" in window:
+                assert not mins.valid[i]
+                continue
+            assert mins.valid[i]
+            value, pos = minimizer_scalar(window, m, ordering)
+            assert int(mins.minimizer_values[i]) == value
+            assert int(mins.minimizer_positions[i]) == i + pos
+
+    def test_positions_absolute(self):
+        codes = string_to_codes("TTTTACGT")
+        mins = minimizers_for_windows(codes, 4, 2, "lexicographic")
+        # window starting at 3 is TACG; minimizer AC at absolute position 4.
+        assert int(mins.minimizer_positions[3]) == 4
+
+    def test_empty_input(self):
+        mins = minimizers_for_windows(string_to_codes("AC"), 5, 3)
+        assert mins.n_windows == 0
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            minimizers_for_windows(string_to_codes("ACGTACGT"), 4, 4)
+
+    def test_adjacent_windows_share_minimizer_occurrence(self):
+        """Consecutive k-mers usually share the same minimizer — the property
+        supermers exploit (Section II-B)."""
+        rng = np.random.default_rng(0)
+        read = "".join("ACGT"[c] for c in rng.integers(0, 4, size=2000))
+        mins = minimizers_for_windows(string_to_codes(read), 17, 7, "random-base")
+        same = (mins.minimizer_values[1:] == mins.minimizer_values[:-1]).mean()
+        assert same > 0.7  # expected ~ (k-m)/(k-m+1) = 10/11

@@ -1,0 +1,112 @@
+"""Tests for MurmurHash3 against published reference vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.murmur3 import (
+    fmix32,
+    fmix64,
+    fmix64_batch,
+    hash_kmer,
+    hash_kmers_batch,
+    murmur3_x64_128,
+    murmur3_x86_32,
+    rotl32,
+    rotl64,
+)
+
+
+class TestReferenceVectors:
+    """Known-answer tests from the canonical smhasher implementation."""
+
+    @pytest.mark.parametrize(
+        "data,seed,expected",
+        [
+            (b"", 0, 0x00000000),
+            (b"", 1, 0x514E28B7),
+            (b"", 0xFFFFFFFF, 0x81F16F39),
+            (b"hello", 0, 0x248BFA47),
+            (b"hello, world", 0, 0x149BBB7F),
+            (b"The quick brown fox jumps over the lazy dog", 0, 0x2E4FF723),
+            (b"\xff\xff\xff\xff", 0, 0x76293B50),
+            (b"!Ce\x87", 0, 0xF55B516B),  # 0x87654321 little-endian
+            (b"!Ce\x87", 0x5082EDEE, 0x2362F9DE),
+        ],
+    )
+    def test_x86_32(self, data, seed, expected):
+        assert murmur3_x86_32(data, seed) == expected
+
+    @pytest.mark.parametrize(
+        "data,seed,expected_hex",
+        [
+            (b"", 0, "00000000000000000000000000000000"),
+            (b"hello", 0, "cbd8a7b341bd9b025b1e906a48ae1d19"),
+            (b"hello, world", 0, "342fac623a5ebc8e4cdcbc079642414d"),
+            (b"The quick brown fox jumps over the lazy dog", 0, "e34bbc7bbc071b6c7a433ca9c49a9347"),
+        ],
+    )
+    def test_x64_128(self, data, seed, expected_hex):
+        h1, h2 = murmur3_x64_128(data, seed)
+        assert f"{h1:016x}{h2:016x}" == expected_hex
+
+
+class TestPrimitives:
+    def test_rotl32(self):
+        assert rotl32(1, 1) == 2
+        assert rotl32(0x80000000, 1) == 1
+        assert rotl32(0xDEADBEEF, 32 - 4) == rotl32(rotl32(0xDEADBEEF, 16), 12)
+
+    def test_rotl64(self):
+        assert rotl64(1, 1) == 2
+        assert rotl64(1 << 63, 1) == 1
+
+    def test_fmix32_known(self):
+        # fmix32(0) == 0 (all operations preserve zero).
+        assert fmix32(0) == 0
+        assert fmix32(1) != 1
+
+    def test_fmix64_zero(self):
+        assert fmix64(0) == 0
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_fmix64_range(self, x):
+        assert 0 <= fmix64(x) < 2**64
+
+
+class TestVectorized:
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=50))
+    def test_fmix64_batch_matches_scalar(self, values):
+        batch = fmix64_batch(np.array(values, dtype=np.uint64))
+        assert batch.tolist() == [fmix64(v) for v in values]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**62), min_size=1, max_size=30),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_hash_kmers_batch_matches_scalar(self, values, seed):
+        batch = hash_kmers_batch(np.array(values, dtype=np.uint64), seed=seed)
+        assert batch.tolist() == [hash_kmer(v, seed=seed) for v in values]
+
+    def test_seed_changes_hash(self):
+        v = np.array([12345], dtype=np.uint64)
+        assert hash_kmers_batch(v, seed=0)[0] != hash_kmers_batch(v, seed=1)[0]
+
+    def test_bijectivity_no_collisions_on_distinct(self):
+        """fmix64 is a bijection: distinct inputs never collide."""
+        rng = np.random.default_rng(0)
+        vals = np.unique(rng.integers(0, 2**63, size=100_000).astype(np.uint64))
+        hashed = fmix64_batch(vals)
+        assert np.unique(hashed).shape[0] == vals.shape[0]
+
+    def test_avalanche_quality(self):
+        """Flipping one input bit flips ~half the output bits on average."""
+        rng = np.random.default_rng(1)
+        vals = rng.integers(0, 2**63, size=2000).astype(np.uint64)
+        flipped = vals ^ np.uint64(1)
+        diff = fmix64_batch(vals) ^ fmix64_batch(flipped)
+        popcount = np.unpackbits(diff.view(np.uint8)).sum() / len(vals)
+        assert 28 < popcount < 36

@@ -1,0 +1,142 @@
+"""Tests for quality decoding, trimming, and filtering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dna.fastq import SequenceRecord
+from repro.dna.quality import (
+    QualityFilter,
+    decode_phred,
+    mean_error_probability,
+    trim_ends,
+    trim_sliding_window,
+)
+
+
+def rec(seq: str, qual: str) -> SequenceRecord:
+    return SequenceRecord(name="r", sequence=seq, quality=qual)
+
+
+class TestPhred:
+    def test_decode_known(self):
+        assert decode_phred("!").tolist() == [0]
+        assert decode_phred("I").tolist() == [40]
+        assert decode_phred("!5I").tolist() == [0, 20, 40]
+
+    def test_below_range_rejected(self):
+        with pytest.raises(ValueError):
+            decode_phred("\x20")  # space = -1
+
+    def test_mean_error_probability(self):
+        # Q20 -> 1%, Q40 -> 0.01%.
+        assert mean_error_probability("5") == pytest.approx(0.01)
+        assert mean_error_probability("I") == pytest.approx(1e-4)
+        assert mean_error_probability("5I") == pytest.approx((0.01 + 1e-4) / 2)
+
+    def test_empty(self):
+        assert mean_error_probability("") == 0.0
+
+    @given(st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=74), min_size=1, max_size=50))
+    @settings(max_examples=40)
+    def test_decode_range(self, qual):
+        scores = decode_phred(qual)
+        assert (scores >= 0).all() and (scores <= 41).all()
+
+
+class TestTrimEnds:
+    def test_trims_both_ends(self):
+        r = trim_ends(rec("AACGTT", "!!II!!"), min_quality=10)
+        assert r.sequence == "CG" and r.quality == "II"
+
+    def test_all_bad(self):
+        r = trim_ends(rec("ACGT", "!!!!"), min_quality=10)
+        assert r.sequence == ""
+
+    def test_all_good(self):
+        r = trim_ends(rec("ACGT", "IIII"), min_quality=10)
+        assert r.sequence == "ACGT"
+
+    def test_no_quality_passthrough(self):
+        r = SequenceRecord(name="r", sequence="ACGT")
+        assert trim_ends(r) is r
+
+
+class TestSlidingWindow:
+    def test_cuts_at_quality_drop(self):
+        # 10 good bases then 10 terrible ones, window 5.
+        r = rec("A" * 20, "I" * 10 + "!" * 10)
+        out = trim_sliding_window(r, window=5, min_mean_quality=15)
+        assert 6 <= len(out) <= 10
+        assert out.sequence == "A" * len(out)
+
+    def test_keeps_clean_read(self):
+        r = rec("ACGT" * 10, "I" * 40)
+        assert trim_sliding_window(r).sequence == r.sequence
+
+    def test_short_read_untouched(self):
+        r = rec("ACG", "III")
+        assert trim_sliding_window(r, window=10) is r
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            trim_sliding_window(rec("ACGT", "IIII"), window=0)
+
+
+class TestQualityFilter:
+    def test_length_filter(self):
+        f = QualityFilter(min_length=5, min_mean_quality=0)
+        assert f.process(rec("ACGT", "IIII")) is None
+        assert f.process(rec("ACGTA", "IIIII")) is not None
+
+    def test_quality_filter(self):
+        f = QualityFilter(min_length=1, min_mean_quality=20)
+        assert f.process(rec("ACGT", "!!!!")) is None
+        assert f.process(rec("ACGT", "IIII")) is not None
+
+    def test_trim_then_filter(self):
+        f = QualityFilter(min_length=4, min_mean_quality=0, trim_end_quality=10)
+        # 6 bases but only 2 survive trimming -> rejected.
+        assert f.process(rec("AACGTT", "!!II!!")) is None
+
+    def test_apply_stream(self):
+        f = QualityFilter(min_length=3, min_mean_quality=0)
+        records = [rec("ACGT", "IIII"), rec("AC", "II"), rec("GGG", "III")]
+        out = list(f.apply(records))
+        assert [r.sequence for r in out] == ["ACGT", "GGG"]
+
+    def test_filtering_cleans_spectrum(self):
+        """Dropping low-quality reads lowers the singleton (error) mass."""
+        from repro.dna.reads import ReadSet
+        from repro.dna.simulate import GenomeSimulator, ReadLengthProfile, ReadSimulator
+        from repro.dna.simulate import reads_to_records
+        from repro.kmers.spectrum import count_kmers_exact
+
+        genome = GenomeSimulator(15_000, seed=3).generate_codes()
+        clean = ReadSimulator(
+            genome, coverage=6, length_profile=ReadLengthProfile.short_read(200), error_rate=0.0, seed=4
+        ).generate()
+        noisy = ReadSimulator(
+            genome, coverage=6, length_profile=ReadLengthProfile.short_read(200), error_rate=0.05, seed=5
+        ).generate()
+        # Tag reads with qualities reflecting their true error rates.
+        records = [
+            SequenceRecord(r.name, r.sequence, "I" * len(r.sequence))
+            for r in reads_to_records(clean, prefix="clean")
+        ] + [
+            SequenceRecord(r.name, r.sequence, "%" * len(r.sequence))  # Q4
+            for r in reads_to_records(noisy, prefix="noisy")
+        ]
+        f = QualityFilter(min_length=50, min_mean_quality=10)
+        kept = ReadSet.from_records(f.apply(records))
+        all_reads = ReadSet.from_records(records)
+        sp_kept = count_kmers_exact(kept, 17)
+        sp_all = count_kmers_exact(all_reads, 17)
+        assert sp_kept.singleton_fraction() < sp_all.singleton_fraction()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QualityFilter(min_length=-1)

@@ -1,0 +1,155 @@
+"""Tests for the ReadSet container and its sharding schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dna.alphabet import SENTINEL
+from repro.dna.fastq import SequenceRecord
+from repro.dna.reads import ReadSet
+from repro.kmers.extract import extract_kmers
+
+read_lists = st.lists(st.text(alphabet="ACGTN", min_size=0, max_size=60), min_size=0, max_size=15)
+
+
+class TestConstruction:
+    def test_from_strings_roundtrip(self):
+        reads = ["ACGT", "TTTTT", "", "NNA"]
+        rs = ReadSet.from_strings(reads)
+        assert rs.n_reads == 4
+        assert [rs.read_string(i) for i in range(4)] == reads
+        assert list(rs) == reads
+
+    def test_sentinel_after_every_read(self):
+        rs = ReadSet.from_strings(["ACG", "T"])
+        assert rs.codes[3] == SENTINEL
+        assert rs.codes[-1] == SENTINEL
+
+    def test_total_bases_excludes_sentinels(self):
+        rs = ReadSet.from_strings(["ACG", "TT"])
+        assert rs.total_bases == 5
+        assert rs.codes.shape[0] == 7
+
+    def test_from_records(self):
+        rs = ReadSet.from_records([SequenceRecord("a", "ACGT"), SequenceRecord("b", "GG")])
+        assert rs.n_reads == 2 and rs.read_string(1) == "GG"
+
+    def test_empty(self):
+        rs = ReadSet.empty()
+        assert rs.n_reads == 0 and rs.total_bases == 0 and rs.kmer_count(5) == 0
+
+    def test_invalid_extents_rejected(self):
+        with pytest.raises(ValueError):
+            ReadSet(
+                codes=np.zeros(3, dtype=np.uint8),
+                offsets=np.array([0]),
+                lengths=np.array([10]),
+            )
+
+    def test_overlapping_reads_rejected(self):
+        with pytest.raises(ValueError):
+            ReadSet(
+                codes=np.zeros(10, dtype=np.uint8),
+                offsets=np.array([0, 2]),
+                lengths=np.array([5, 5]),
+            )
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ReadSet(codes=np.zeros(5, dtype=np.uint8), offsets=np.array([0]), lengths=np.array([1, 2]))
+
+
+class TestKmerCount:
+    def test_counts_windows(self):
+        rs = ReadSet.from_strings(["ACGTA", "AC", "ACGTACGT"])
+        # windows: 5-3+1=3, 0, 8-3+1=6
+        assert rs.kmer_count(3) == 9
+
+    def test_k_larger_than_reads(self):
+        rs = ReadSet.from_strings(["ACG"])
+        assert rs.kmer_count(10) == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ReadSet.from_strings(["ACG"]).kmer_count(0)
+
+
+class TestSelectConcat:
+    def test_select_subset(self):
+        rs = ReadSet.from_strings(["AAA", "CCC", "GGG"])
+        sub = rs.select([2, 0])
+        assert [sub.read_string(i) for i in range(2)] == ["GGG", "AAA"]
+
+    def test_concat_restores(self):
+        rs = ReadSet.from_strings(["AAAA", "CC", "GGGGG", "T"])
+        parts = rs.shard(3)
+        back = ReadSet.concat(parts)
+        assert list(back) == list(rs)
+
+
+class TestShardWholeReads:
+    @given(read_lists, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60)
+    def test_partition_is_exact(self, reads, n):
+        rs = ReadSet.from_strings(reads)
+        shards = rs.shard(n)
+        assert len(shards) == n
+        assert sum(s.n_reads for s in shards) == rs.n_reads
+        assert [r for s in shards for r in s] == list(rs)
+
+    def test_rough_balance(self):
+        rs = ReadSet.from_strings(["A" * 100] * 64)
+        shards = rs.shard(8)
+        sizes = [s.total_bases for s in shards]
+        assert max(sizes) <= 2 * min(sizes)
+
+    def test_more_shards_than_reads(self):
+        rs = ReadSet.from_strings(["ACGT"])
+        shards = rs.shard(4)
+        assert sum(s.n_reads for s in shards) == 1
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            ReadSet.from_strings(["A"]).shard(0)
+
+
+class TestShardBytes:
+    @given(read_lists, st.integers(min_value=1, max_value=9), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=80)
+    def test_window_multiset_preserved(self, reads, n, k):
+        """Every k-mer window lands in exactly one shard (no loss/dup)."""
+        rs = ReadSet.from_strings(reads)
+        full = sorted(extract_kmers(rs, k).tolist())
+        shards = rs.shard_bytes(n, overlap=k - 1)
+        got = sorted(x for s in shards for x in extract_kmers(s, k).tolist())
+        assert got == full
+
+    def test_tight_balance(self):
+        """Byte sharding balances to within one read-fragment granule."""
+        rs = ReadSet.from_strings(["A" * 997] * 13)
+        shards = rs.shard_bytes(7, overlap=16)
+        owned = [s.total_bases - sum(min(16, length) for length in s.lengths.tolist()) for s in shards]
+        total = rs.total_bases
+        for o in owned:
+            # each shard owns ~total/7 base positions (overlap excluded above is approximate)
+            assert abs(o - total / 7) < 1000
+
+    def test_zero_overlap(self):
+        rs = ReadSet.from_strings(["ACGTACGT"])
+        shards = rs.shard_bytes(2, overlap=0)
+        assert "".join("".join(s) for s in shards) == "ACGTACGT"
+
+    def test_invalid_args(self):
+        rs = ReadSet.from_strings(["ACGT"])
+        with pytest.raises(ValueError):
+            rs.shard_bytes(0, overlap=1)
+        with pytest.raises(ValueError):
+            rs.shard_bytes(2, overlap=-1)
+
+    def test_empty_readset(self):
+        shards = ReadSet.empty().shard_bytes(3, overlap=5)
+        assert len(shards) == 3
+        assert all(s.total_bases == 0 for s in shards)

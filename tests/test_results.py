@@ -1,0 +1,115 @@
+"""Tests for timing/result records and their derived metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import paper_config
+from repro.core.results import CountResult, LoadStats, PhaseTiming
+from repro.gpu.hashtable import InsertStats
+from repro.kmers.spectrum import spectrum_from_counts
+from repro.mpi.stats import TrafficStats
+from repro.mpi.topology import summit_gpu
+
+
+class TestPhaseTiming:
+    def test_totals(self):
+        t = PhaseTiming(parse=1.0, exchange=2.0, count=3.0)
+        assert t.total == 6.0
+        assert t.compute == 4.0
+        assert t.exchange_fraction() == pytest.approx(2 / 6)
+
+    def test_zero_total(self):
+        assert PhaseTiming(0, 0, 0).exchange_fraction() == 0.0
+
+    def test_add(self):
+        a = PhaseTiming(1, 2, 3).add(PhaseTiming(10, 20, 30))
+        assert (a.parse, a.exchange, a.count) == (11, 22, 33)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTiming(-1, 0, 0)
+
+
+class TestLoadStats:
+    def test_from_loads(self):
+        ls = LoadStats.from_loads(np.array([10, 20, 30]))
+        assert ls.min_load == 10 and ls.max_load == 30
+        assert ls.imbalance == pytest.approx(30 / 20)
+
+    def test_table3_definition(self):
+        """Table III: imbalance = max load / average load."""
+        loads = np.array([255_000_000, 253_000_000, 283_000_000])
+        ls = LoadStats.from_loads(loads)
+        assert ls.imbalance == pytest.approx(283e6 / loads.mean())
+
+    def test_empty(self):
+        ls = LoadStats.from_loads(np.array([], dtype=np.int64))
+        assert ls.imbalance == 0.0
+
+
+def make_result(*, parse=1.0, exchange=2.0, count=1.0, a2av=1.5, items=100, bytes_=800, mult=1.0, loads=None):
+    loads = np.array([40, 60]) if loads is None else loads
+    p = loads.shape[0]
+    return CountResult(
+        config=paper_config(),
+        cluster=summit_gpu(1),
+        backend="gpu",
+        spectrum=spectrum_from_counts(17, {1: 60, 2: 40}),
+        timing=PhaseTiming(parse=parse, exchange=exchange, count=count),
+        per_rank_parse=np.full(p, parse),
+        per_rank_count=np.full(p, count),
+        received_kmers=loads,
+        exchanged_items=items,
+        exchanged_bytes=bytes_,
+        counts_matrix=np.zeros((p, p), dtype=np.int64),
+        traffic=TrafficStats(),
+        insert_stats=InsertStats.zero(),
+        alltoallv_seconds=a2av,
+        work_multiplier=mult,
+    )
+
+
+class TestCountResult:
+    def test_total_kmers(self):
+        assert make_result().total_kmers == 100
+
+    def test_modeled_quantities(self):
+        r = make_result(mult=50.0)
+        assert r.modeled_total_kmers == 5000
+        assert r.modeled_exchanged_bytes == 40_000
+
+    def test_insertion_rate_uses_compute_only(self):
+        r = make_result(parse=1.0, exchange=100.0, count=1.0, mult=10.0)
+        assert r.insertion_rate() == pytest.approx(1000 / 2.0)
+
+    def test_speedup_over(self):
+        fast = make_result(parse=0.5, exchange=0.5, count=0.0)
+        slow = make_result(parse=5.0, exchange=5.0, count=0.0)
+        assert fast.speedup_over(slow) == pytest.approx(10.0)
+
+    def test_exchange_speedup_uses_alltoallv_only(self):
+        a = make_result(exchange=10.0, a2av=2.0)
+        b = make_result(exchange=10.0, a2av=6.0)
+        assert a.exchange_speedup_over(b) == pytest.approx(3.0)
+
+    def test_communication_reduction(self):
+        small = make_result(bytes_=100)
+        big = make_result(bytes_=400)
+        assert small.communication_reduction_over(big) == pytest.approx(4.0)
+
+    def test_load_stats(self):
+        r = make_result(loads=np.array([10, 30]))
+        assert r.load_stats().imbalance == pytest.approx(1.5)
+
+    def test_validate_against_pass_and_fail(self):
+        r = make_result()
+        r.validate_against(spectrum_from_counts(17, {1: 60, 2: 40}))
+        with pytest.raises(AssertionError, match="mismatch"):
+            r.validate_against(spectrum_from_counts(17, {1: 61, 2: 40}))
+
+    def test_summary_keys(self):
+        s = make_result().summary()
+        for key in ("backend", "total_s", "exchange_fraction", "load_imbalance", "insertion_rate"):
+            assert key in s

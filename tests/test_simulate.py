@@ -1,0 +1,149 @@
+"""Tests for genome and read simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dna.simulate import (
+    GenomeSimulator,
+    ReadLengthProfile,
+    ReadSimulator,
+    reads_to_records,
+    simulate_dataset,
+)
+
+
+class TestGenomeSimulator:
+    def test_length(self):
+        g = GenomeSimulator(12_345, seed=1).generate_codes()
+        assert g.shape == (12_345,)
+        assert g.max() <= 3
+
+    def test_deterministic(self):
+        a = GenomeSimulator(5000, seed=3).generate_codes()
+        b = GenomeSimulator(5000, seed=3).generate_codes()
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_genome(self):
+        a = GenomeSimulator(5000, seed=3).generate_codes()
+        b = GenomeSimulator(5000, seed=4).generate_codes()
+        assert not np.array_equal(a, b)
+
+    def test_gc_content(self):
+        g = GenomeSimulator(200_000, gc_content=0.7, repeat_fraction=0.0, seed=0).generate_codes()
+        gc = np.isin(g, [1, 2]).mean()
+        assert abs(gc - 0.7) < 0.02
+
+    def test_repeats_raise_kmer_multiplicity(self):
+        from repro.dna.reads import ReadSet
+        from repro.kmers.spectrum import count_kmers_exact
+
+        def max_mult(rf: float) -> int:
+            codes = GenomeSimulator(30_000, repeat_fraction=rf, seed=5).generate_codes()
+            rs = ReadSet(codes=codes, offsets=np.array([0]), lengths=np.array([codes.shape[0]]))
+            return int(count_kmers_exact(rs, 17).counts.max())
+
+        assert max_mult(0.4) > max_mult(0.0)
+
+    def test_string_output(self):
+        s = GenomeSimulator(100, seed=0).generate_string()
+        assert len(s) == 100 and set(s) <= set("ACGT")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GenomeSimulator(0)
+        with pytest.raises(ValueError):
+            GenomeSimulator(10, gc_content=1.5)
+        with pytest.raises(ValueError):
+            GenomeSimulator(10, repeat_fraction=-0.1)
+        with pytest.raises(ValueError):
+            GenomeSimulator(10, segment_length=0)
+
+
+class TestReadLengthProfile:
+    def test_fixed(self):
+        rng = np.random.default_rng(0)
+        lens = ReadLengthProfile.short_read(150).sample(100, rng)
+        assert (lens == 150).all()
+
+    def test_lognormal_mean(self):
+        rng = np.random.default_rng(0)
+        prof = ReadLengthProfile.long_read(mean=5000, sigma=0.5)
+        lens = prof.sample(20_000, rng)
+        assert abs(lens.mean() - 5000) / 5000 < 0.1
+
+    def test_lognormal_clipping(self):
+        rng = np.random.default_rng(0)
+        prof = ReadLengthProfile(kind="lognormal", mean=1000, sigma=1.0, min_len=500, max_len=2000)
+        lens = prof.sample(5000, rng)
+        assert lens.min() >= 500 and lens.max() <= 2000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReadLengthProfile(mean=0)
+        with pytest.raises(ValueError):
+            ReadLengthProfile(min_len=10, max_len=5)
+
+
+class TestReadSimulator:
+    def test_coverage_met(self):
+        genome = GenomeSimulator(10_000, seed=0).generate_codes()
+        reads = ReadSimulator(genome, coverage=15, length_profile=ReadLengthProfile.short_read(200), seed=1).generate()
+        assert reads.total_bases >= 15 * 10_000
+
+    def test_reads_are_substrings_without_errors(self):
+        genome = GenomeSimulator(5000, seed=0).generate_codes()
+        reads = ReadSimulator(genome, coverage=3, length_profile=ReadLengthProfile.short_read(100), seed=1).generate()
+        genome_str = "".join("ACGT"[c] for c in genome)
+        for i in range(min(reads.n_reads, 20)):
+            assert reads.read_string(i) in genome_str
+
+    def test_error_rate_mutates(self):
+        genome = GenomeSimulator(5000, seed=0).generate_codes()
+        clean = ReadSimulator(genome, coverage=3, length_profile=ReadLengthProfile.short_read(100), seed=1).generate()
+        noisy = ReadSimulator(
+            genome, coverage=3, length_profile=ReadLengthProfile.short_read(100), error_rate=0.1, seed=1
+        ).generate()
+        assert clean.total_bases == noisy.total_bases
+        diff = np.count_nonzero(clean.codes != noisy.codes)
+        frac = diff / clean.total_bases
+        assert 0.05 < frac < 0.15
+
+    def test_errors_never_touch_sentinels(self):
+        genome = GenomeSimulator(2000, seed=0).generate_codes()
+        noisy = ReadSimulator(
+            genome, coverage=2, length_profile=ReadLengthProfile.short_read(50), error_rate=0.5, seed=1
+        ).generate()
+        from repro.dna.alphabet import SENTINEL
+
+        ends = noisy.offsets + noisy.lengths
+        assert all(noisy.codes[e] == SENTINEL for e in ends.tolist())
+
+    def test_deterministic(self):
+        genome = GenomeSimulator(3000, seed=0).generate_codes()
+        a = ReadSimulator(genome, coverage=4, length_profile=ReadLengthProfile.short_read(80), seed=9).generate()
+        b = ReadSimulator(genome, coverage=4, length_profile=ReadLengthProfile.short_read(80), seed=9).generate()
+        assert np.array_equal(a.codes, b.codes)
+
+    def test_validation(self):
+        genome = GenomeSimulator(1000, seed=0).generate_codes()
+        with pytest.raises(ValueError):
+            ReadSimulator(np.array([], dtype=np.uint8), coverage=1, length_profile=ReadLengthProfile.short_read())
+        with pytest.raises(ValueError):
+            ReadSimulator(genome, coverage=0, length_profile=ReadLengthProfile.short_read())
+        with pytest.raises(ValueError):
+            ReadSimulator(genome, coverage=1, length_profile=ReadLengthProfile.short_read(), error_rate=1.0)
+
+
+class TestConvenience:
+    def test_simulate_dataset(self):
+        reads = simulate_dataset(genome_length=5000, coverage=5, seed=0)
+        assert reads.total_bases >= 25_000
+
+    def test_reads_to_records(self):
+        reads = simulate_dataset(genome_length=2000, coverage=2, seed=0)
+        recs = reads_to_records(reads, prefix="x")
+        assert len(recs) == reads.n_reads
+        assert recs[0].name == "x/0"
+        assert recs[0].sequence == reads.read_string(0)

@@ -1,0 +1,99 @@
+"""Tests for the spectrum oracle and its statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dna.reads import ReadSet
+from repro.kmers.extract import extract_kmers
+from repro.kmers.spectrum import KmerSpectrum, count_kmers_exact, spectrum_from_counts
+
+
+class TestCountExact:
+    def test_simple(self):
+        rs = ReadSet.from_strings(["AAAA"])
+        sp = count_kmers_exact(rs, 2)
+        assert sp.n_distinct == 1
+        assert sp.count_of(0) == 3  # AA three times
+
+    @given(st.lists(st.text(alphabet="ACGTN", min_size=0, max_size=60), min_size=0, max_size=8))
+    @settings(max_examples=60)
+    def test_matches_numpy_unique(self, reads):
+        rs = ReadSet.from_strings(reads)
+        sp = count_kmers_exact(rs, 4)
+        kmers = extract_kmers(rs, 4)
+        assert sp.n_total == kmers.shape[0]
+        vals, counts = np.unique(kmers, return_counts=True)
+        assert np.array_equal(sp.values, vals)
+        assert np.array_equal(sp.counts, counts)
+
+    def test_canonical_merges_strands(self):
+        rs = ReadSet.from_strings(["ACGTT", "AACGT"])  # reverse complements
+        plain = count_kmers_exact(rs, 5)
+        canon = count_kmers_exact(rs, 5, canonical=True)
+        assert plain.n_distinct == 2
+        assert canon.n_distinct == 1
+        assert canon.counts[0] == 2
+
+
+class TestSpectrumStats:
+    @pytest.fixture
+    def spectrum(self):
+        return spectrum_from_counts(5, {1: 4, 2: 1, 9: 1, 10: 7, 3: 2})
+
+    def test_totals(self, spectrum):
+        assert spectrum.n_distinct == 5
+        assert spectrum.n_total == 15
+
+    def test_count_of_missing(self, spectrum):
+        assert spectrum.count_of(999) == 0
+        assert spectrum.count_of(10) == 7
+
+    def test_multiplicity_histogram(self, spectrum):
+        mult, freq = spectrum.multiplicity_histogram()
+        assert mult.tolist() == [1, 2, 4, 7]
+        assert freq.tolist() == [2, 1, 1, 1]
+
+    def test_singleton_fraction(self, spectrum):
+        assert spectrum.singleton_fraction() == pytest.approx(2 / 5)
+
+    def test_frequent(self, spectrum):
+        sub = spectrum.frequent(2)
+        assert sub.n_distinct == 3
+        assert (sub.counts >= 2).all()
+
+    def test_top(self, spectrum):
+        vals, counts = spectrum.top(2)
+        assert counts.tolist() == [7, 4]
+        assert vals.tolist() == [10, 1]
+
+    def test_top_negative(self, spectrum):
+        with pytest.raises(ValueError):
+            spectrum.top(-1)
+
+    def test_equals(self, spectrum):
+        same = spectrum_from_counts(5, {1: 4, 2: 1, 9: 1, 10: 7, 3: 2})
+        assert spectrum.equals(same)
+        assert not spectrum.equals(spectrum_from_counts(5, {1: 4}))
+        assert not spectrum.equals(spectrum_from_counts(6, {1: 4, 2: 1, 9: 1, 10: 7, 3: 2}))
+
+    def test_empty(self):
+        sp = spectrum_from_counts(5, {})
+        assert sp.n_distinct == 0 and sp.n_total == 0
+        assert sp.singleton_fraction() == 0.0
+        mult, freq = sp.multiplicity_histogram()
+        assert mult.shape == (0,)
+
+    def test_parallel_validation(self):
+        with pytest.raises(ValueError):
+            KmerSpectrum(k=5, values=np.zeros(2, dtype=np.uint64), counts=np.zeros(3, dtype=np.int64))
+
+    def test_coverage_peak(self, genome_reads):
+        """At 12x coverage the spectrum's weighted mean multiplicity is
+        well above 1 — the genomic signal the paper's tools consume."""
+        sp = count_kmers_exact(genome_reads, 17)
+        mean_mult = sp.n_total / sp.n_distinct
+        assert mean_mult > 2.0

@@ -1,0 +1,64 @@
+"""Cross-engine validation: SPMD rank programs vs the BSP engine vs oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.engine import run_pipeline
+from repro.core.spmd import count_spmd, kmer_count_program, supermer_count_program
+from repro.dna.reads import ReadSet
+from repro.kmers.spectrum import count_kmers_exact
+from repro.mpi.comm import run_spmd
+from repro.mpi.topology import summit_gpu
+
+
+@pytest.fixture(scope="module")
+def oracle(genome_reads):
+    return count_kmers_exact(genome_reads, 17)
+
+
+class TestSpmdPrograms:
+    @pytest.mark.parametrize("mode", ["kmer", "supermer"])
+    def test_matches_oracle(self, genome_reads, oracle, mode):
+        cfg = PipelineConfig(k=17, mode=mode, minimizer_len=7, window=15)
+        spectrum = count_spmd(genome_reads, n_ranks=6, config=cfg)
+        assert spectrum.equals(oracle)
+
+    @pytest.mark.parametrize("mode", ["kmer", "supermer"])
+    def test_matches_bsp_engine(self, genome_reads, mode):
+        """The concurrent SPMD world and the sequential BSP engine are two
+        executions of the same algorithm — spectra must be identical."""
+        cfg = PipelineConfig(k=17, mode=mode, minimizer_len=7, window=15)
+        spmd_spectrum = count_spmd(genome_reads, n_ranks=12, config=cfg)
+        engine_result = run_pipeline(genome_reads, summit_gpu(2), cfg)
+        assert spmd_spectrum.equals(engine_result.spectrum)
+
+    def test_canonical_mode(self, genome_reads):
+        cfg = PipelineConfig(k=17, canonical=True)
+        spectrum = count_spmd(genome_reads, n_ranks=4, config=cfg)
+        assert spectrum.equals(count_kmers_exact(genome_reads, 17, canonical=True))
+
+    def test_single_rank(self, genome_reads, oracle):
+        assert count_spmd(genome_reads, n_ranks=1).equals(oracle)
+
+    def test_non_root_ranks_return_none(self, genome_reads):
+        cfg = PipelineConfig(k=17)
+        shards = genome_reads.shard_bytes(3, overlap=16)
+        results = run_spmd(3, kmer_count_program, shards, [cfg] * 3)
+        assert results[0] is not None
+        assert results[1] is None and results[2] is None
+
+    def test_supermer_program_directly(self, genome_reads, oracle):
+        cfg = PipelineConfig(k=17, mode="supermer", minimizer_len=9, window=15)
+        shards = genome_reads.shard_bytes(4, overlap=16)
+        results = run_spmd(4, supermer_count_program, shards, [cfg] * 4)
+        assert results[0].equals(oracle)
+
+    def test_invalid_ranks(self, genome_reads):
+        with pytest.raises(ValueError):
+            count_spmd(genome_reads, n_ranks=0)
+
+    def test_empty_input(self):
+        spectrum = count_spmd(ReadSet.empty(), n_ranks=3)
+        assert spectrum.n_distinct == 0

@@ -1,0 +1,66 @@
+"""Tests for the parameter-sweep utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sweep import sweep
+
+
+class TestSweep:
+    def test_grid_size_and_dedup(self, genome_reads):
+        result = sweep(
+            genome_reads,
+            node_counts=(1, 2),
+            modes=("kmer", "supermer"),
+            minimizer_lengths=(5, 7),
+            windows=(8,),
+            validate=True,
+        )
+        # kmer collapses the m axis: per node count 1 kmer + 2 supermer = 3.
+        assert len(result) == 6
+        labels = [p.label() for p in result.points]
+        assert len(set(labels)) == len(labels)
+
+    def test_rows_contain_params_and_metrics(self, genome_reads):
+        result = sweep(genome_reads, node_counts=(1,), modes=("kmer",))
+        row = result.rows()[0]
+        assert row["mode"] == "kmer"
+        assert "total_s" in row and "exchanged_items" in row
+
+    def test_best_total(self, genome_reads):
+        result = sweep(
+            genome_reads,
+            node_counts=(2,),
+            modes=("kmer", "supermer"),
+            work_multiplier=5000.0,
+        )
+        point, best = result.best("total_s")
+        totals = [r.timing.total for r in result.results]
+        assert best.timing.total == min(totals)
+
+    def test_best_maximize(self, genome_reads):
+        result = sweep(genome_reads, node_counts=(1, 2), modes=("kmer",))
+        point, best = result.best("insertion_rate", minimize=False)
+        assert point.n_nodes == 2  # more ranks, higher rate
+
+    def test_best_empty_raises(self):
+        from repro.core.sweep import SweepResult
+
+        with pytest.raises(ValueError):
+            SweepResult().best()
+
+    def test_window_sweep_monotone_items(self, genome_reads):
+        result = sweep(
+            genome_reads,
+            node_counts=(1,),
+            modes=("supermer",),
+            windows=(3, 8, 15),
+        )
+        items = [r.exchanged_items for r in result.results]
+        assert items == sorted(items, reverse=True)
+
+    def test_validate_flag(self, genome_reads):
+        # Smoke: validation path executes without raising on clean runs.
+        result = sweep(genome_reads, node_counts=(1,), modes=("supermer",), validate=True)
+        assert len(result) == 1
