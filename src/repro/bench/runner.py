@@ -11,9 +11,11 @@ every model time corresponds to the paper's machine size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from ..core.config import PipelineConfig
 from ..core.engine import EngineOptions, run_pipeline
+from ..core.parallel import ParallelSetting
 from ..core.results import CountResult
 from ..dna.datasets import TABLE1, load_dataset
 from ..dna.reads import ReadSet
@@ -39,9 +41,19 @@ def dataset_with_multiplier(name: str, scale: float = 1.0) -> tuple[ReadSet, flo
 
 @dataclass
 class ExperimentCache:
-    """Memoizes pipeline runs across benchmark files in one session."""
+    """Memoizes pipeline runs across benchmark files in one session.
+
+    ``parallel`` selects the engine's per-rank worker count for every run
+    (``None`` defers to ``REPRO_PARALLEL``); because the parallel engine is
+    bit-identical to the sequential one, cached results are valid across
+    settings.  ``wall_seconds`` records each *executed* (non-cached) run's
+    host wall-clock so benchmarks can report sequential-vs-parallel
+    speedup.
+    """
 
     scale: float = 1.0
+    parallel: ParallelSetting = None
+    wall_seconds: dict[tuple, float] = field(default_factory=dict)
     _datasets: dict[str, tuple[ReadSet, float]] = field(default_factory=dict)
     _results: dict[tuple, CountResult] = field(default_factory=dict)
 
@@ -78,6 +90,8 @@ class ExperimentCache:
                 n_rounds=n_rounds,
             )
             cluster = summit_gpu(n_nodes) if backend == "gpu" else summit_cpu(n_nodes)
-            options = EngineOptions(work_multiplier=mult)
+            options = EngineOptions(work_multiplier=mult, parallel=self.parallel)
+            t0 = perf_counter()
             self._results[key] = run_pipeline(reads, cluster, config, backend=backend, options=options)
+            self.wall_seconds[key] = perf_counter() - t0
         return self._results[key]

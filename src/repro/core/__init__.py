@@ -13,10 +13,25 @@ from .driver import count_distributed, cpu_cluster, gpu_cluster, run_paper_compa
 from .engine import EngineOptions, run_pipeline
 from .gpu_model import GpuPipelineModel
 from .incremental import DistributedCounter
+from .parallel import (
+    RankPool,
+    SequentialPool,
+    ThreadPool,
+    get_pool,
+    parallel_map,
+    resolve_workers,
+)
 from .results import CountResult, LoadStats, PhaseTiming
 from .sweep import SweepPoint, SweepResult, sweep
 from .spmd import count_spmd, kmer_count_program, supermer_count_program
-from .tracing import trace_events, write_chrome_trace
+from .tracing import (
+    WallClockRecorder,
+    WallSpan,
+    trace_events,
+    wall_trace_events,
+    write_chrome_trace,
+    write_wall_trace,
+)
 
 __all__ = [
     "PipelineConfig",
@@ -44,6 +59,16 @@ __all__ = [
     "supermer_count_program",
     "trace_events",
     "write_chrome_trace",
+    "WallClockRecorder",
+    "WallSpan",
+    "wall_trace_events",
+    "write_wall_trace",
+    "RankPool",
+    "SequentialPool",
+    "ThreadPool",
+    "get_pool",
+    "parallel_map",
+    "resolve_workers",
     "sweep",
     "SweepPoint",
     "SweepResult",

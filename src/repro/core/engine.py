@@ -36,6 +36,7 @@ unscaled, as measured.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -56,7 +57,9 @@ from ..mpi.topology import ClusterSpec
 from .config import PipelineConfig
 from .cpu_model import CpuRates, power9_rates
 from .gpu_model import GpuPipelineModel
+from .parallel import ParallelSetting, RankPool, get_pool
 from .results import CountResult, PhaseTiming
+from .tracing import WallClockRecorder
 
 __all__ = ["EngineOptions", "run_pipeline"]
 
@@ -74,6 +77,10 @@ class EngineOptions:
     auto_rounds: bool = False  # split exchange+count by device memory (Sec. III-A)
     memory_budget_fraction: float = 0.5  # usable share of device HBM per round
     verify_exchange: bool = True  # end-to-end checksums over the alltoallv
+    # Worker count for per-rank phase execution: None defers to the
+    # REPRO_PARALLEL environment variable; see repro.core.parallel.
+    parallel: ParallelSetting = None
+    span_recorder: WallClockRecorder | None = None  # host wall-clock spans per (phase, rank)
 
     def __post_init__(self) -> None:
         if self.work_multiplier <= 0:
@@ -113,6 +120,8 @@ def run_pipeline(
     mult = opts.work_multiplier
     stats = TrafficStats()
     comm_model = CommCostModel(cluster)
+    pool = get_pool(opts.parallel)
+    recorder = opts.span_recorder
 
     # ---- input partitioning (the paper's parallel I/O; Section IV-D) ----
     if opts.shard_mode == "bytes":
@@ -121,12 +130,19 @@ def run_pipeline(
         shards = reads.shard(p)
 
     # ---- phase 1: parse (& build supermers) per rank ----
-    parsed: list[_RankParse] = []
-    for r in range(p):
-        if backend == "gpu":
-            parsed.append(_parse_rank_gpu(shards[r], config, cluster, opts))
-        else:
-            parsed.append(_parse_rank_cpu(shards[r], config, cluster, opts))
+    # Each rank's parse touches only its own shard and builds rank-private
+    # outputs, so the pool may run ranks concurrently; results come back in
+    # rank order and are bit-identical to the sequential loop.
+    parse_rank = _parse_rank_gpu if backend == "gpu" else _parse_rank_cpu
+
+    def _parse_one(r: int) -> _RankParse:
+        t0 = perf_counter()
+        out = parse_rank(shards[r], config, cluster, opts)
+        if recorder is not None:
+            recorder.record("parse", r, t0, perf_counter())
+        return out
+
+    parsed: list[_RankParse] = pool.map(_parse_one, range(p))
     t_parse = max(pr.time_s for pr in parsed)
     total_parsed_kmers = sum(pr.n_kmers_parsed for pr in parsed)
 
@@ -155,12 +171,12 @@ def run_pipeline(
         send_counts = [rs[2] for rs in round_send]
         label = f"{config.mode}-exchange" + (f"-round{rnd}" if n_rounds > 1 else "")
         recv_data, counts_matrix = alltoallv_segments(
-            send_data, send_counts, stats=stats, label=label, bytes_per_item=wire
+            send_data, send_counts, stats=stats, label=label, bytes_per_item=wire, pool=pool
         )
         recv_lengths: list[np.ndarray] | None = None
         if supermer_mode:
             recv_lengths, _ = alltoallv_segments(
-                [rs[1] for rs in round_send], send_counts, stats=None  # bytes counted in `wire`
+                [rs[1] for rs in round_send], send_counts, stats=None, pool=pool  # bytes counted in `wire`
             )
         counts_matrix_total += counts_matrix
         if opts.verify_exchange:
@@ -181,11 +197,21 @@ def run_pipeline(
         staging_total += t_stage
 
         # ---- count phase ----
-        for r in range(p):
+        # Rank r's count touches only recv_data[r] and its own table
+        # partition, so ranks run concurrently; the stats reduction below
+        # stays in rank order (pool.map returns results in input order) so
+        # the combined InsertStats is identical to the sequential engine's.
+        count_label = "count" + (f"-round{rnd}" if n_rounds > 1 else "")
+
+        def _count_one(r: int) -> tuple[float, int, InsertStats]:
             lengths_r = recv_lengths[r] if recv_lengths is not None else None
-            dt, n_inst, ins = _count_rank(
-                recv_data[r], lengths_r, tables[r], config, backend, opts
-            )
+            t0 = perf_counter()
+            out = _count_rank(recv_data[r], lengths_r, tables[r], config, backend, opts)
+            if recorder is not None:
+                recorder.record(count_label, r, t0, perf_counter())
+            return out
+
+        for r, (dt, n_inst, ins) in enumerate(pool.map(_count_one, range(p))):
             per_rank_count[r] += dt
             received_kmers[r] += n_inst
             insert_total = insert_total.combined(ins)

@@ -29,6 +29,7 @@ from ..mpi.stats import TrafficStats
 from ..mpi.topology import ClusterSpec
 from .config import PipelineConfig
 from .engine import EngineOptions, _count_rank, _merge_tables, _parse_rank_cpu, _parse_rank_gpu
+from .parallel import get_pool
 from .results import LoadStats, PhaseTiming
 
 __all__ = ["DistributedCounter"]
@@ -78,8 +79,12 @@ class DistributedCounter:
             shards = reads.shard_bytes(p, overlap=config.k - 1)
         else:
             shards = reads.shard(p)
+        # Same parallel rank-execution contract as the engine: pool.map
+        # keeps rank order, each closure touches rank-private state only,
+        # so batches fold in bit-identically to the sequential loop.
+        pool = get_pool(opts.parallel)
         parse_fn = _parse_rank_gpu if self.backend == "gpu" else _parse_rank_cpu
-        parsed = [parse_fn(shard, config, self.cluster, opts) for shard in shards]
+        parsed = pool.map(lambda shard: parse_fn(shard, config, self.cluster, opts), shards)
         t_parse = max(pr.time_s for pr in parsed)
 
         supermer_mode = config.mode == "supermer"
@@ -90,11 +95,12 @@ class DistributedCounter:
             stats=self.traffic,
             label=f"{config.mode}-batch{self.n_batches}",
             bytes_per_item=wire,
+            pool=pool,
         )
         recv_lengths = None
         if supermer_mode:
             recv_lengths, _ = alltoallv_segments(
-                [pr.lengths for pr in parsed], [pr.counts for pr in parsed]
+                [pr.lengths for pr in parsed], [pr.counts for pr in parsed], pool=pool
             )
 
         bytes_matrix = counts_matrix.astype(np.float64) * wire * opts.work_multiplier
@@ -107,10 +113,12 @@ class DistributedCounter:
             in_b = bytes_matrix.sum(axis=0)
             t_exchange += float(((out_b + in_b) / opts.device.host_link_bw).max()) if p else 0.0
 
-        per_rank_count = np.zeros(p, dtype=np.float64)
-        for r in range(p):
+        def _count_one(r: int):
             lengths_r = recv_lengths[r] if recv_lengths is not None else None
-            dt, n_inst, ins = _count_rank(recv_data[r], lengths_r, self.tables[r], config, self.backend, opts)
+            return _count_rank(recv_data[r], lengths_r, self.tables[r], config, self.backend, opts)
+
+        per_rank_count = np.zeros(p, dtype=np.float64)
+        for r, (dt, n_inst, ins) in enumerate(pool.map(_count_one, range(p))):
             per_rank_count[r] = dt
             self.received_kmers[r] += n_inst
             self.insert_stats = self.insert_stats.combined(ins)

@@ -1,0 +1,184 @@
+"""Deterministic worker pools for per-rank phase execution.
+
+The BSP engine's phases (parse, count, segment packing) perform each
+simulated rank's work as real NumPy computation that is completely
+independent across ranks — the same property the paper exploits on the
+real machine, where every rank owns its shard, its outgoing buffers, and
+its partition of the global hash table.  This module supplies the
+execution substrate that lets one Python process overlap that per-rank
+work on OS threads (NumPy releases the GIL inside its kernels) while
+keeping results *bit-identical* to sequential execution.
+
+Determinism contract
+--------------------
+:meth:`RankPool.map` applies a pure function to each item and returns the
+results **in input order**, regardless of completion order or worker
+count.  The engine only ever submits per-rank closures that (a) touch
+rank-private state — the rank's shard, its ``VirtualGPU``, its
+``DeviceHashTable`` partition — and (b) contain no randomness beyond
+seeded, input-derived values.  Under those conditions thread scheduling
+cannot influence any result, so sequential and parallel runs produce the
+same ``CountResult`` payload bit for bit; only wall-clock time changes.
+The cross-engine differential tests enforce this for every pipeline
+variant.
+
+The switch
+----------
+Worker count resolution (:func:`resolve_workers`), in priority order:
+
+1. an explicit ``parallel=`` setting (``EngineOptions.parallel``, the
+   ``sweep(parallel=...)``/``ExperimentCache(parallel=...)`` arguments);
+2. the ``REPRO_PARALLEL`` environment variable when the setting is
+   ``None``.
+
+Accepted values: ``"auto"``/``"on"``/``"true"``/``"yes"`` use one worker
+per available core; an integer uses exactly that many workers (``1``
+means sequential); ``"off"``/``"false"``/``"no"``/``"0"``/unset mean
+sequential.  The sequential pool is a plain list comprehension — zero
+threading machinery in the default path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = [
+    "ENV_VAR",
+    "ParallelSetting",
+    "RankPool",
+    "SequentialPool",
+    "ThreadPool",
+    "resolve_workers",
+    "get_pool",
+    "parallel_map",
+]
+
+ENV_VAR = "REPRO_PARALLEL"
+
+ParallelSetting = int | str | bool | None
+
+_OFF = frozenset({"", "0", "off", "false", "no", "seq", "sequential"})
+_AUTO = frozenset({"auto", "on", "true", "yes"})
+
+
+def resolve_workers(setting: ParallelSetting = None) -> int:
+    """Resolve a parallel switch to a concrete worker count (>= 1).
+
+    ``None`` defers to the ``REPRO_PARALLEL`` environment variable; see the
+    module docstring for the accepted vocabulary.
+    """
+    if setting is None:
+        setting = os.environ.get(ENV_VAR, "")
+    if isinstance(setting, bool):
+        return (os.cpu_count() or 1) if setting else 1
+    if isinstance(setting, int):
+        if setting < 1:
+            return 1
+        return setting
+    text = str(setting).strip().lower()
+    if text in _OFF:
+        return 1
+    if text in _AUTO:
+        return os.cpu_count() or 1
+    try:
+        n = int(text)
+    except ValueError:
+        raise ValueError(
+            f"unrecognized {ENV_VAR} setting {setting!r}: expected "
+            f"'auto'/'on'/'off' or a worker count"
+        ) from None
+    return max(1, n)
+
+
+class RankPool:
+    """Interface shared by the sequential and threaded pools."""
+
+    workers: int = 1
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        """Apply ``fn`` to every item; results in input order."""
+        raise NotImplementedError
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.workers > 1
+
+
+class SequentialPool(RankPool):
+    """The deterministic fallback: a plain in-order loop, no threads."""
+
+    workers = 1
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        return [fn(item) for item in items]
+
+
+class ThreadPool(RankPool):
+    """Thread-backed pool; NumPy-heavy rank bodies overlap under the GIL.
+
+    Threads are created lazily and kept for the pool's lifetime (pools are
+    cached per worker count by :func:`get_pool`, so repeated engine runs
+    reuse warm threads instead of paying spawn cost per phase).
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise ValueError("ThreadPool needs >= 2 workers; use SequentialPool")
+        self.workers = workers
+        self._executor = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-rank")
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        # Items are submitted in contiguous chunks (Executor.map's own
+        # chunksize is ignored by ThreadPoolExecutor), so a 672-rank world
+        # costs ~4*workers futures instead of 672.  Chunks preserve input
+        # order and results are flattened back in order, which is exactly
+        # the determinism guarantee RankPool.map promises; the list() also
+        # surfaces the first worker exception in the caller's thread, like
+        # the sequential loop would.
+        seq = list(items)
+        if len(seq) <= 1:
+            return [fn(item) for item in seq]
+        chunk = max(1, -(-len(seq) // (4 * self.workers)))
+        chunks = [seq[i : i + chunk] for i in range(0, len(seq), chunk)]
+        out_chunks = self._executor.map(lambda part: [fn(item) for item in part], chunks)
+        return [result for part in out_chunks for result in part]
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+_pool_cache: dict[int, ThreadPool] = {}
+_pool_lock = threading.Lock()
+_SEQUENTIAL = SequentialPool()
+
+
+def get_pool(setting: ParallelSetting = None) -> RankPool:
+    """Pool for a parallel setting; cached per worker count.
+
+    Returns the shared :class:`SequentialPool` when the setting resolves to
+    one worker, so the default path allocates nothing.
+    """
+    workers = resolve_workers(setting)
+    if workers <= 1:
+        return _SEQUENTIAL
+    with _pool_lock:
+        pool = _pool_cache.get(workers)
+        if pool is None:
+            pool = _pool_cache[workers] = ThreadPool(workers)
+        return pool
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    setting: ParallelSetting = None,
+    pool: RankPool | None = None,
+) -> list[Any]:
+    """One-shot ordered map through a (possibly shared) pool."""
+    if pool is None:
+        pool = get_pool(setting)
+    return pool.map(fn, items)

@@ -12,12 +12,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import product
+from time import perf_counter
 from typing import Iterable
 
 from ..dna.reads import ReadSet
 from ..mpi.topology import summit_cpu, summit_gpu
 from .config import PipelineConfig
 from .engine import EngineOptions, run_pipeline
+from .parallel import ParallelSetting
 from .results import CountResult
 
 __all__ = ["SweepPoint", "SweepResult", "sweep"]
@@ -48,11 +50,13 @@ class SweepResult:
 
     points: list[SweepPoint] = field(default_factory=list)
     results: list[CountResult] = field(default_factory=list)
+    wall_seconds: list[float] = field(default_factory=list)  # host time per grid point
 
     def rows(self) -> list[dict[str, object]]:
         """Flat dicts: point parameters merged with result summaries."""
         out = []
-        for point, result in zip(self.points, self.results):
+        walls = self.wall_seconds or [float("nan")] * len(self.points)
+        for point, result, wall in zip(self.points, self.results, walls):
             row: dict[str, object] = {
                 "label": point.label(),
                 "n_nodes": point.n_nodes,
@@ -64,8 +68,13 @@ class SweepResult:
                 "k": point.k,
             }
             row.update(result.summary())
+            row["wall_s"] = wall
             out.append(row)
         return out
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return float(sum(self.wall_seconds))
 
     def best(self, metric: str = "total_s", minimize: bool = True) -> tuple[SweepPoint, CountResult]:
         """Grid point optimizing a summary metric."""
@@ -91,11 +100,16 @@ def sweep(
     k: int = 17,
     work_multiplier: float = 1.0,
     validate: bool = False,
+    parallel: ParallelSetting = None,
 ) -> SweepResult:
     """Run the full cartesian grid; k-mer mode collapses the supermer axes.
 
     ``validate=True`` additionally checks every run against the exact
     oracle (slower; meant for tests and small inputs).
+
+    ``parallel`` selects the engine's per-rank worker count (``None``
+    defers to ``REPRO_PARALLEL``); results are bit-identical either way,
+    only the recorded ``wall_s`` per grid point changes.
     """
     oracle = None
     if validate:
@@ -125,11 +139,18 @@ def sweep(
             ordering=ordering,
         )
         cluster = summit_gpu(nodes) if backend == "gpu" else summit_cpu(nodes)
+        t0 = perf_counter()
         result = run_pipeline(
-            reads, cluster, config, backend=backend, options=EngineOptions(work_multiplier=work_multiplier)
+            reads,
+            cluster,
+            config,
+            backend=backend,
+            options=EngineOptions(work_multiplier=work_multiplier, parallel=parallel),
         )
+        wall = perf_counter() - t0
         if oracle is not None:
             result.validate_against(oracle)
         out.points.append(point)
         out.results.append(result)
+        out.wall_seconds.append(wall)
     return out

@@ -8,17 +8,34 @@ the imbalance (ragged phase edges) are visible at a glance.
 The exchange is a single global span (bulk-synchronous collective); parse
 and count use each rank's own modeled duration, aligned to the phase start
 as on the real machine.
+
+A second timeline lives here too: :class:`WallClockRecorder` captures the
+*host* wall-clock span of each rank's phase body as the engine actually
+executed it.  Under the sequential engine the spans form a staircase (one
+rank after another); under the parallel engine (``REPRO_PARALLEL``) they
+overlap, and :meth:`WallClockRecorder.overlap_factor` quantifies by how
+much.  Model time and wall time are deliberately separate timelines —
+parallel execution changes only the second.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
 from .results import CountResult
 
-__all__ = ["trace_events", "write_chrome_trace"]
+__all__ = [
+    "trace_events",
+    "write_chrome_trace",
+    "WallSpan",
+    "WallClockRecorder",
+    "wall_trace_events",
+    "write_wall_trace",
+]
 
 _US = 1e6  # trace timestamps are microseconds
 
@@ -83,6 +100,130 @@ def trace_events(result: CountResult, *, max_ranks: int | None = 64) -> list[dic
             }
         )
     return events
+
+
+@dataclass(frozen=True)
+class WallSpan:
+    """One rank's phase body as executed on the host: [start_s, end_s)."""
+
+    name: str  # phase label, e.g. "parse", "count-round0"
+    rank: int
+    start_s: float
+    end_s: float
+
+    @property
+    def dur_s(self) -> float:
+        return max(self.end_s - self.start_s, 0.0)
+
+
+class WallClockRecorder:
+    """Thread-safe log of per-rank wall-clock phase spans.
+
+    Pass one via ``EngineOptions(span_recorder=...)``; the engine records a
+    span per (phase, rank) pair with host ``perf_counter`` timestamps.
+    Worker threads append concurrently, so the log is lock-protected; spans
+    are returned sorted by (start, rank) so output never depends on
+    completion order.
+    """
+
+    def __init__(self) -> None:
+        self._spans: list[WallSpan] = []
+        self._lock = threading.Lock()
+
+    def record(self, name: str, rank: int, start_s: float, end_s: float) -> None:
+        with self._lock:
+            self._spans.append(WallSpan(name=name, rank=rank, start_s=start_s, end_s=end_s))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def spans(self, name: str | None = None) -> list[WallSpan]:
+        with self._lock:
+            spans = list(self._spans)
+        if name is not None:
+            spans = [s for s in spans if s.name == name]
+        return sorted(spans, key=lambda s: (s.start_s, s.rank))
+
+    def phases(self) -> list[str]:
+        """Distinct phase names in first-appearance order."""
+        seen: dict[str, None] = {}
+        with self._lock:
+            for s in self._spans:
+                seen.setdefault(s.name, None)
+        return list(seen)
+
+    def busy_seconds(self, name: str | None = None) -> float:
+        """Sum of span durations (total rank-seconds of work)."""
+        return sum(s.dur_s for s in self.spans(name))
+
+    def elapsed_seconds(self, name: str | None = None) -> float:
+        """Wall window covering the spans (max end - min start)."""
+        spans = self.spans(name)
+        if not spans:
+            return 0.0
+        return max(s.end_s for s in spans) - min(s.start_s for s in spans)
+
+    def overlap_factor(self, name: str | None = None) -> float:
+        """Achieved concurrency: busy seconds / elapsed seconds.
+
+        1.0 means fully serialized (the sequential engine); N means N
+        ranks' work overlapped perfectly on average.
+        """
+        elapsed = self.elapsed_seconds(name)
+        return self.busy_seconds(name) / elapsed if elapsed > 0 else 0.0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+def wall_trace_events(recorder: WallClockRecorder) -> list[dict[str, Any]]:
+    """Chrome trace events of the recorded wall-clock spans.
+
+    Timestamps are rebased so the earliest span starts at 0; one trace row
+    per rank (``tid``), so overlap between ranks is visible exactly as the
+    host executed it.
+    """
+    spans = recorder.spans()
+    if not spans:
+        return []
+    t0 = min(s.start_s for s in spans)
+    events: list[dict[str, Any]] = []
+    for s in spans:
+        events.append(
+            {
+                "name": s.name,
+                "ph": "X",
+                "pid": 1,
+                "tid": s.rank,
+                "ts": (s.start_s - t0) * _US,
+                "dur": s.dur_s * _US,
+                "cat": "wall",
+                "args": {},
+            }
+        )
+    for rank in sorted({s.rank for s in spans}):
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": rank, "args": {"name": f"rank {rank} (wall)"}}
+        )
+    return events
+
+
+def write_wall_trace(recorder: WallClockRecorder, path: str | Path) -> Path:
+    """Write the recorded wall-clock spans as a Chrome trace JSON file."""
+    path = Path(path)
+    payload = {
+        "traceEvents": wall_trace_events(recorder),
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "busy_seconds": recorder.busy_seconds(),
+            "elapsed_seconds": recorder.elapsed_seconds(),
+            "overlap_factor": recorder.overlap_factor(),
+        },
+    }
+    path.write_text(json.dumps(payload))
+    return path
 
 
 def write_chrome_trace(result: CountResult, path: str | Path, *, max_ranks: int | None = 64) -> Path:

@@ -13,11 +13,14 @@ test suite checks the two agree.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
 from .stats import TrafficStats
+
+if TYPE_CHECKING:  # import for typing only; no runtime mpi -> core dependency
+    from ..core.parallel import RankPool
 
 __all__ = [
     "alltoallv",
@@ -90,6 +93,7 @@ def alltoallv_segments(
     stats: TrafficStats | None = None,
     label: str = "",
     bytes_per_item: float | None = None,
+    pool: "RankPool | None" = None,
 ) -> tuple[list[np.ndarray], np.ndarray]:
     """All-to-all of destination-ordered segment arrays (the MPI wire form).
 
@@ -103,6 +107,11 @@ def alltoallv_segments(
     ``bytes_per_item`` overrides the wire size per item for byte accounting
     (e.g. ``8 + 1`` for a supermer word plus its length byte); by default
     the array's own itemsize is used.
+
+    ``pool`` optionally parallelizes the destination-side segment packing
+    (one gather per destination rank) across worker threads; each
+    destination's receive buffer is private, so the packed result is
+    identical to the single fancy-index path byte for byte.
     """
     p = len(send_data)
     if len(send_counts) != p:
@@ -126,21 +135,37 @@ def alltoallv_segments(
     np.cumsum(counts_matrix.sum(axis=1)[:-1], out=src_base[1:])
     seg_offsets = np.zeros((p, p), dtype=np.int64)  # start of (src, dst) segment
     np.cumsum(counts_matrix[:, :-1], axis=1, out=seg_offsets[:, 1:])
-    seg_starts_global = (src_base[:, None] + seg_offsets).T.ravel()  # (dst, src) order
-    seg_lens = counts_matrix.T.ravel()
-    out_offsets = np.zeros(seg_lens.shape[0], dtype=np.int64)
-    np.cumsum(seg_lens[:-1], out=out_offsets[1:])
-    total_items = int(seg_lens.sum())
-    idx = (
-        np.arange(total_items, dtype=np.int64)
-        - np.repeat(out_offsets, seg_lens)
-        + np.repeat(seg_starts_global, seg_lens)
-    )
-    shuffled = global_data[idx]
-    per_dst = counts_matrix.sum(axis=0)
-    dst_offsets = np.zeros(p + 1, dtype=np.int64)
-    np.cumsum(per_dst, out=dst_offsets[1:])
-    recv_data = [shuffled[dst_offsets[d] : dst_offsets[d + 1]] for d in range(p)]
+    seg_starts_matrix = src_base[:, None] + seg_offsets  # start of (src, dst) segment
+
+    if pool is not None and pool.is_parallel and p > 1:
+        # Per-destination packing: each worker gathers one destination's
+        # segments into that destination's private receive buffer.
+        def _pack_dst(d: int) -> np.ndarray:
+            lens = counts_matrix[:, d]
+            starts = seg_starts_matrix[:, d]
+            offs = np.zeros(p, dtype=np.int64)
+            np.cumsum(lens[:-1], out=offs[1:])
+            n = int(lens.sum())
+            idx = np.arange(n, dtype=np.int64) - np.repeat(offs, lens) + np.repeat(starts, lens)
+            return global_data[idx]
+
+        recv_data = pool.map(_pack_dst, range(p))
+    else:
+        seg_starts_global = seg_starts_matrix.T.ravel()  # (dst, src) order
+        seg_lens = counts_matrix.T.ravel()
+        out_offsets = np.zeros(seg_lens.shape[0], dtype=np.int64)
+        np.cumsum(seg_lens[:-1], out=out_offsets[1:])
+        total_items = int(seg_lens.sum())
+        idx = (
+            np.arange(total_items, dtype=np.int64)
+            - np.repeat(out_offsets, seg_lens)
+            + np.repeat(seg_starts_global, seg_lens)
+        )
+        shuffled = global_data[idx]
+        per_dst = counts_matrix.sum(axis=0)
+        dst_offsets = np.zeros(p + 1, dtype=np.int64)
+        np.cumsum(per_dst, out=dst_offsets[1:])
+        recv_data = [shuffled[dst_offsets[d] : dst_offsets[d + 1]] for d in range(p)]
 
     if stats is not None:
         per_item = float(bytes_per_item) if bytes_per_item is not None else float(send_data[0].itemsize if p else 8)

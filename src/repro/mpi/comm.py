@@ -13,17 +13,43 @@ per-rank :class:`Comm` handle.  It exists for two reasons:
 
 Collectives synchronize on barriers; point-to-point uses per-(dst, src, tag)
 queues.  Exceptions in any rank cancel the world and re-raise in the caller.
+
+Received payloads are *copies*: real MPI receives into a private buffer, so
+one rank mutating what it received can never corrupt another rank's data.
+The simulator matches that — every collective/point-to-point delivery
+deep-copies mutable payloads (ndarray via ``np.copy``, everything else via
+``copy.deepcopy``; immutable scalars pass through untouched).  A rank's own
+contribution comes back by reference (as with ``MPI_IN_PLACE``).
 """
 
 from __future__ import annotations
 
+import copy
 import queue
 import threading
+import time
 from typing import Any, Callable, Sequence
+
+import numpy as np
 
 __all__ = ["Comm", "ThreadedWorld", "run_spmd"]
 
 _SENTINEL_TAG = 0
+
+#: How often blocked receives wake to check for a cancelled world, seconds.
+_FAILURE_POLL_S = 0.02
+
+#: Types delivered by reference: immutable, so sharing cannot corrupt.
+_IMMUTABLE = (type(None), bool, int, float, complex, str, bytes, frozenset)
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Receive-side defensive copy (ndarray fast path, deepcopy otherwise)."""
+    if isinstance(obj, _IMMUTABLE):
+        return obj
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    return copy.deepcopy(obj)
 
 
 class _WorldState:
@@ -75,21 +101,56 @@ class Comm:
         self._world.queue_for(dest, self.rank, tag).put(obj)
 
     def recv(self, source: int, tag: int = _SENTINEL_TAG, timeout: float | None = 60.0) -> Any:
+        """Blocking receive; aborts early if any rank in the world failed.
+
+        A plain blocking ``Queue.get`` would sit out the whole timeout (and
+        leak a bare ``queue.Empty``) even when the matching sender is
+        already dead, so the wait is chopped into short polls that check
+        the world's failure state between attempts.
+        """
         if not 0 <= source < self.size:
             raise ValueError(f"source {source} out of range")
-        return self._world.queue_for(self.rank, source, tag).get(timeout=timeout)
+        q = self._world.queue_for(self.rank, source, tag)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            failure = self._world.failure
+            if failure is not None:
+                raise RuntimeError(
+                    f"rank {self.rank}: recv(source={source}, tag={tag}) aborted — "
+                    f"another rank failed with {type(failure).__name__}: {failure}"
+                ) from failure
+            wait = _FAILURE_POLL_S
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RuntimeError(
+                        f"rank {self.rank}: recv(source={source}, tag={tag}) timed out "
+                        f"after {timeout}s with no matching send"
+                    )
+                wait = min(wait, remaining)
+            try:
+                return q.get(timeout=wait)
+            except queue.Empty:
+                continue
 
     # -- collectives -----------------------------------------------------------
 
     def alltoallv(self, send: Sequence[Any]) -> list[Any]:
-        """Each rank provides ``size`` buffers; receives one from each rank."""
+        """Each rank provides ``size`` buffers; receives one from each rank.
+
+        Received buffers are private copies (the sender keeps its object);
+        only the self-addressed buffer comes back by reference.
+        """
         if len(send) != self.size:
             raise ValueError(f"alltoallv needs {self.size} send buffers, got {len(send)}")
         w = self._world
         for dst in range(self.size):
             w.slots[dst][self.rank] = send[dst]
         w.barrier.wait()
-        recv = list(w.slots[self.rank])
+        recv = [
+            w.slots[self.rank][src] if src == self.rank else _copy_payload(w.slots[self.rank][src])
+            for src in range(self.size)
+        ]
         w.barrier.wait()  # nobody overwrites slots until everyone has read
         return recv
 
@@ -97,16 +158,26 @@ class Comm:
     alltoall = alltoallv
 
     def allgather(self, value: Any) -> list[Any]:
+        """All ranks receive every contribution (own entry by reference,
+        peers' entries as private copies — so ``bcast``/``scatter``/
+        ``allreduce`` built on top can never alias one mutable object
+        across ranks)."""
         w = self._world
         w.reduce_buf[self.rank] = value
         w.barrier.wait()
-        out = list(w.reduce_buf)
+        out = [
+            w.reduce_buf[src] if src == self.rank else _copy_payload(w.reduce_buf[src])
+            for src in range(self.size)
+        ]
         w.barrier.wait()
         return out
 
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
         contributions = self.allgather(value)
-        acc = contributions[0]
+        # Rank 0's first contribution is its own object (allgather returns
+        # own entries by reference); copy it so an in-place ``op`` cannot
+        # mutate the caller's send value.
+        acc = _copy_payload(contributions[0]) if self.rank == 0 else contributions[0]
         for v in contributions[1:]:
             acc = op(acc, v)
         return acc
@@ -126,12 +197,24 @@ class Comm:
 
 
 class ThreadedWorld:
-    """Launches an SPMD program across ``size`` ranks on threads."""
+    """Launches an SPMD program across ``size`` ranks on threads.
 
-    def __init__(self, size: int) -> None:
+    ``join_timeout`` bounds how long a *cancelled* world waits for rank
+    threads to drain after a failure aborted the barrier: ranks blocked in
+    collectives get ``BrokenBarrierError`` immediately and receives poll
+    the failure flag, but a rank stuck in unrelated user code could hang
+    the caller forever.  Stragglers still alive after the grace period are
+    reported by rank in the raised error.  A healthy world joins without
+    any timeout (rank programs may legitimately run long).
+    """
+
+    def __init__(self, size: int, join_timeout: float = 10.0) -> None:
         if size < 1:
             raise ValueError("world size must be positive")
+        if join_timeout <= 0:
+            raise ValueError("join_timeout must be positive")
         self.size = size
+        self.join_timeout = join_timeout
 
     def run(self, program: Callable[..., Any], *args_per_rank: Sequence[Any]) -> list[Any]:
         """Run ``program(comm, *rank_args)`` on every rank; return results.
@@ -156,9 +239,23 @@ class ThreadedWorld:
         threads = [threading.Thread(target=runner, args=(r,), daemon=True) for r in range(self.size)]
         for t in threads:
             t.start()
-        for t in threads:
-            t.join()
+        # Healthy path: wait indefinitely, but keep checking for failure so
+        # a cancelled world switches to the bounded drain below.
+        while state.failure is None and any(t.is_alive() for t in threads):
+            for t in threads:
+                t.join(timeout=_FAILURE_POLL_S)
+                if state.failure is not None:
+                    break
         if state.failure is not None:
+            deadline = time.monotonic() + self.join_timeout
+            for t in threads:
+                t.join(timeout=max(0.0, deadline - time.monotonic()))
+            stragglers = [r for r, t in enumerate(threads) if t.is_alive()]
+            if stragglers:
+                raise RuntimeError(
+                    f"world cancelled by {type(state.failure).__name__} but rank thread(s) "
+                    f"{stragglers} did not exit within {self.join_timeout}s grace period"
+                ) from state.failure
             raise state.failure
         return results
 

@@ -19,6 +19,8 @@ from repro.mpi.collectives import (
 )
 from repro.mpi.stats import TrafficStats
 
+pytestmark = pytest.mark.engines
+
 
 class TestAlltoallv:
     def test_transpose_semantics(self):
@@ -70,6 +72,13 @@ class TestAlltoallvSegments:
         for d in range(p):
             assert np.array_equal(recv[d], expected[d])
         assert matrix.sum() == sum(c.sum() for c in send_counts)
+        # The pooled (parallel segment-packing) path must agree exactly.
+        from repro.core.parallel import get_pool
+
+        pooled, pooled_matrix = alltoallv_segments(send_data, send_counts, pool=get_pool(3))
+        assert np.array_equal(pooled_matrix, matrix)
+        for d in range(p):
+            assert np.array_equal(pooled[d], expected[d])
 
     def test_source_order_within_destination(self):
         send_data = [np.array([10, 11], dtype=np.int64), np.array([20], dtype=np.int64)]

@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.mpi import collectives as bsp
 from repro.mpi.comm import ThreadedWorld, run_spmd
+
+pytestmark = pytest.mark.engines
 
 
 class TestCollectives:
@@ -171,3 +175,132 @@ class TestWorldMechanics:
 
     def test_single_rank_world(self):
         assert run_spmd(1, lambda comm: comm.allreduce(5, lambda a, b: a + b)) == [5]
+
+
+class TestRecvFailureHandling:
+    def test_recv_timeout_raises_descriptive_error(self):
+        """A timed-out recv must raise RuntimeError, not a bare queue.Empty."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                return comm.recv(source=1, timeout=0.2)  # rank 1 never sends
+            return None
+
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError, match=r"recv\(source=1.*timed out"):
+            run_spmd(2, prog)
+        assert time.monotonic() - t0 < 5.0
+
+    def test_recv_aborts_when_peer_fails(self):
+        """A blocked recv must notice a failed peer long before its timeout
+        expires, and the world must re-raise the peer's exception."""
+
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("sender exploded")
+            return comm.recv(source=1, timeout=60.0)
+
+        t0 = time.monotonic()
+        with pytest.raises(ValueError, match="sender exploded"):
+            run_spmd(2, prog)
+        assert time.monotonic() - t0 < 5.0  # did not sit out the 60 s timeout
+
+
+class TestReceiveIsolation:
+    def test_bcast_received_buffer_is_private(self):
+        """Mutating a bcast result must not corrupt the root or other ranks."""
+        root_buf = np.arange(8, dtype=np.int64)
+
+        def prog(comm):
+            got = comm.bcast(root_buf if comm.rank == 0 else None, root=0)
+            comm.barrier()  # everyone has received before anyone mutates
+            if comm.rank == 1:
+                got += 100
+            comm.barrier()
+            return got.copy()
+
+        results = run_spmd(3, prog)
+        assert np.array_equal(root_buf, np.arange(8))  # root's buffer untouched
+        assert np.array_equal(results[0], np.arange(8))
+        assert np.array_equal(results[2], np.arange(8))
+        assert np.array_equal(results[1], np.arange(8) + 100)
+
+    def test_alltoallv_received_buffers_are_private(self):
+        sent = [[np.full(4, 10 * s + d, dtype=np.int64) for d in range(3)] for s in range(3)]
+
+        def prog(comm, mine):
+            got = comm.alltoallv(mine)
+            comm.barrier()
+            for src in range(comm.size):
+                if src != comm.rank:
+                    got[src] += 1000  # scribble over everything received
+            comm.barrier()
+            return None
+
+        run_spmd(3, prog, sent)
+        for s in range(3):
+            for d in range(3):
+                if s != d:  # self-buffers are by-reference (MPI_IN_PLACE)
+                    assert np.array_equal(sent[s][d], np.full(4, 10 * s + d)), (s, d)
+
+    def test_scatter_received_items_are_private(self):
+        items = [np.zeros(3, dtype=np.int64) for _ in range(3)]
+
+        def prog(comm):
+            got = comm.scatter(items if comm.rank == 0 else None, root=0)
+            comm.barrier()
+            if comm.rank != 0:
+                got += comm.rank
+            comm.barrier()
+            return None
+
+        run_spmd(3, prog)
+        for item in items:
+            assert np.array_equal(item, np.zeros(3))
+
+    def test_allreduce_with_inplace_op(self):
+        """An in-place reduction op must not corrupt any rank's send value."""
+        contribs = [np.full(4, r + 1, dtype=np.int64) for r in range(4)]
+
+        def prog(comm, mine):
+            total = comm.allreduce(mine, lambda a, b: a.__iadd__(b))
+            return total.copy()
+
+        results = run_spmd(4, prog, contribs)
+        for r, c in enumerate(contribs):
+            assert np.array_equal(c, np.full(4, r + 1)), f"rank {r} send buffer corrupted"
+        for got in results:
+            assert np.array_equal(got, np.full(4, 1 + 2 + 3 + 4))
+
+
+class TestCancellationJoin:
+    def test_straggler_threads_are_reported(self):
+        """A rank stuck in user code past the grace period must be named in
+        the error instead of hanging the caller forever."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("early failure")
+            time.sleep(2.0)  # oblivious to the cancellation
+
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError, match=r"rank thread\(s\) \[1\]") as excinfo:
+            ThreadedWorld(2, join_timeout=0.3).run(prog)
+        assert time.monotonic() - t0 < 1.5
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_fast_exit_ranks_still_raise_original(self):
+        """When every rank drains within the grace period the original
+        exception surfaces unchanged."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("boom")
+            comm.barrier()  # broken immediately by rank 0's failure
+
+        with pytest.raises(ValueError, match="boom"):
+            ThreadedWorld(3, join_timeout=5.0).run(prog)
+
+    def test_invalid_join_timeout(self):
+        with pytest.raises(ValueError):
+            ThreadedWorld(2, join_timeout=0.0)
