@@ -11,6 +11,8 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Sequence
 
+from ..telemetry import event
+
 __all__ = ["format_table", "format_series", "write_report"]
 
 
@@ -49,11 +51,20 @@ def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:
     return f"{name}: {pairs}"
 
 
-def write_report(experiment: str, text: str, results_dir: str | Path = "results") -> Path:
-    """Print a reproduction report and persist it under ``results/``."""
-    print(f"\n=== {experiment} ===\n{text}\n")
+def write_report(
+    experiment: str, text: str, results_dir: str | Path = "results", *, quiet: bool = False
+) -> Path:
+    """Persist a reproduction report under ``results/`` and render it to stdout.
+
+    ``quiet=True`` suppresses the stdout rendering; the structured
+    ``bench.report`` event (``repro.telemetry`` logger, enabled via
+    ``REPRO_LOG``/``--log-level``) is emitted either way.
+    """
     out_dir = Path(results_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"{experiment}.txt"
     path.write_text(text + "\n")
+    event("bench.report", subsystem="bench", experiment=experiment, path=str(path), chars=len(text))
+    if not quiet:
+        print(f"\n=== {experiment} ===\n{text}\n")
     return path

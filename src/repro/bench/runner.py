@@ -20,6 +20,7 @@ from ..core.results import CountResult
 from ..dna.datasets import TABLE1, load_dataset
 from ..dna.reads import ReadSet
 from ..mpi.topology import summit_cpu, summit_gpu
+from ..telemetry import MetricRegistry, RunReport
 
 __all__ = ["dataset_with_multiplier", "ExperimentCache"]
 
@@ -53,7 +54,9 @@ class ExperimentCache:
 
     scale: float = 1.0
     parallel: ParallelSetting = None
+    telemetry: bool = False  # attach a MetricRegistry + RunReport per executed run
     wall_seconds: dict[tuple, float] = field(default_factory=dict)
+    reports: dict[tuple, RunReport] = field(default_factory=dict)
     _datasets: dict[str, tuple[ReadSet, float]] = field(default_factory=dict)
     _results: dict[tuple, CountResult] = field(default_factory=dict)
 
@@ -90,8 +93,11 @@ class ExperimentCache:
                 n_rounds=n_rounds,
             )
             cluster = summit_gpu(n_nodes) if backend == "gpu" else summit_cpu(n_nodes)
-            options = EngineOptions(work_multiplier=mult, parallel=self.parallel)
+            registry = MetricRegistry() if self.telemetry else None
+            options = EngineOptions(work_multiplier=mult, parallel=self.parallel, telemetry=registry)
             t0 = perf_counter()
             self._results[key] = run_pipeline(reads, cluster, config, backend=backend, options=options)
             self.wall_seconds[key] = perf_counter() - t0
+            if registry is not None:
+                self.reports[key] = RunReport.from_result(self._results[key], registry=registry)
         return self._results[key]

@@ -16,6 +16,9 @@ counting k-mers in single genome, a microbial community...").  Subcommands:
 ``repro compare``
     Run the paper's CPU/kmer/supermer comparison on one dataset and print
     the Fig. 6/7-style table.
+``repro report``
+    Render a saved telemetry run report (``repro count --report``) as the
+    paper-style breakdown tables.
 
 All subcommands are plain functions over parsed arguments, so the test
 suite drives them through :func:`main` with string argv lists.
@@ -39,6 +42,7 @@ from .dna.simulate import ReadLengthProfile, reads_to_records, simulate_dataset
 from .kmers.genomics import profile_spectrum
 from .kmers.kmerdb import read_kmerdb, write_kmerdb, write_tsv
 from .kmers.spectrum import count_kmers_exact
+from .telemetry import MetricRegistry, RunReport, configure_logging, write_prometheus
 
 __all__ = ["main", "build_parser"]
 
@@ -47,6 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Distributed-memory k-mer counting on simulated GPUs (IPDPS 2021 reproduction).",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        help="enable the repro.telemetry event log at this level (overrides REPRO_LOG)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -84,6 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_count.add_argument("--rounds", type=int, default=1, help="memory-bounded exchange rounds")
     p_count.add_argument("--out-db", help="write binary k-mer database here")
     p_count.add_argument("--out-tsv", help="write kmer<TAB>count text here")
+    p_count.add_argument("--report", help="write a structured telemetry run report (JSON) here")
+    p_count.add_argument("--metrics-out", help="write the metric registry in Prometheus text format here")
     p_count.add_argument("--min-count", type=int, default=1, help="only export k-mers with count >= this")
     p_count.add_argument("--min-read-length", type=int, default=0, help="drop reads shorter than this after trimming")
     p_count.add_argument("--min-read-quality", type=float, default=0.0, help="drop reads with mean quality below this")
@@ -104,6 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist.add_argument("--db-a", required=True)
     p_dist.add_argument("--db-b", required=True)
     p_dist.add_argument("--min-count", type=int, default=1, help="compare only k-mers with count >= this")
+
+    p_rep = sub.add_parser("report", help="render a saved telemetry run report")
+    p_rep.add_argument("--report", required=True, help="JSON report from 'repro count --report'")
 
     return parser
 
@@ -165,6 +179,7 @@ def _load_one(path: str, args: argparse.Namespace) -> ReadSet:
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
+    from .core.engine import EngineOptions
     from .core.incremental import DistributedCounter
     from .mpi.topology import summit_cpu, summit_gpu
 
@@ -179,7 +194,10 @@ def _cmd_count(args: argparse.Namespace) -> int:
         n_rounds=args.rounds,
     )
     cluster = summit_gpu(args.nodes) if args.backend == "gpu" else summit_cpu(args.nodes)
-    counter = DistributedCounter(cluster, config, backend=args.backend)
+    registry = MetricRegistry() if (args.report or args.metrics_out) else None
+    counter = DistributedCounter(
+        cluster, config, backend=args.backend, options=EngineOptions(telemetry=registry)
+    )
     if args.checkpoint and Path(args.checkpoint).exists():
         counter.load(args.checkpoint)
         print(f"resumed from {args.checkpoint}: {counter.n_batches} batches, {counter.total_kmers:,} k-mers")
@@ -203,6 +221,13 @@ def _cmd_count(args: argparse.Namespace) -> int:
         ["load_imbalance", f"{loads.imbalance:.4f}"],
     ]
     print(format_table(["metric", "value"], rows, title=f"count of {', '.join(args.input)}"))
+
+    if args.report:
+        report_path = RunReport.from_counter(counter, registry=registry).save(args.report)
+        print(f"wrote run report to {report_path}")
+    if args.metrics_out:
+        write_prometheus(registry, args.metrics_out)
+        print(f"wrote {len(registry)} metric families to {args.metrics_out}")
 
     spectrum = spectrum_full if args.min_count <= 1 else spectrum_full.frequent(args.min_count)
     if args.out_db:
@@ -290,6 +315,11 @@ def _cmd_distance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(RunReport.load(args.report).render())
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "simulate": _cmd_simulate,
@@ -297,12 +327,19 @@ _COMMANDS = {
     "spectrum": _cmd_spectrum,
     "compare": _cmd_compare,
     "distance": _cmd_distance,
+    "report": _cmd_report,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.log_level is not None:
+        configure_logging(args.log_level)
+    else:
+        from .telemetry import configure_from_env
+
+        configure_from_env()
     try:
         return _COMMANDS[args.command](args)
     except (ValueError, FileNotFoundError) as exc:

@@ -35,6 +35,7 @@ unscaled, as measured.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from time import perf_counter
 
@@ -54,6 +55,7 @@ from ..mpi.collectives import alltoallv_segments
 from ..mpi.costmodel import CommCostModel
 from ..mpi.stats import TrafficStats
 from ..mpi.topology import ClusterSpec
+from ..telemetry import MetricRegistry, event, session
 from .config import PipelineConfig
 from .cpu_model import CpuRates, power9_rates
 from .gpu_model import GpuPipelineModel
@@ -81,6 +83,9 @@ class EngineOptions:
     # REPRO_PARALLEL environment variable; see repro.core.parallel.
     parallel: ParallelSetting = None
     span_recorder: WallClockRecorder | None = None  # host wall-clock spans per (phase, rank)
+    # Metrics sink for this run: installed as the telemetry session so every
+    # layer (collectives, hash table, kernels, pools) feeds it.  None = off.
+    telemetry: MetricRegistry | None = None
 
     def __post_init__(self) -> None:
         if self.work_multiplier <= 0:
@@ -112,16 +117,62 @@ def run_pipeline(
     backend: str = "gpu",
     options: EngineOptions | None = None,
 ) -> CountResult:
-    """Run one distributed counting pipeline and return its full result."""
+    """Run one distributed counting pipeline and return its full result.
+
+    When ``options.telemetry`` is set, the registry is installed as the
+    active telemetry session for the duration of the run — every layer
+    underneath (collectives, hash tables, kernels, worker pools) feeds it —
+    and the engine adds its own phase/rank/round metrics plus wall-clock
+    metrics afterwards.  Model metrics are bit-identical across execution
+    engines; only families registered as wall metrics may differ.
+    """
     if backend not in ("gpu", "cpu"):
         raise ValueError(f"backend must be 'gpu' or 'cpu', got {backend!r}")
     opts = options or EngineOptions()
+    reg = opts.telemetry
+    recorder = opts.span_recorder
+    if reg is not None and recorder is None:
+        recorder = WallClockRecorder()  # wall metrics need spans even if the caller kept none
+    event(
+        "engine.run.start",
+        subsystem="engine",
+        backend=backend,
+        mode=config.mode,
+        k=config.k,
+        ranks=cluster.n_ranks,
+        reads=reads.n_reads,
+    )
+    ctx = session(reg) if reg is not None else nullcontext()
+    with ctx:
+        result = _execute_pipeline(reads, cluster, config, backend, opts, recorder, reg)
+    if reg is not None:
+        _record_run_metrics(reg, result, recorder)
+    event(
+        "engine.run.done",
+        subsystem="engine",
+        backend=backend,
+        total_model_s=round(result.timing.total, 6),
+        exchanged_items=result.exchanged_items,
+        distinct=result.spectrum.n_distinct,
+        rounds=result.n_rounds_used,
+    )
+    return result
+
+
+def _execute_pipeline(
+    reads: ReadSet,
+    cluster: ClusterSpec,
+    config: PipelineConfig,
+    backend: str,
+    opts: EngineOptions,
+    recorder: WallClockRecorder | None,
+    reg: MetricRegistry | None,
+) -> CountResult:
     p = cluster.n_ranks
     mult = opts.work_multiplier
     stats = TrafficStats()
     comm_model = CommCostModel(cluster)
     pool = get_pool(opts.parallel)
-    recorder = opts.span_recorder
 
     # ---- input partitioning (the paper's parallel I/O; Section IV-D) ----
     if opts.shard_mode == "bytes":
@@ -195,6 +246,32 @@ def run_pipeline(
             t_stage = float(per_rank_stage.max()) if p else 0.0
         t_exchange += overhead + t_net + t_stage
         staging_total += t_stage
+        if reg is not None:
+            reg.counter("exchange_rounds_total", "Exchange/count rounds executed", engine=backend).inc()
+            reg.counter(
+                "exchange_model_seconds_total",
+                "Modeled exchange seconds (overhead + network + staging)",
+                engine=backend,
+                round=rnd,
+            ).inc(overhead + t_net + t_stage)
+            reg.counter(
+                "alltoallv_model_seconds_total",
+                "Modeled MPI_Alltoallv routine seconds",
+                engine=backend,
+                round=rnd,
+            ).inc(t_a2av)
+            reg.counter(
+                "staging_model_seconds_total",
+                "Modeled host<->device staging seconds",
+                engine=backend,
+                round=rnd,
+            ).inc(t_stage)
+            reg.counter(
+                "exchange_items_round_total",
+                "Items exchanged per round",
+                engine=backend,
+                round=rnd,
+            ).inc(int(counts_matrix.sum()))
 
         # ---- count phase ----
         # Rank r's count touches only recv_data[r] and its own table
@@ -228,6 +305,18 @@ def run_pipeline(
     exchanged_items = int(counts_matrix_total.sum())
     supermer_bases = sum(pr.supermer_bases for pr in parsed)
     n_supermers = sum(pr.n_supermers for pr in parsed)
+    if reg is not None:
+        # Recorded here (not in the hash table) because only the engine knows
+        # the rank index; plain Gauge.set is safe from this ordered loop.
+        for r, table in enumerate(tables):
+            reg.gauge("hashtable_entries", "Distinct keys per rank partition", rank=r).set(table.n_entries)
+            reg.gauge("hashtable_load_factor", "Final load factor per rank", rank=r).set(table.load_factor)
+        reg.counter("kmers_parsed_total", "k-mer instances parsed", engine=backend).inc(total_parsed_kmers)
+        if n_supermers:
+            reg.counter("supermers_total", "Supermers built", engine=backend).inc(n_supermers)
+            reg.counter("supermer_bases_total", "Bases covered by supermers", engine=backend).inc(
+                supermer_bases
+            )
     return CountResult(
         config=config,
         cluster=cluster,
@@ -248,6 +337,54 @@ def run_pipeline(
         alltoallv_seconds=t_alltoallv,
         n_rounds_used=n_rounds,
     )
+
+
+def _record_run_metrics(reg: MetricRegistry, result: CountResult, recorder: WallClockRecorder | None) -> None:
+    """Engine-level metrics derived from the finished result.
+
+    Everything here is computed from the deterministic result payload (so
+    sequential and parallel engines record identical values), except the
+    ``wall=True`` families, which come from host wall-clock spans.
+    """
+    backend = result.backend
+    t = result.timing
+    for phase, secs in (("parse", t.parse), ("exchange", t.exchange), ("count", t.count)):
+        reg.counter(
+            "phase_model_seconds_total",
+            "Bulk-synchronous phase time (max over ranks)",
+            engine=backend,
+            phase=phase,
+        ).inc(secs)
+    for r in range(result.cluster.n_ranks):
+        reg.gauge(
+            "rank_phase_model_seconds", "Per-rank modeled phase seconds", engine=backend, phase="parse", rank=r
+        ).set(float(result.per_rank_parse[r]))
+        reg.gauge(
+            "rank_phase_model_seconds", "Per-rank modeled phase seconds", engine=backend, phase="count", rank=r
+        ).set(float(result.per_rank_count[r]))
+        reg.gauge("rank_received_kmers", "k-mer instances counted per rank", rank=r).set(
+            int(result.received_kmers[r])
+        )
+    loads = result.load_stats()
+    reg.gauge("load_imbalance", "max/mean received k-mers (Table III)", engine=backend).set(loads.imbalance)
+    reg.counter("exchange_items_total", "Items routed through the exchange", engine=backend).inc(
+        result.exchanged_items
+    )
+    reg.counter("exchange_bytes_total", "Wire bytes at measured scale", engine=backend).inc(
+        result.exchanged_bytes
+    )
+    if recorder is not None and len(recorder):
+        for name in recorder.phases():
+            reg.counter(
+                "wall_phase_seconds_total", "Host wall-clock rank-seconds per phase", wall=True, phase=name
+            ).inc(recorder.busy_seconds(name))
+        reg.gauge("wall_busy_seconds", "Total host rank-seconds", wall=True).set(recorder.busy_seconds())
+        reg.gauge("wall_elapsed_seconds", "Host wall window of the run", wall=True).set(
+            recorder.elapsed_seconds()
+        )
+        reg.gauge("wall_overlap_factor", "Achieved rank concurrency", wall=True).set(
+            recorder.overlap_factor()
+        )
 
 
 # ---------------------------------------------------------------------------

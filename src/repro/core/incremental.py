@@ -16,6 +16,7 @@ files into one histogram and need to survive job preemption.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from pathlib import Path
 
 import numpy as np
@@ -27,6 +28,7 @@ from ..mpi.collectives import alltoallv_segments
 from ..mpi.costmodel import CommCostModel
 from ..mpi.stats import TrafficStats
 from ..mpi.topology import ClusterSpec
+from ..telemetry import event, session
 from .config import PipelineConfig
 from .engine import EngineOptions, _count_rank, _merge_tables, _parse_rank_cpu, _parse_rank_gpu
 from .parallel import get_pool
@@ -70,8 +72,43 @@ class DistributedCounter:
         """Count one batch of reads into the persistent tables.
 
         Returns this batch's phase timing; cumulative totals are on the
-        counter (:attr:`timing`, :attr:`received_kmers`, ...).
+        counter (:attr:`timing`, :attr:`received_kmers`, ...).  When the
+        options carry a telemetry registry it is installed as the active
+        session for the batch, exactly as :func:`repro.core.engine.run_pipeline`
+        does.
         """
+        reg = self.options.telemetry
+        ctx = session(reg) if reg is not None else nullcontext()
+        with ctx:
+            batch_timing = self._add_batch(reads)
+        event(
+            "counter.batch",
+            subsystem="engine",
+            batch=self.n_batches - 1,
+            reads=reads.n_reads,
+            model_s=round(batch_timing.total, 6),
+            total_kmers=self.total_kmers,
+        )
+        if reg is not None:
+            backend = self.backend
+            reg.counter("batches_total", "Read batches folded into the counter", engine=backend).inc()
+            for phase, secs in (
+                ("parse", batch_timing.parse),
+                ("exchange", batch_timing.exchange),
+                ("count", batch_timing.count),
+            ):
+                reg.counter(
+                    "phase_model_seconds_total",
+                    "Bulk-synchronous phase time (max over ranks)",
+                    engine=backend,
+                    phase=phase,
+                ).inc(secs)
+            reg.gauge("load_imbalance", "max/mean received k-mers (Table III)", engine=backend).set(
+                self.load_stats().imbalance
+            )
+        return batch_timing
+
+    def _add_batch(self, reads: ReadSet) -> PhaseTiming:
         p = self.cluster.n_ranks
         opts = self.options
         config = self.config

@@ -45,6 +45,8 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
+from ..telemetry import active
+
 __all__ = [
     "ENV_VAR",
     "ParallelSetting",
@@ -106,6 +108,16 @@ class RankPool:
     def is_parallel(self) -> bool:
         return self.workers > 1
 
+    def _record_map(self, n_tasks: int) -> None:
+        """Feed pool-utilization telemetry (wall metrics: the execution
+        substrate is exactly what may differ between engines)."""
+        reg = active()
+        if reg is not None:
+            kind = type(self).__name__
+            reg.counter("pool_map_calls_total", "RankPool.map invocations", wall=True, pool=kind).inc()
+            reg.counter("pool_tasks_total", "Items mapped through pools", wall=True, pool=kind).inc(n_tasks)
+            reg.gauge("pool_workers_max", "Largest pool used", wall=True, pool=kind).set_max(self.workers)
+
 
 class SequentialPool(RankPool):
     """The deterministic fallback: a plain in-order loop, no threads."""
@@ -113,7 +125,9 @@ class SequentialPool(RankPool):
     workers = 1
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
-        return [fn(item) for item in items]
+        seq = list(items)
+        self._record_map(len(seq))
+        return [fn(item) for item in seq]
 
 
 class ThreadPool(RankPool):
@@ -139,6 +153,7 @@ class ThreadPool(RankPool):
         # surfaces the first worker exception in the caller's thread, like
         # the sequential loop would.
         seq = list(items)
+        self._record_map(len(seq))
         if len(seq) <= 1:
             return [fn(item) for item in seq]
         chunk = max(1, -(-len(seq) // (4 * self.workers)))

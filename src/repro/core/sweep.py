@@ -17,6 +17,7 @@ from typing import Iterable
 
 from ..dna.reads import ReadSet
 from ..mpi.topology import summit_cpu, summit_gpu
+from ..telemetry import MetricRegistry, RunReport
 from .config import PipelineConfig
 from .engine import EngineOptions, run_pipeline
 from .parallel import ParallelSetting
@@ -51,6 +52,7 @@ class SweepResult:
     points: list[SweepPoint] = field(default_factory=list)
     results: list[CountResult] = field(default_factory=list)
     wall_seconds: list[float] = field(default_factory=list)  # host time per grid point
+    reports: list[RunReport] = field(default_factory=list)  # one per point when telemetry=True
 
     def rows(self) -> list[dict[str, object]]:
         """Flat dicts: point parameters merged with result summaries."""
@@ -101,6 +103,7 @@ def sweep(
     work_multiplier: float = 1.0,
     validate: bool = False,
     parallel: ParallelSetting = None,
+    telemetry: bool = False,
 ) -> SweepResult:
     """Run the full cartesian grid; k-mer mode collapses the supermer axes.
 
@@ -110,6 +113,9 @@ def sweep(
     ``parallel`` selects the engine's per-rank worker count (``None``
     defers to ``REPRO_PARALLEL``); results are bit-identical either way,
     only the recorded ``wall_s`` per grid point changes.
+
+    ``telemetry=True`` gives each grid point its own metric registry and
+    attaches a :class:`RunReport` per point on ``SweepResult.reports``.
     """
     oracle = None
     if validate:
@@ -139,13 +145,14 @@ def sweep(
             ordering=ordering,
         )
         cluster = summit_gpu(nodes) if backend == "gpu" else summit_cpu(nodes)
+        registry = MetricRegistry() if telemetry else None
         t0 = perf_counter()
         result = run_pipeline(
             reads,
             cluster,
             config,
             backend=backend,
-            options=EngineOptions(work_multiplier=work_multiplier, parallel=parallel),
+            options=EngineOptions(work_multiplier=work_multiplier, parallel=parallel, telemetry=registry),
         )
         wall = perf_counter() - t0
         if oracle is not None:
@@ -153,4 +160,6 @@ def sweep(
         out.points.append(point)
         out.results.append(result)
         out.wall_seconds.append(wall)
+        if registry is not None:
+            out.reports.append(RunReport.from_result(result, registry=registry))
     return out

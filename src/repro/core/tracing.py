@@ -168,10 +168,13 @@ class WallClockRecorder:
         """Achieved concurrency: busy seconds / elapsed seconds.
 
         1.0 means fully serialized (the sequential engine); N means N
-        ranks' work overlapped perfectly on average.
+        ranks' work overlapped perfectly on average.  An empty recorder (or
+        one whose spans are all zero-length) reports the neutral 1.0 — "no
+        concurrency evidence either way" — so ratio consumers never divide
+        by zero.
         """
         elapsed = self.elapsed_seconds(name)
-        return self.busy_seconds(name) / elapsed if elapsed > 0 else 0.0
+        return self.busy_seconds(name) / elapsed if elapsed > 0 else 1.0
 
     def __len__(self) -> int:
         with self._lock:
@@ -183,7 +186,7 @@ def wall_trace_events(recorder: WallClockRecorder) -> list[dict[str, Any]]:
 
     Timestamps are rebased so the earliest span starts at 0; one trace row
     per rank (``tid``), so overlap between ranks is visible exactly as the
-    host executed it.
+    host executed it.  An empty recorder yields an empty (valid) event list.
     """
     spans = recorder.spans()
     if not spans:
@@ -226,11 +229,28 @@ def write_wall_trace(recorder: WallClockRecorder, path: str | Path) -> Path:
     return path
 
 
-def write_chrome_trace(result: CountResult, path: str | Path, *, max_ranks: int | None = 64) -> Path:
-    """Write the run's timeline as a Chrome trace JSON file."""
+def write_chrome_trace(
+    result: CountResult,
+    path: str | Path,
+    *,
+    max_ranks: int | None = 64,
+    registry: "Any | None" = None,
+) -> Path:
+    """Write the run's timeline as a Chrome trace JSON file.
+
+    Passing a :class:`repro.telemetry.MetricRegistry` merges its counter
+    tracks (``ph: "C"`` events) into the timeline, so metric magnitudes —
+    exchange bytes, probe counts, phase seconds — render alongside the
+    phase spans in Perfetto.
+    """
     path = Path(path)
+    events = trace_events(result, max_ranks=max_ranks)
+    if registry is not None:
+        from ..telemetry import metric_trace_events
+
+        events.extend(metric_trace_events(registry, result=result))
     payload = {
-        "traceEvents": trace_events(result, max_ranks=max_ranks),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
         "metadata": {
             "config": result.config.describe(),

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..hashing.murmur3 import hash_kmers_batch
+from ..telemetry import active
 
 __all__ = ["EMPTY_KEY", "InsertStats", "DeviceHashTable"]
 
@@ -176,7 +177,22 @@ class DeviceHashTable:
             self._resize()
             resizes += 1
 
-        stats = self._insert_unique(uniq, w)
+        stats, probes = self._insert_unique(uniq, w)
+        reg = active()
+        if reg is not None:
+            # All commutative operations — identical totals whatever order the
+            # rank worker threads interleave their inserts in.
+            reg.counter("hashtable_inserts_total", "insert_batch calls").inc()
+            reg.counter("hashtable_instances_total", "k-mer instances inserted").inc(n_instances)
+            reg.counter("hashtable_distinct_total", "New distinct keys claimed").inc(stats.n_distinct)
+            reg.counter("hashtable_cas_conflicts_total", "Lost atomicCAS claims").inc(stats.cas_conflicts)
+            reg.counter("hashtable_resizes_total", "Table growth events").inc(resizes)
+            reg.gauge("hashtable_load_factor_max", "Peak table load factor").set_max(self.load_factor)
+            reg.histogram(
+                "hashtable_probe_length",
+                "Probe-sequence length per inserted instance",
+                buckets=(1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128),
+            ).observe_many(probes, w)
         return InsertStats(
             n_instances=n_instances,
             n_distinct=stats.n_distinct,
@@ -187,8 +203,12 @@ class DeviceHashTable:
             resizes=resizes,
         )
 
-    def _insert_unique(self, uniq: np.ndarray, w: np.ndarray) -> InsertStats:
-        """Insert pre-deduplicated keys with weights; core probe loop."""
+    def _insert_unique(self, uniq: np.ndarray, w: np.ndarray) -> tuple[InsertStats, np.ndarray]:
+        """Insert pre-deduplicated keys with weights; core probe loop.
+
+        Returns the stats plus the per-unique-key probe counts (parallel to
+        ``uniq``), which feed the telemetry probe-length histogram.
+        """
         base = (hash_kmers_batch(uniq, seed=self.seed) & self._mask).astype(np.uint64)
         stride = self._strides(uniq)
         probe_no = np.zeros(uniq.shape[0], dtype=np.int64)
@@ -229,7 +249,7 @@ class DeviceHashTable:
             pending = nxt
 
         self._n_entries += new_keys
-        return InsertStats(
+        stats = InsertStats(
             n_instances=0,  # caller fills
             n_distinct=new_keys,
             total_probes=int((probes * w).sum()),
@@ -238,6 +258,7 @@ class DeviceHashTable:
             rounds=rounds,
             resizes=0,
         )
+        return stats, probes
 
     def lookup_batch(self, values: np.ndarray) -> np.ndarray:
         """Counts for a batch of keys (0 where absent)."""
@@ -276,4 +297,4 @@ class DeviceHashTable:
         self._alloc(self.capacity * 2)
         self._n_entries = 0
         if keys.size:
-            self._insert_unique(keys, counts)
+            self._insert_unique(keys, counts)  # rehash; returned stats discarded

@@ -21,6 +21,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..telemetry import active
 from .costmodel import KernelCostModel, TrafficEstimate, staging_time
 from .device import DeviceSpec, v100
 
@@ -90,6 +91,16 @@ class VirtualGPU:
         )
         self.log.append(stats)
         self.elapsed += stats.time_s
+        reg = active()
+        if reg is not None:
+            reg.counter("gpu_kernel_launches_total", "Kernel launches", kernel=name).inc()
+            reg.counter("gpu_kernel_threads_total", "Logical threads launched", kernel=name).inc(n_threads)
+            reg.counter(
+                "gpu_kernel_model_seconds_total", "Modeled kernel seconds", kernel=name
+            ).inc(stats.time_s)
+            reg.counter(
+                "gpu_kernel_atomic_ops_total", "Modeled atomic operations", kernel=name
+            ).inc(traffic.atomic_ops)
         return result
 
     def stage(self, h2d_bytes: int, d2h_bytes: int) -> float:

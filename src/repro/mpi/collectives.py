@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
+from ..telemetry import active
 from .stats import TrafficStats
 
 if TYPE_CHECKING:  # import for typing only; no runtime mpi -> core dependency
@@ -124,6 +125,14 @@ def alltoallv_segments(
         if int(counts.sum()) != send_data[src].shape[0]:
             raise ValueError(f"rank {src}: counts sum {int(counts.sum())} != data length {send_data[src].shape[0]}")
         counts_matrix[src] = counts
+
+    reg = active()
+    if reg is not None:
+        reg.counter("comm_alltoallv_calls_total", "alltoallv_segments invocations").inc()
+        # One wire message per off-diagonal (src, dst) pair, as MPI would send.
+        reg.counter("comm_messages_total", "Rank-to-rank messages carried by collectives").inc(
+            max(p * (p - 1), 0)
+        )
 
     # Vectorized reshuffle: concatenate all send buffers, then gather the
     # P*P segments in (dst, src) order with one fancy-index — O(total + P^2)

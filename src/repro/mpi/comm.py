@@ -32,6 +32,10 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+import logging
+
+from ..telemetry import active, event
+
 __all__ = ["Comm", "ThreadedWorld", "run_spmd"]
 
 _SENTINEL_TAG = 0
@@ -50,6 +54,21 @@ def _copy_payload(obj: Any) -> Any:
     if isinstance(obj, np.ndarray):
         return obj.copy()
     return copy.deepcopy(obj)
+
+
+def _payload_bytes(obj: Any) -> int:
+    """Wire size of a payload for traffic counters; 0 when unsized."""
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    return 0
+
+
+def _payload_items(obj: Any) -> int:
+    if isinstance(obj, np.ndarray):
+        return int(obj.shape[0]) if obj.ndim else 1
+    return 1
 
 
 class _WorldState:
@@ -98,6 +117,10 @@ class Comm:
     def send(self, obj: Any, dest: int, tag: int = _SENTINEL_TAG) -> None:
         if not 0 <= dest < self.size:
             raise ValueError(f"dest {dest} out of range")
+        reg = active()
+        if reg is not None:
+            reg.counter("comm_p2p_sends_total", "Point-to-point sends").inc()
+            reg.counter("comm_p2p_bytes_total", "Point-to-point payload bytes").inc(_payload_bytes(obj))
         self._world.queue_for(dest, self.rank, tag).put(obj)
 
     def recv(self, source: int, tag: int = _SENTINEL_TAG, timeout: float | None = 60.0) -> Any:
@@ -110,11 +133,26 @@ class Comm:
         """
         if not 0 <= source < self.size:
             raise ValueError(f"source {source} out of range")
+        reg = active()
+        if reg is not None:
+            reg.counter("comm_recv_total", "Point-to-point receives started").inc()
         q = self._world.queue_for(self.rank, source, tag)
-        deadline = None if timeout is None else time.monotonic() + timeout
+        t_enter = time.monotonic()
+        deadline = None if timeout is None else t_enter + timeout
         while True:
             failure = self._world.failure
             if failure is not None:
+                if reg is not None:
+                    reg.counter("comm_recv_aborts_total", "Receives aborted by peer failure").inc()
+                event(
+                    "comm.recv.abort",
+                    level=logging.WARNING,
+                    subsystem="mpi",
+                    rank=self.rank,
+                    source=source,
+                    tag=tag,
+                    failure=type(failure).__name__,
+                )
                 raise RuntimeError(
                     f"rank {self.rank}: recv(source={source}, tag={tag}) aborted — "
                     f"another rank failed with {type(failure).__name__}: {failure}"
@@ -123,15 +161,35 @@ class Comm:
             if deadline is not None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
+                    if reg is not None:
+                        reg.counter("comm_recv_timeouts_total", "Receives that hit their timeout").inc()
+                    event(
+                        "comm.recv.timeout",
+                        level=logging.WARNING,
+                        subsystem="mpi",
+                        rank=self.rank,
+                        source=source,
+                        tag=tag,
+                        timeout_s=timeout,
+                    )
                     raise RuntimeError(
                         f"rank {self.rank}: recv(source={source}, tag={tag}) timed out "
                         f"after {timeout}s with no matching send"
                     )
                 wait = min(wait, remaining)
             try:
-                return q.get(timeout=wait)
+                obj = q.get(timeout=wait)
             except queue.Empty:
                 continue
+            if reg is not None:
+                # Wall metric: wait time depends on scheduling, never on payload.
+                reg.histogram(
+                    "wall_recv_wait_seconds",
+                    "Wall-clock time blocked in recv",
+                    wall=True,
+                    buckets=(0.001, 0.01, 0.1, 1.0, 10.0, 60.0),
+                ).observe(time.monotonic() - t_enter)
+            return obj
 
     # -- collectives -----------------------------------------------------------
 
@@ -143,6 +201,16 @@ class Comm:
         """
         if len(send) != self.size:
             raise ValueError(f"alltoallv needs {self.size} send buffers, got {len(send)}")
+        reg = active()
+        if reg is not None:
+            # Commutative adds: per-rank contributions sum to the same totals
+            # the BSP collective layer records for one logical alltoallv.
+            reg.counter("comm_bytes_total", "Payload bytes through collectives", op="alltoallv").inc(
+                sum(_payload_bytes(buf) for buf in send)
+            )
+            reg.counter("comm_items_total", "Application items through collectives", op="alltoallv").inc(
+                sum(_payload_items(buf) for buf in send)
+            )
         w = self._world
         for dst in range(self.size):
             w.slots[dst][self.rank] = send[dst]

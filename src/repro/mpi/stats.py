@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..telemetry import active
+
 __all__ = ["CollectiveRecord", "TrafficStats"]
 
 
@@ -79,6 +81,17 @@ class TrafficStats:
                 raise ValueError("items_matrix must match bytes_matrix shape")
         rec = CollectiveRecord(op=op, label=label, bytes_matrix=mat, items_matrix=items)
         self.records.append(rec)
+        reg = active()
+        if reg is not None:
+            reg.counter("comm_collectives_total", "Collective operations recorded", op=op).inc()
+            reg.counter("comm_bytes_total", "Payload bytes through collectives", op=op).inc(rec.total_bytes)
+            reg.counter(
+                "comm_offdiag_bytes_total", "Bytes crossing rank boundaries", op=op
+            ).inc(rec.off_diagonal_bytes)
+            if items is not None:
+                reg.counter("comm_items_total", "Application items through collectives", op=op).inc(
+                    rec.total_items
+                )
         return rec
 
     # -- aggregates ----------------------------------------------------------

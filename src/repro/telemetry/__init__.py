@@ -1,0 +1,49 @@
+"""Unified telemetry layer: metrics, structured reports, event log.
+
+Everything observable about a run flows through here:
+
+* :class:`MetricRegistry` — labeled counters / gauges / histograms
+  (:mod:`repro.telemetry.registry`);
+* :func:`session` / :func:`active` — the process-wide, context-scoped
+  active registry that deep layers (collectives, hash table, kernels,
+  pools) feed (:mod:`repro.telemetry.runtime`);
+* :class:`RunReport` — the structured per-run report behind
+  ``repro count --report`` and ``repro report``
+  (:mod:`repro.telemetry.report`);
+* exporters — JSON snapshot, Prometheus text format, Chrome-trace counter
+  tracks (:mod:`repro.telemetry.export`);
+* the structured event log with the ``REPRO_LOG``/``--log-level`` switch
+  (:mod:`repro.telemetry.log`).
+
+This package deliberately imports nothing from the rest of ``repro`` at
+runtime, so any layer may import it without cycles.
+"""
+
+from __future__ import annotations
+
+from .export import json_snapshot, metric_trace_events, prometheus_text, write_json, write_prometheus
+from .log import configure as configure_logging
+from .log import configure_from_env, event, get_logger
+from .registry import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricRegistry
+from .report import RunReport
+from .runtime import active, session
+
+__all__ = [
+    "MetricRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "RunReport",
+    "active",
+    "session",
+    "json_snapshot",
+    "prometheus_text",
+    "metric_trace_events",
+    "write_json",
+    "write_prometheus",
+    "configure_logging",
+    "configure_from_env",
+    "event",
+    "get_logger",
+]

@@ -1,0 +1,94 @@
+"""Structured event log on top of stdlib ``logging``.
+
+All library-emitted events flow through the ``repro.telemetry`` logger
+hierarchy as ``key=value`` structured records, replacing the stray
+``print()`` diagnostics that used to be scattered through the benchmark and
+reporting layers.  Nothing is emitted unless logging is configured — the
+library stays silent by default, as libraries should.
+
+Configuration resolves, in priority order:
+
+1. an explicit ``configure(level=...)`` call (the CLI's ``--log-level``);
+2. the ``REPRO_LOG`` environment variable (``debug``/``info``/``warning``/
+   ``error`` or a numeric level);
+3. nothing: a ``NullHandler``, so events are discarded without the
+   "no handler" warning.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Any, TextIO
+
+__all__ = ["ENV_VAR", "LOGGER_NAME", "get_logger", "configure", "configure_from_env", "event"]
+
+ENV_VAR = "REPRO_LOG"
+LOGGER_NAME = "repro.telemetry"
+
+_root = logging.getLogger(LOGGER_NAME)
+_root.addHandler(logging.NullHandler())
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s %(message)s"
+
+
+def get_logger(subsystem: str | None = None) -> logging.Logger:
+    """The shared event logger, or a per-subsystem child of it."""
+    return _root if not subsystem else _root.getChild(subsystem)
+
+
+def parse_level(text: str) -> int:
+    """``'info'``/``'INFO'``/``'20'`` -> ``logging.INFO`` (ValueError otherwise)."""
+    name = text.strip()
+    if name.isdigit():
+        return int(name)
+    level = logging.getLevelName(name.upper())
+    if not isinstance(level, int):
+        raise ValueError(f"unrecognized log level {text!r}")
+    return level
+
+
+def configure(level: int | str = "info", stream: TextIO | None = None) -> logging.Logger:
+    """Attach one stream handler at ``level``; idempotent (replaces ours)."""
+    resolved = parse_level(level) if isinstance(level, str) else level
+    for handler in list(_root.handlers):
+        if isinstance(handler, logging.StreamHandler) and not isinstance(handler, logging.NullHandler):
+            _root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    _root.addHandler(handler)
+    _root.setLevel(resolved)
+    return _root
+
+
+def configure_from_env(default: int | str | None = None) -> logging.Logger | None:
+    """Configure from ``REPRO_LOG`` if set (or ``default`` if given)."""
+    text = os.environ.get(ENV_VAR, "")
+    if text:
+        return configure(text)
+    if default is not None:
+        return configure(default)
+    return None
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    if " " in text or "=" in text or '"' in text:
+        return '"' + text.replace('"', '\\"') + '"'
+    return text
+
+
+def event(name: str, /, level: int = logging.INFO, subsystem: str | None = None, **fields: Any) -> None:
+    """Emit one structured event: ``name key=value key=value ...``.
+
+    Field order is the caller's keyword order, so a given call site always
+    renders identically (grep-stable logs).
+    """
+    logger = get_logger(subsystem)
+    if not logger.isEnabledFor(level):
+        return
+    parts = [name] + [f"{k}={_render_value(v)}" for k, v in fields.items()]
+    logger.log(level, " ".join(parts))

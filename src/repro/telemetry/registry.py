@@ -1,0 +1,355 @@
+"""Labeled metrics registry: counters, gauges, histograms.
+
+One :class:`MetricRegistry` holds every metric of a run.  The design
+follows the Prometheus data model — a metric *family* has a name, a help
+string, and a fixed tuple of label names; each distinct label-value
+combination is a *child* carrying the actual value — because that model
+maps directly onto the paper's observables: phase times labeled by
+``phase``/``rank``, exchange volumes labeled by ``round``, kernel counters
+labeled by ``kernel``.
+
+Determinism contract
+--------------------
+All mutating operations are commutative (counter adds, histogram bucket
+adds, max-gauges) or are only issued from deterministic single-threaded
+code (plain ``Gauge.set``), so the final registry state never depends on
+thread scheduling.  This is what lets the test suite assert that the
+sequential and parallel engines produce *bit-identical* model metrics.
+Wall-clock metrics are the one exception: families registered with
+``wall=True`` are excluded from :meth:`MetricRegistry.snapshot` when
+``include_wall=False``, and the cross-engine equality tests compare only
+the model snapshot.
+
+Snapshots are plain nested dicts ordered by (family name, label values),
+so two registries fed the same events serialize identically byte for byte.
+"""
+
+from __future__ import annotations
+
+import threading
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+]
+
+#: Default histogram buckets: powers of two covering probe lengths, item
+#: counts, and sub-second latencies alike.  Upper bounds are inclusive
+#: (Prometheus ``le`` semantics); the implicit +Inf bucket is always last.
+DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384)
+
+_NameError = ValueError
+
+
+def _exact(amount: float) -> float | Fraction:
+    """Lossless representation of an increment.
+
+    Float addition is commutative but *not associative*, so worker threads
+    adding floats in scheduling order would produce last-bit differences
+    between the sequential and parallel engines.  Accumulating float
+    amounts as exact dyadic rationals makes the running sum independent of
+    add order; :func:`_as_number` converts back at snapshot time.
+    """
+    return Fraction(amount) if isinstance(amount, float) else amount
+
+
+def _as_number(value: object) -> float | int:
+    return float(value) if isinstance(value, Fraction) else value  # type: ignore[return-value]
+
+
+def _check_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name) or name[0].isdigit():
+        raise _NameError(f"invalid metric name {name!r}")
+    return name
+
+
+class _Child:
+    """One label-value combination of a metric family."""
+
+    __slots__ = ("_family", "_key")
+
+    def __init__(self, family: "_Family", key: tuple[str, ...]) -> None:
+        self._family = family
+        self._key = key
+
+
+class Counter(_Child):
+    """Monotonically non-decreasing sum (int or float)."""
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self._family.name!r} cannot decrease (inc {amount})")
+        fam = self._family
+        with fam._lock:
+            fam._values[self._key] = fam._values.get(self._key, 0) + _exact(amount)
+
+    @property
+    def value(self) -> float:
+        fam = self._family
+        with fam._lock:
+            return _as_number(fam._values.get(self._key, 0))
+
+
+class Gauge(_Child):
+    """Point-in-time value.
+
+    ``set`` is last-write-wins and therefore only safe from deterministic
+    (single-threaded, ordered) call sites; ``set_max`` is commutative and
+    safe from worker threads.
+    """
+
+    def set(self, value: float) -> None:
+        fam = self._family
+        with fam._lock:
+            fam._values[self._key] = value
+
+    def set_max(self, value: float) -> None:
+        fam = self._family
+        with fam._lock:
+            prev = fam._values.get(self._key)
+            if prev is None or value > prev:
+                fam._values[self._key] = value
+
+    def inc(self, amount: float = 1) -> None:
+        fam = self._family
+        with fam._lock:
+            fam._values[self._key] = fam._values.get(self._key, 0) + _exact(amount)
+
+    @property
+    def value(self) -> float:
+        fam = self._family
+        with fam._lock:
+            return _as_number(fam._values.get(self._key, 0))
+
+
+class Histogram(_Child):
+    """Bucketed distribution with sum and count (Prometheus semantics)."""
+
+    def observe(self, value: float, weight: int = 1) -> None:
+        fam = self._family
+        idx = int(np.searchsorted(fam.buckets, value, side="left"))
+        with fam._lock:
+            state = fam._hist_state(self._key)
+            state["buckets"][idx] += weight
+            state["sum"] += value * weight
+            state["count"] += weight
+
+    def observe_many(self, values: Iterable[float], weights: Iterable[int] | None = None) -> None:
+        """Bulk observe; order-independent, so safe from worker threads."""
+        vals = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=np.float64)
+        if vals.size == 0:
+            return
+        fam = self._family
+        if weights is None:
+            w = np.ones(vals.shape[0], dtype=np.int64)
+        else:
+            w = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights, dtype=np.int64)
+            if w.shape != vals.shape:
+                raise ValueError("weights must parallel values")
+        idx = np.searchsorted(fam.buckets, vals, side="left")
+        adds = np.bincount(idx, weights=w, minlength=len(fam.buckets) + 1).astype(np.int64)
+        with fam._lock:
+            state = fam._hist_state(self._key)
+            state["buckets"] += adds
+            state["sum"] += float((vals * w).sum())
+            state["count"] += int(w.sum())
+
+    @property
+    def count(self) -> int:
+        fam = self._family
+        with fam._lock:
+            return int(fam._hist_state(self._key)["count"])
+
+    @property
+    def sum(self) -> float:
+        fam = self._family
+        with fam._lock:
+            return float(fam._hist_state(self._key)["sum"])
+
+
+_KIND_TO_CHILD = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """Internal state of one metric family."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: tuple[str, ...],
+        wall: bool,
+        buckets: tuple[float, ...],
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labels = labels
+        self.wall = wall
+        self.buckets = np.asarray(buckets, dtype=np.float64) if kind == "histogram" else None
+        self._lock = threading.Lock()
+        self._values: dict[tuple[str, ...], float] = {}
+        self._hists: dict[tuple[str, ...], dict] = {}
+        self._child_cls = _KIND_TO_CHILD[kind]
+
+    def _hist_state(self, key: tuple[str, ...]) -> dict:
+        state = self._hists.get(key)
+        if state is None:
+            state = self._hists[key] = {
+                "buckets": np.zeros(len(self.buckets) + 1, dtype=np.int64),
+                "sum": 0.0,
+                "count": 0,
+            }
+        return state
+
+    def child(self, labelvalues: Mapping[str, object]) -> _Child:
+        given = set(labelvalues)
+        expected = set(self.labels)
+        if given != expected:
+            raise ValueError(
+                f"metric {self.name!r} takes labels {sorted(expected)}, got {sorted(given)}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labels)
+        with self._lock:
+            # Touch the key so zero-valued children appear in snapshots.
+            if self.kind == "histogram":
+                self._hist_state(key)
+            else:
+                self._values.setdefault(key, 0)
+        return self._child_cls(self, key)
+
+    def samples(self) -> list[dict]:
+        """Deterministic per-child snapshot, sorted by label values."""
+        out: list[dict] = []
+        with self._lock:
+            if self.kind == "histogram":
+                items = sorted(self._hists.items())
+                for key, state in items:
+                    out.append(
+                        {
+                            "labels": dict(zip(self.labels, key)),
+                            "buckets": [int(b) for b in state["buckets"]],
+                            "sum": float(state["sum"]),
+                            "count": int(state["count"]),
+                        }
+                    )
+            else:
+                for key, value in sorted(self._values.items()):
+                    out.append({"labels": dict(zip(self.labels, key)), "value": _as_number(value)})
+        return out
+
+
+class MetricRegistry:
+    """Collection of metric families; the unit of export and comparison."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # -- registration --------------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Sequence[str],
+        wall: bool,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> _Family:
+        _check_name(name)
+        labels_t = tuple(labels)
+        for lab in labels_t:
+            _check_name(lab)
+        with self._lock:
+            fam = self._families.get(name)
+            if fam is None:
+                fam = self._families[name] = _Family(name, kind, help, labels_t, wall, tuple(buckets))
+                return fam
+        if fam.kind != kind or fam.labels != labels_t:
+            raise ValueError(
+                f"metric {name!r} already registered as {fam.kind} with labels "
+                f"{list(fam.labels)}; cannot re-register as {kind} with {list(labels_t)}"
+            )
+        return fam
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = (), *, wall: bool = False, **labelvalues: object) -> Counter:
+        fam = self._family(name, "counter", help, labels or tuple(sorted(labelvalues)), wall)
+        return fam.child(labelvalues)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = (), *, wall: bool = False, **labelvalues: object) -> Gauge:
+        fam = self._family(name, "gauge", help, labels or tuple(sorted(labelvalues)), wall)
+        return fam.child(labelvalues)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        wall: bool = False,
+        **labelvalues: object,
+    ) -> Histogram:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a non-empty ascending sequence")
+        fam = self._family(name, "histogram", help, labels or tuple(sorted(labelvalues)), wall, tuple(buckets))
+        return fam.child(labelvalues)  # type: ignore[return-value]
+
+    # -- introspection -------------------------------------------------------
+
+    def families(self) -> list[_Family]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def snapshot(self, *, include_wall: bool = True) -> dict[str, dict]:
+        """Deterministic nested-dict snapshot of every family.
+
+        ``include_wall=False`` drops wall-clock families — the model-metric
+        view the determinism contract is asserted over.
+        """
+        out: dict[str, dict] = {}
+        for fam in self.families():
+            if fam.wall and not include_wall:
+                continue
+            entry: dict[str, object] = {
+                "kind": fam.kind,
+                "help": fam.help,
+                "labels": list(fam.labels),
+                "wall": fam.wall,
+                "samples": fam.samples(),
+            }
+            if fam.kind == "histogram":
+                entry["buckets"] = [float(b) for b in fam.buckets]
+            out[fam.name] = entry
+        return out
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge family over all label combinations."""
+        with self._lock:
+            fam = self._families.get(name)
+        if fam is None:
+            return 0.0
+        if fam.kind == "histogram":
+            return float(sum(s["sum"] for s in fam.samples()))
+        return float(sum(s["value"] for s in fam.samples()))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._families.clear()
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._families
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._families)

@@ -1,0 +1,50 @@
+"""Process-wide, context-scoped active registry.
+
+The instrumented layers (collectives, communicator, hash table, kernels,
+worker pools) are deep inside the call graph and cannot reasonably thread a
+registry parameter through every signature.  Instead, a run installs its
+registry as the *active* one for the duration — ``session(registry)`` — and
+instrumentation points ask :func:`active` and no-op when none is installed.
+
+The slot is a plain process global (not a ``contextvars`` variable) on
+purpose: the engine's worker pools run rank bodies on long-lived executor
+threads, which do not inherit the submitting context, but *do* see module
+globals.  Sessions nest — the inner session shadows the outer one and the
+outer is restored on exit — and installation is lock-protected so
+concurrent engine runs fail loudly rather than silently cross-feeding.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from .registry import MetricRegistry
+
+__all__ = ["active", "session"]
+
+_lock = threading.Lock()
+_stack: list[MetricRegistry] = []
+
+
+def active() -> MetricRegistry | None:
+    """The registry installed by the innermost live session, if any."""
+    stack = _stack
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def session(registry: MetricRegistry) -> Iterator[MetricRegistry]:
+    """Install ``registry`` as the active one for the ``with`` body."""
+    with _lock:
+        _stack.append(registry)
+    try:
+        yield registry
+    finally:
+        with _lock:
+            # Remove the most recent occurrence; robust to exotic unwind orders.
+            for i in range(len(_stack) - 1, -1, -1):
+                if _stack[i] is registry:
+                    del _stack[i]
+                    break

@@ -163,7 +163,8 @@ class TestProbingSchemes:
             table = DeviceHashTable(64, probing=probing, max_load_factor=0.95)
             table._alloc(8192)
             table._n_entries = 0
-            stats[probing] = table._insert_unique(keys, np.ones(keys.shape[0], dtype=np.int64))
+            ins, _probes = table._insert_unique(keys, np.ones(keys.shape[0], dtype=np.int64))
+            stats[probing] = ins
         assert stats["linear"].total_probes > stats["quadratic"].total_probes
         assert stats["linear"].total_probes > stats["double"].total_probes
 

@@ -236,5 +236,7 @@ class TestWallClockRecorder:
     def test_empty_recorder(self):
         rec = WallClockRecorder()
         assert rec.spans() == []
-        assert rec.overlap_factor() == 0.0
+        # Neutral concurrency on an empty recorder: ratio consumers must
+        # never divide by zero or see a bogus 0x overlap.
+        assert rec.overlap_factor() == 1.0
         assert wall_trace_events(rec) == []
