@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Micro-benchmark: the staged execution core's host wall-clock.
+
+Runs the same Fig. 6 workload as ``bench_parallel.py`` (small Table I
+datasets, 16 Summit nodes, CPU baseline + GPU k-mer + GPU supermer
+variants) through the staged stage-graph engine, verifies sequential and
+thread-pool execution stay bit-identical, and records wall-clock times
+into ``BENCH_stages.json``.
+
+When a ``BENCH_parallel.json`` recorded before the staged refactor is
+present, each cell's sequential time is compared against it so the
+refactor's host-side overhead is visible: the staged core should match
+the monolithic engine within measurement noise (model seconds are
+bit-identical by the golden suite; this benchmark is about host time
+only).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_stages.py [--out BENCH_stages.json]
+        [--baseline BENCH_parallel.json] [--workers N] [--nodes 16]
+        [--datasets ecoli30x,...] [--repeats 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from time import perf_counter
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.bench.runner import dataset_with_multiplier  # noqa: E402
+from repro.core.config import PipelineConfig  # noqa: E402
+from repro.core.engine import EngineOptions, run_pipeline  # noqa: E402
+from repro.core.parallel import resolve_workers  # noqa: E402
+from repro.dna.datasets import SMALL_DATASETS  # noqa: E402
+from repro.mpi.topology import summit_cpu, summit_gpu  # noqa: E402
+
+#: The Fig. 6 variant grid: (backend, mode, minimizer_len).
+VARIANTS = [("cpu", "kmer", 7), ("gpu", "kmer", 7), ("gpu", "supermer", 7)]
+
+#: Per-total tolerance band for "matches the pre-refactor baseline".
+#: Single-cell host times on a shared box jitter far more than this
+#: (BENCH_parallel.json itself shows 0.6-1.1x cell-to-cell), so the
+#: comparison is made on the grid total.
+NOISE_BAND = (0.67, 1.5)
+
+
+def _assert_identical(a, b, label: str) -> None:
+    ok = (
+        a.spectrum.equals(b.spectrum)
+        and a.timing == b.timing
+        and np.array_equal(a.per_rank_parse, b.per_rank_parse)
+        and np.array_equal(a.per_rank_count, b.per_rank_count)
+        and np.array_equal(a.counts_matrix, b.counts_matrix)
+        and a.exchanged_items == b.exchanged_items
+        and a.exchanged_bytes == b.exchanged_bytes
+        and a.insert_stats == b.insert_stats
+    )
+    if not ok:
+        raise AssertionError(f"pooled staged engine diverged from sequential on {label}")
+
+
+def _run_grid(datasets, nodes, parallel, repeats):
+    """Best-of-``repeats`` wall time per (dataset, variant) cell."""
+    cells = {}
+    for name in datasets:
+        reads, mult = dataset_with_multiplier(name)
+        for backend, mode, m in VARIANTS:
+            cluster = summit_gpu(nodes) if backend == "gpu" else summit_cpu(nodes)
+            config = PipelineConfig(k=17, mode=mode, minimizer_len=m)
+            options = EngineOptions(work_multiplier=mult, parallel=parallel)
+            best, result = float("inf"), None
+            for _ in range(repeats):
+                t0 = perf_counter()
+                result = run_pipeline(reads, cluster, config, backend=backend, options=options)
+                best = min(best, perf_counter() - t0)
+            cells[f"{name}/{backend}-{mode}-m{m}"] = (best, result)
+    return cells
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--out", default="BENCH_stages.json", help="output JSON path")
+    ap.add_argument(
+        "--baseline",
+        default="BENCH_parallel.json",
+        help="pre-refactor benchmark JSON to compare against (skipped if absent)",
+    )
+    ap.add_argument("--workers", type=int, default=0, help="parallel worker count (0 = auto)")
+    ap.add_argument("--nodes", type=int, default=16, help="simulated Summit node count")
+    ap.add_argument("--datasets", default=",".join(SMALL_DATASETS), help="comma-separated Table I names")
+    ap.add_argument("--repeats", type=int, default=2, help="take the best of N runs per cell")
+    args = ap.parse_args(argv)
+
+    datasets = [d for d in args.datasets.split(",") if d]
+    workers = args.workers if args.workers > 0 else resolve_workers("auto")
+    world = summit_gpu(args.nodes).n_ranks
+
+    print(f"staged-core fig6 workload: {datasets} on {args.nodes} nodes ({world} GPU ranks)")
+    seq_cells = _run_grid(datasets, args.nodes, 1, args.repeats)
+    par_cells = _run_grid(datasets, args.nodes, workers, args.repeats)
+
+    baseline_cells = {}
+    baseline_path = Path(args.baseline)
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        baseline_cells = {row["cell"]: row["sequential_s"] for row in baseline.get("cells", [])}
+
+    rows = []
+    for key, (seq_s, seq_result) in seq_cells.items():
+        par_s, par_result = par_cells[key]
+        _assert_identical(seq_result, par_result, key)
+        row = {
+            "cell": key,
+            "sequential_s": round(seq_s, 4),
+            "parallel_s": round(par_s, 4),
+        }
+        note = ""
+        if key in baseline_cells:
+            row["baseline_sequential_s"] = baseline_cells[key]
+            row["vs_baseline"] = round(seq_s / baseline_cells[key], 3)
+            note = f"  vs pre-refactor {row['vs_baseline']:5.2f}x"
+        rows.append(row)
+        print(f"  {key:45s} seq {seq_s:7.3f}s  par {par_s:7.3f}s{note}")
+
+    total_seq = sum(r["sequential_s"] for r in rows)
+    total_par = sum(r["parallel_s"] for r in rows)
+    payload = {
+        "workload": "fig6",
+        "engine": "staged",
+        "datasets": datasets,
+        "n_nodes": args.nodes,
+        "world_size_gpu": world,
+        "variants": [f"{b}-{m}-m{mm}" for b, m, mm in VARIANTS],
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "repeats": args.repeats,
+        "results_identical": True,
+        "sequential_total_s": round(total_seq, 4),
+        "parallel_total_s": round(total_par, 4),
+        "cells": rows,
+    }
+    if baseline_cells:
+        base_total = sum(
+            r["baseline_sequential_s"] for r in rows if "baseline_sequential_s" in r
+        )
+        matched_total = sum(r["sequential_s"] for r in rows if "baseline_sequential_s" in r)
+        ratio = matched_total / base_total if base_total else float("inf")
+        payload["baseline"] = {
+            "path": str(baseline_path),
+            "sequential_total_s": round(base_total, 4),
+            "ratio": round(ratio, 3),
+            "noise_band": list(NOISE_BAND),
+            "within_noise": NOISE_BAND[0] <= ratio <= NOISE_BAND[1],
+        }
+        print(
+            f"vs pre-refactor baseline: {ratio:.3f}x total "
+            f"({'within' if payload['baseline']['within_noise'] else 'OUTSIDE'} "
+            f"noise band {NOISE_BAND[0]}-{NOISE_BAND[1]})"
+        )
+
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2))
+    print(f"total: seq {total_seq:.3f}s  par {total_par:.3f}s -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

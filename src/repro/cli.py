@@ -34,14 +34,14 @@ from typing import Sequence
 from .bench.reporting import format_table
 from .bench.runner import dataset_with_multiplier
 from .core.config import PipelineConfig
-from .core.driver import count_distributed, run_paper_comparison
+from .core.driver import run_paper_comparison
+from .core.stages.registry import substrate_names
 from .dna.datasets import DATASET_NAMES, TABLE1, load_dataset
 from .dna.fastq import read_fasta, read_fastq, sniff_format, write_fastq
 from .dna.reads import ReadSet
 from .dna.simulate import ReadLengthProfile, reads_to_records, simulate_dataset
 from .kmers.genomics import profile_spectrum
 from .kmers.kmerdb import read_kmerdb, write_kmerdb, write_tsv
-from .kmers.spectrum import count_kmers_exact
 from .telemetry import MetricRegistry, RunReport, configure_logging, write_prometheus
 
 __all__ = ["main", "build_parser"]
@@ -83,8 +83,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_count.add_argument("-k", type=int, default=17, help="k-mer length (2-31)")
     p_count.add_argument("--nodes", type=int, default=4, help="simulated Summit nodes")
-    p_count.add_argument("--backend", choices=["gpu", "cpu"], default="gpu")
+    p_count.add_argument(
+        "--backend",
+        default="gpu",
+        help="execution backend from the stage registry: a substrate name "
+        f"({', '.join(substrate_names())}) or '<substrate>:<mode>'",
+    )
     p_count.add_argument("--mode", choices=["kmer", "supermer"], default="supermer")
+    p_count.add_argument(
+        "--stages",
+        default="",
+        help="comma-separated extension stages from the stage registry "
+        "(e.g. 'bloom,balanced'); see docs/ARCHITECTURE.md",
+    )
     p_count.add_argument("-m", "--minimizer-len", type=int, default=7)
     p_count.add_argument("--window", type=int, default=None, help="supermer window (default: max packable)")
     p_count.add_argument("--ordering", default="random-base", choices=["lexicographic", "kmc2", "random-base"])
@@ -193,10 +204,12 @@ def _cmd_count(args: argparse.Namespace) -> int:
         gpudirect=args.gpudirect,
         n_rounds=args.rounds,
     )
-    cluster = summit_gpu(args.nodes) if args.backend == "gpu" else summit_cpu(args.nodes)
+    substrate = args.backend.split(":", 1)[0]
+    cluster = summit_cpu(args.nodes) if substrate == "cpu" else summit_gpu(args.nodes)
+    stages = tuple(s.strip() for s in args.stages.split(",") if s.strip())
     registry = MetricRegistry() if (args.report or args.metrics_out) else None
     counter = DistributedCounter(
-        cluster, config, backend=args.backend, options=EngineOptions(telemetry=registry)
+        cluster, config, backend=args.backend, options=EngineOptions(telemetry=registry, stages=stages)
     )
     if args.checkpoint and Path(args.checkpoint).exists():
         counter.load(args.checkpoint)

@@ -22,6 +22,19 @@ from .parallel import (
     resolve_workers,
 )
 from .results import CountResult, LoadStats, PhaseTiming
+from .stages import (
+    PipelinePlugin,
+    PipelineState,
+    RoundScheduler,
+    StageComposition,
+    build_composition,
+    register_backend,
+    register_stage,
+    registered_backends,
+    registered_stages,
+    staged_rank_program,
+    substrate_names,
+)
 from .sweep import SweepPoint, SweepResult, sweep
 from .spmd import count_spmd, kmer_count_program, supermer_count_program
 from .tracing import (
@@ -72,4 +85,15 @@ __all__ = [
     "sweep",
     "SweepPoint",
     "SweepResult",
+    "PipelinePlugin",
+    "PipelineState",
+    "RoundScheduler",
+    "StageComposition",
+    "build_composition",
+    "register_backend",
+    "register_stage",
+    "registered_backends",
+    "registered_stages",
+    "staged_rank_program",
+    "substrate_names",
 ]

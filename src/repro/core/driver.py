@@ -37,6 +37,7 @@ def count_distributed(
     cluster: ClusterSpec | None = None,
     options: EngineOptions | None = None,
     work_multiplier: float = 1.0,
+    stages: tuple[str, ...] = (),
 ) -> CountResult:
     """Count k-mers of ``reads`` on a simulated distributed-GPU (or CPU) system.
 
@@ -47,20 +48,29 @@ def count_distributed(
         FASTQ file via :class:`repro.dna.ReadSet`).
     n_nodes / backend:
         Picks the paper's Summit layout: 6 ranks/node for ``"gpu"``, 42 for
-        ``"cpu"``.  Ignored when an explicit ``cluster`` is given.
+        ``"cpu"``.  ``backend`` is any registry key (``"gpu"``, ``"cpu"``,
+        or ``"gpu:supermer"``-style).  Ignored when an explicit ``cluster``
+        is given.
     config:
         Algorithmic parameters; defaults to the paper's k=17 k-mer mode.
     work_multiplier:
         Scale-up factor applied to all cost-model inputs so a scaled-down
         dataset yields full-size model times (see :mod:`repro.core.engine`).
+    stages:
+        Extension stage names from the registry (e.g. ``("bloom",
+        "balanced")``), applied on top of the backend's composition.
     """
     if cluster is None:
-        cluster = gpu_cluster(n_nodes) if backend == "gpu" else cpu_cluster(n_nodes)
+        substrate = backend.split(":", 1)[0]
+        cluster = cpu_cluster(n_nodes) if substrate == "cpu" else gpu_cluster(n_nodes)
     config = config or paper_config()
     if options is None:
-        options = EngineOptions(work_multiplier=work_multiplier)
-    elif work_multiplier != 1.0:
-        raise ValueError("pass work_multiplier inside options when options is given")
+        options = EngineOptions(work_multiplier=work_multiplier, stages=stages)
+    else:
+        if work_multiplier != 1.0:
+            raise ValueError("pass work_multiplier inside options when options is given")
+        if stages:
+            raise ValueError("pass stages inside options when options is given")
     return run_pipeline(reads, cluster, config, backend=backend, options=options)
 
 

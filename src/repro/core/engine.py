@@ -1,7 +1,8 @@
 """The distributed counting engine: parse -> exchange -> count.
 
-This module executes the paper's pipelines end to end on the simulated
-substrates.  One engine covers all four published variants:
+This module is the classic one-shot entry point over the staged execution
+core (:mod:`repro.core.stages`).  One call covers all four published
+variants:
 
 * ``backend="cpu"``, ``mode="kmer"`` — Algorithm 1, the diBELLA-derived CPU
   baseline (Section III-A);
@@ -16,12 +17,16 @@ substrates.  One engine covers all four published variants:
   implementation and can be used in other distributed-memory k-mer
   counters" (Section I).
 
-Execution is bulk-synchronous: every rank's phase runs to completion (as
-real NumPy work), per-rank model times are derived from the work actually
-performed, and the phase's bulk time is the max over ranks.  The exchange is
-a real data movement through :func:`repro.mpi.collectives.alltoallv_segments`
-with exact byte/item accounting, timed by the Summit-calibrated
-:class:`repro.mpi.CommCostModel`.
+``backend`` is any key the stage registry knows (``repro.core.stages.
+registry``): ``"gpu"``/``"cpu"`` pick the substrate with the mode coming
+from the config, and ``"gpu:supermer"``-style keys spell the mode out.
+Extension stages (e.g. ``("bloom", "balanced")``) ride in through
+``EngineOptions.stages``.
+
+Execution semantics — bulk-synchronous phases over a rank pool, real NumPy
+data movement, Summit-calibrated model times, multi-round memory-bounded
+exchanges — live in :class:`repro.core.stages.RoundScheduler`; this module
+only resolves the composition and runs it.
 
 ``work_multiplier`` decouples *executed* data volume from *modeled* data
 volume: the engine runs the scaled synthetic dataset but multiplies every
@@ -35,78 +40,15 @@ unscaled, as measured.
 
 from __future__ import annotations
 
-from contextlib import nullcontext
-from dataclasses import dataclass, field
-from time import perf_counter
-
-import numpy as np
-
-from ..dna.encoding import canonical_batch
 from ..dna.reads import ReadSet
-from ..gpu.costmodel import TrafficEstimate
-from ..gpu.device import DeviceSpec, v100
-from ..gpu.hashtable import DeviceHashTable, InsertStats
-from ..gpu.kernels import VirtualGPU
-from ..hashing.partition import KmerPartitioner, MinimizerPartitioner
-from ..kmers.extract import window_values
-from ..kmers.spectrum import KmerSpectrum
-from ..kmers.supermers import build_supermers, extract_kmers_from_packed
-from ..mpi.collectives import alltoallv_segments
-from ..mpi.costmodel import CommCostModel
-from ..mpi.stats import TrafficStats
 from ..mpi.topology import ClusterSpec
-from ..telemetry import MetricRegistry, event, session
 from .config import PipelineConfig
-from .cpu_model import CpuRates, power9_rates
-from .gpu_model import GpuPipelineModel
-from .parallel import ParallelSetting, RankPool, get_pool
-from .results import CountResult, PhaseTiming
-from .tracing import WallClockRecorder
+from .results import CountResult
+from .stages.context import EngineOptions
+from .stages.registry import build_composition
+from .stages.scheduler import RoundScheduler
 
 __all__ = ["EngineOptions", "run_pipeline"]
-
-
-@dataclass(frozen=True)
-class EngineOptions:
-    """Backend/substrate knobs for one engine run (config-independent)."""
-
-    device: DeviceSpec = field(default_factory=v100)
-    gpu_model: GpuPipelineModel = field(default_factory=GpuPipelineModel)
-    cpu_rates: CpuRates = field(default_factory=power9_rates)
-    work_multiplier: float = 1.0
-    minimizer_assignment: np.ndarray | None = None  # balanced-partition hook
-    shard_mode: str = "bytes"  # "bytes" (paper's parallel I/O) or "reads"
-    auto_rounds: bool = False  # split exchange+count by device memory (Sec. III-A)
-    memory_budget_fraction: float = 0.5  # usable share of device HBM per round
-    verify_exchange: bool = True  # end-to-end checksums over the alltoallv
-    # Worker count for per-rank phase execution: None defers to the
-    # REPRO_PARALLEL environment variable; see repro.core.parallel.
-    parallel: ParallelSetting = None
-    span_recorder: WallClockRecorder | None = None  # host wall-clock spans per (phase, rank)
-    # Metrics sink for this run: installed as the telemetry session so every
-    # layer (collectives, hash table, kernels, pools) feeds it.  None = off.
-    telemetry: MetricRegistry | None = None
-
-    def __post_init__(self) -> None:
-        if self.work_multiplier <= 0:
-            raise ValueError("work_multiplier must be positive")
-        if self.shard_mode not in ("bytes", "reads"):
-            raise ValueError("shard_mode must be 'bytes' or 'reads'")
-        if not 0 < self.memory_budget_fraction <= 1:
-            raise ValueError("memory_budget_fraction must be in (0, 1]")
-
-
-@dataclass
-class _RankParse:
-    """Per-rank output of the parse phase: destination-ordered buffers."""
-
-    data: np.ndarray  # packed k-mers, or packed supermer words
-    lengths: np.ndarray | None  # supermer mode: per-item k-mer counts (uint8)
-    counts: np.ndarray  # items per destination, shape (P,)
-    time_s: float
-    n_kmers_parsed: int
-    n_supermers: int
-    supermer_bases: int
 
 
 def run_pipeline(
@@ -126,541 +68,6 @@ def run_pipeline(
     metrics afterwards.  Model metrics are bit-identical across execution
     engines; only families registered as wall metrics may differ.
     """
-    if backend not in ("gpu", "cpu"):
-        raise ValueError(f"backend must be 'gpu' or 'cpu', got {backend!r}")
     opts = options or EngineOptions()
-    reg = opts.telemetry
-    recorder = opts.span_recorder
-    if reg is not None and recorder is None:
-        recorder = WallClockRecorder()  # wall metrics need spans even if the caller kept none
-    event(
-        "engine.run.start",
-        subsystem="engine",
-        backend=backend,
-        mode=config.mode,
-        k=config.k,
-        ranks=cluster.n_ranks,
-        reads=reads.n_reads,
-    )
-    ctx = session(reg) if reg is not None else nullcontext()
-    with ctx:
-        result = _execute_pipeline(reads, cluster, config, backend, opts, recorder, reg)
-    if reg is not None:
-        _record_run_metrics(reg, result, recorder)
-    event(
-        "engine.run.done",
-        subsystem="engine",
-        backend=backend,
-        total_model_s=round(result.timing.total, 6),
-        exchanged_items=result.exchanged_items,
-        distinct=result.spectrum.n_distinct,
-        rounds=result.n_rounds_used,
-    )
-    return result
-
-
-def _execute_pipeline(
-    reads: ReadSet,
-    cluster: ClusterSpec,
-    config: PipelineConfig,
-    backend: str,
-    opts: EngineOptions,
-    recorder: WallClockRecorder | None,
-    reg: MetricRegistry | None,
-) -> CountResult:
-    p = cluster.n_ranks
-    mult = opts.work_multiplier
-    stats = TrafficStats()
-    comm_model = CommCostModel(cluster)
-    pool = get_pool(opts.parallel)
-
-    # ---- input partitioning (the paper's parallel I/O; Section IV-D) ----
-    if opts.shard_mode == "bytes":
-        shards = reads.shard_bytes(p, overlap=config.k - 1)
-    else:
-        shards = reads.shard(p)
-
-    # ---- phase 1: parse (& build supermers) per rank ----
-    # Each rank's parse touches only its own shard and builds rank-private
-    # outputs, so the pool may run ranks concurrently; results come back in
-    # rank order and are bit-identical to the sequential loop.
-    parse_rank = _parse_rank_gpu if backend == "gpu" else _parse_rank_cpu
-
-    def _parse_one(r: int) -> _RankParse:
-        t0 = perf_counter()
-        out = parse_rank(shards[r], config, cluster, opts)
-        if recorder is not None:
-            recorder.record("parse", r, t0, perf_counter())
-        return out
-
-    parsed: list[_RankParse] = pool.map(_parse_one, range(p))
-    t_parse = max(pr.time_s for pr in parsed)
-    total_parsed_kmers = sum(pr.n_kmers_parsed for pr in parsed)
-
-    # ---- phases 2+3: exchange and count, possibly in multiple rounds ----
-    supermer_mode = config.mode == "supermer"
-    wire = config.supermer_wire_bytes if supermer_mode else config.kmer_wire_bytes
-    overhead = opts.gpu_model.exchange_overhead_s if backend == "gpu" else opts.cpu_rates.phase_overhead
-    n_rounds = config.n_rounds
-    if opts.auto_rounds and backend == "gpu":
-        n_rounds = max(n_rounds, _rounds_for_memory(parsed, p, wire, mult, opts))
-    tables = [
-        DeviceHashTable(capacity_hint=max(64, pr.n_kmers_parsed // max(p, 1) + 16), seed=config.table_seed)
-        for pr in parsed
-    ]
-    received_kmers = np.zeros(p, dtype=np.int64)
-    per_rank_count = np.zeros(p, dtype=np.float64)
-    t_exchange = 0.0
-    t_alltoallv = 0.0
-    staging_total = 0.0
-    counts_matrix_total = np.zeros((p, p), dtype=np.int64)
-    insert_total = InsertStats.zero()
-
-    for rnd in range(n_rounds):
-        round_send = [_round_slice(pr, rnd, n_rounds) for pr in parsed]
-        send_data = [rs[0] for rs in round_send]
-        send_counts = [rs[2] for rs in round_send]
-        label = f"{config.mode}-exchange" + (f"-round{rnd}" if n_rounds > 1 else "")
-        recv_data, counts_matrix = alltoallv_segments(
-            send_data, send_counts, stats=stats, label=label, bytes_per_item=wire, pool=pool
-        )
-        recv_lengths: list[np.ndarray] | None = None
-        if supermer_mode:
-            recv_lengths, _ = alltoallv_segments(
-                [rs[1] for rs in round_send], send_counts, stats=None, pool=pool  # bytes counted in `wire`
-            )
-        counts_matrix_total += counts_matrix
-        if opts.verify_exchange:
-            _verify_exchange(send_data, recv_data, counts_matrix, label)
-
-        # Exchange time: counts alltoall + payload alltoallv + staging.
-        bytes_matrix = counts_matrix.astype(np.float64) * wire * mult
-        t_a2av = comm_model.alltoallv(bytes_matrix).total
-        t_alltoallv += t_a2av
-        t_net = t_a2av + comm_model.alltoall_counts()
-        t_stage = 0.0
-        if backend == "gpu" and not config.gpudirect:
-            out_bytes = bytes_matrix.sum(axis=1)
-            in_bytes = bytes_matrix.sum(axis=0)
-            per_rank_stage = (out_bytes + in_bytes) / opts.device.host_link_bw
-            t_stage = float(per_rank_stage.max()) if p else 0.0
-        t_exchange += overhead + t_net + t_stage
-        staging_total += t_stage
-        if reg is not None:
-            reg.counter("exchange_rounds_total", "Exchange/count rounds executed", engine=backend).inc()
-            reg.counter(
-                "exchange_model_seconds_total",
-                "Modeled exchange seconds (overhead + network + staging)",
-                engine=backend,
-                round=rnd,
-            ).inc(overhead + t_net + t_stage)
-            reg.counter(
-                "alltoallv_model_seconds_total",
-                "Modeled MPI_Alltoallv routine seconds",
-                engine=backend,
-                round=rnd,
-            ).inc(t_a2av)
-            reg.counter(
-                "staging_model_seconds_total",
-                "Modeled host<->device staging seconds",
-                engine=backend,
-                round=rnd,
-            ).inc(t_stage)
-            reg.counter(
-                "exchange_items_round_total",
-                "Items exchanged per round",
-                engine=backend,
-                round=rnd,
-            ).inc(int(counts_matrix.sum()))
-
-        # ---- count phase ----
-        # Rank r's count touches only recv_data[r] and its own table
-        # partition, so ranks run concurrently; the stats reduction below
-        # stays in rank order (pool.map returns results in input order) so
-        # the combined InsertStats is identical to the sequential engine's.
-        count_label = "count" + (f"-round{rnd}" if n_rounds > 1 else "")
-
-        def _count_one(r: int) -> tuple[float, int, InsertStats]:
-            lengths_r = recv_lengths[r] if recv_lengths is not None else None
-            t0 = perf_counter()
-            out = _count_rank(recv_data[r], lengths_r, tables[r], config, backend, opts)
-            if recorder is not None:
-                recorder.record(count_label, r, t0, perf_counter())
-            return out
-
-        for r, (dt, n_inst, ins) in enumerate(pool.map(_count_one, range(p))):
-            per_rank_count[r] += dt
-            received_kmers[r] += n_inst
-            insert_total = insert_total.combined(ins)
-
-    t_count = float(per_rank_count.max()) if p else 0.0
-
-    # ---- merge the partitioned global table into one spectrum ----
-    spectrum = _merge_tables(tables, config.k)
-    if spectrum.n_total != total_parsed_kmers:
-        raise AssertionError(
-            f"pipeline lost k-mers: parsed {total_parsed_kmers}, counted {spectrum.n_total}"
-        )
-
-    exchanged_items = int(counts_matrix_total.sum())
-    supermer_bases = sum(pr.supermer_bases for pr in parsed)
-    n_supermers = sum(pr.n_supermers for pr in parsed)
-    if reg is not None:
-        # Recorded here (not in the hash table) because only the engine knows
-        # the rank index; plain Gauge.set is safe from this ordered loop.
-        for r, table in enumerate(tables):
-            reg.gauge("hashtable_entries", "Distinct keys per rank partition", rank=r).set(table.n_entries)
-            reg.gauge("hashtable_load_factor", "Final load factor per rank", rank=r).set(table.load_factor)
-        reg.counter("kmers_parsed_total", "k-mer instances parsed", engine=backend).inc(total_parsed_kmers)
-        if n_supermers:
-            reg.counter("supermers_total", "Supermers built", engine=backend).inc(n_supermers)
-            reg.counter("supermer_bases_total", "Bases covered by supermers", engine=backend).inc(
-                supermer_bases
-            )
-    return CountResult(
-        config=config,
-        cluster=cluster,
-        backend=backend,
-        spectrum=spectrum,
-        timing=PhaseTiming(parse=t_parse, exchange=t_exchange, count=t_count),
-        per_rank_parse=np.array([pr.time_s for pr in parsed]),
-        per_rank_count=per_rank_count,
-        received_kmers=received_kmers,
-        exchanged_items=exchanged_items,
-        exchanged_bytes=int(exchanged_items * wire),
-        counts_matrix=counts_matrix_total,
-        work_multiplier=mult,
-        traffic=stats,
-        insert_stats=insert_total,
-        mean_supermer_length=(supermer_bases / n_supermers) if n_supermers else 0.0,
-        staging_seconds=staging_total,
-        alltoallv_seconds=t_alltoallv,
-        n_rounds_used=n_rounds,
-    )
-
-
-def _record_run_metrics(reg: MetricRegistry, result: CountResult, recorder: WallClockRecorder | None) -> None:
-    """Engine-level metrics derived from the finished result.
-
-    Everything here is computed from the deterministic result payload (so
-    sequential and parallel engines record identical values), except the
-    ``wall=True`` families, which come from host wall-clock spans.
-    """
-    backend = result.backend
-    t = result.timing
-    for phase, secs in (("parse", t.parse), ("exchange", t.exchange), ("count", t.count)):
-        reg.counter(
-            "phase_model_seconds_total",
-            "Bulk-synchronous phase time (max over ranks)",
-            engine=backend,
-            phase=phase,
-        ).inc(secs)
-    for r in range(result.cluster.n_ranks):
-        reg.gauge(
-            "rank_phase_model_seconds", "Per-rank modeled phase seconds", engine=backend, phase="parse", rank=r
-        ).set(float(result.per_rank_parse[r]))
-        reg.gauge(
-            "rank_phase_model_seconds", "Per-rank modeled phase seconds", engine=backend, phase="count", rank=r
-        ).set(float(result.per_rank_count[r]))
-        reg.gauge("rank_received_kmers", "k-mer instances counted per rank", rank=r).set(
-            int(result.received_kmers[r])
-        )
-    loads = result.load_stats()
-    reg.gauge("load_imbalance", "max/mean received k-mers (Table III)", engine=backend).set(loads.imbalance)
-    reg.counter("exchange_items_total", "Items routed through the exchange", engine=backend).inc(
-        result.exchanged_items
-    )
-    reg.counter("exchange_bytes_total", "Wire bytes at measured scale", engine=backend).inc(
-        result.exchanged_bytes
-    )
-    if recorder is not None and len(recorder):
-        for name in recorder.phases():
-            reg.counter(
-                "wall_phase_seconds_total", "Host wall-clock rank-seconds per phase", wall=True, phase=name
-            ).inc(recorder.busy_seconds(name))
-        reg.gauge("wall_busy_seconds", "Total host rank-seconds", wall=True).set(recorder.busy_seconds())
-        reg.gauge("wall_elapsed_seconds", "Host wall window of the run", wall=True).set(
-            recorder.elapsed_seconds()
-        )
-        reg.gauge("wall_overlap_factor", "Achieved rank concurrency", wall=True).set(
-            recorder.overlap_factor()
-        )
-
-
-# ---------------------------------------------------------------------------
-# parse phase
-# ---------------------------------------------------------------------------
-
-
-def _verify_exchange(
-    send_data: list[np.ndarray],
-    recv_data: list[np.ndarray],
-    counts_matrix: np.ndarray,
-    label: str,
-) -> None:
-    """End-to-end integrity check over one exchange round.
-
-    Production distributed counters checksum their wire traffic (a single
-    flipped key silently corrupts the histogram).  The simulator does the
-    equivalent: the global XOR and item count of everything sent must equal
-    those of everything received.  Catches routing/slicing bugs in the
-    collective layer at negligible cost.
-    """
-    sent_items = int(counts_matrix.sum())
-    recv_items = sum(int(buf.shape[0]) for buf in recv_data)
-    if sent_items != recv_items:
-        raise AssertionError(f"exchange {label!r} lost items: sent {sent_items}, received {recv_items}")
-    sent_xor = np.uint64(0)
-    for buf in send_data:
-        if buf.size:
-            sent_xor ^= np.bitwise_xor.reduce(buf.view(np.uint64))
-    recv_xor = np.uint64(0)
-    for buf in recv_data:
-        if buf.size:
-            recv_xor ^= np.bitwise_xor.reduce(buf.view(np.uint64))
-    if sent_xor != recv_xor:
-        raise AssertionError(f"exchange {label!r} corrupted payload (checksum mismatch)")
-
-
-def _rounds_for_memory(parsed: list["_RankParse"], p: int, wire: int, mult: float, opts: EngineOptions) -> int:
-    """Rounds needed so every rank's round working set fits device memory.
-
-    Models Section III-A: "Depending on the total size of the input,
-    relative to software limits (approximating available memory), the
-    computation and communication may proceed in multiple rounds."  The
-    per-rank working set of one round is its received wire buffer plus the
-    growing hash table (keys + counts per distinct key, bounded by received
-    instances), evaluated at full (multiplied) scale.
-    """
-    recv_items = np.zeros(p, dtype=np.float64)
-    for pr in parsed:
-        recv_items += pr.counts
-    worst = float(recv_items.max(initial=0.0)) * mult
-    # Wire buffer + staged copy + table entries (16 B/slot at ~0.7 load).
-    bytes_per_item = wire * 2 + 16 / 0.7
-    budget = opts.device.hbm_bytes * opts.memory_budget_fraction
-    return max(1, int(np.ceil(worst * bytes_per_item / budget)))
-
-
-def _outgoing_buffer_hot_fraction(p: int, serialization: float) -> float:
-    """Contention share for the per-destination outgoing-buffer counters.
-
-    The parse kernel's appends contend on ``p`` counters (Fig. 2).  With n
-    atomics spread over p addresses, the slowest address serializes ~n/p
-    increments, so the phase is bound by ``max(n, n * serialization / p)``
-    atomic-units.  Expressed through the cost model's hot-fraction form
-    ``(1 - h) + h * serialization == max(1, serialization / p)``.
-    """
-    factor = max(1.0, serialization / max(p, 1))
-    return (factor - 1.0) / (serialization - 1.0) if serialization > 1.0 else 0.0
-
-
-def _destination_sort(values: np.ndarray, owners: np.ndarray, p: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Order items by destination rank -> (order, counts, offsets)."""
-    order = np.argsort(owners, kind="stable")
-    counts = np.bincount(owners, minlength=p).astype(np.int64)
-    return order, counts, np.concatenate(([0], np.cumsum(counts)))
-
-
-def _parse_common(shard: ReadSet, config: PipelineConfig, cluster: ClusterSpec, opts: EngineOptions):
-    """Shared parse-phase computation; returns a _RankParse minus timing."""
-    p = cluster.n_ranks
-    if config.mode == "kmer":
-        windows = window_values(shard.codes, config.k)
-        kmers = windows.compact()
-        if config.canonical:
-            kmers = canonical_batch(kmers, config.k)
-        partitioner = KmerPartitioner(p, seed=config.partition_seed)
-        owners = partitioner.owners(kmers) if kmers.size else np.empty(0, dtype=np.int32)
-        order, counts, _ = _destination_sort(kmers, owners, p)
-        return _RankParse(
-            data=kmers[order],
-            lengths=None,
-            counts=counts,
-            time_s=0.0,
-            n_kmers_parsed=int(kmers.shape[0]),
-            n_supermers=0,
-            supermer_bases=0,
-        )
-    batch = build_supermers(
-        shard,
-        config.k,
-        config.minimizer_len,
-        window=config.effective_window,
-        ordering=config.ordering,
-        # Canonical counting needs strand-neutral minimizers so each
-        # canonical k-mer keeps a single owning rank.
-        canonical_minimizers=config.canonical,
-    )
-    partitioner = MinimizerPartitioner(
-        p, config.minimizer_len, seed=config.partition_seed, assignment=opts.minimizer_assignment
-    )
-    owners = partitioner.owners(batch.minimizers) if len(batch) else np.empty(0, dtype=np.int32)
-    order, counts, _ = _destination_sort(batch.packed, owners, p)
-    return _RankParse(
-        data=batch.packed[order],
-        lengths=batch.n_kmers.astype(np.uint8)[order],
-        counts=counts,
-        time_s=0.0,
-        n_kmers_parsed=batch.total_kmers,
-        n_supermers=len(batch),
-        supermer_bases=batch.total_bases,
-    )
-
-
-def _parse_rank_gpu(shard: ReadSet, config: PipelineConfig, cluster: ClusterSpec, opts: EngineOptions) -> _RankParse:
-    """GPU parse phase: the Fig. 2 / Fig. 5 kernels through VirtualGPU."""
-    gpu = VirtualGPU(opts.device)
-    model = opts.gpu_model
-    mult = opts.work_multiplier
-    p = cluster.n_ranks
-    holder: dict[str, _RankParse] = {}
-
-    def body(_tid: np.ndarray):
-        holder["parse"] = _parse_common(shard, config, cluster, opts)
-        return holder["parse"]
-
-    def traffic(pr: _RankParse) -> TrafficEstimate:
-        n = pr.n_kmers_parsed
-        if config.mode == "kmer":
-            ops = model.ops_parse_kmer * n
-            atomics = n  # one outgoing-buffer append per k-mer (Fig. 2)
-            written = 8.0 * n
-        else:
-            ops = model.ops_parse_supermer * n
-            atomics = pr.n_supermers  # one append per supermer (Fig. 5)
-            written = 9.0 * pr.n_supermers
-        return TrafficEstimate(
-            streaming_bytes=(2.0 * shard.codes.nbytes + written) * mult,
-            atomic_ops=atomics * mult,
-            atomic_hot_fraction=_outgoing_buffer_hot_fraction(p, opts.device.atomic_serialization),
-            thread_ops=ops * mult,
-        )
-
-    n_threads = max(int(shard.codes.shape[0]) - config.k + 1, 0)
-    kernel_name = "parse_kmers" if config.mode == "kmer" else "build_supermers"
-    pr = gpu.launch(kernel_name, n_threads, body, traffic)
-    pr.time_s = gpu.elapsed
-    return pr
-
-
-def _parse_rank_cpu(shard: ReadSet, config: PipelineConfig, cluster: ClusterSpec, opts: EngineOptions) -> _RankParse:
-    """CPU parse phase: same algorithm, Power9-calibrated rates."""
-    pr = _parse_common(shard, config, cluster, opts)
-    rates = opts.cpu_rates
-    pr.time_s = rates.phase_overhead + rates.parse_time(
-        pr.n_kmers_parsed * opts.work_multiplier, supermer_mode=(config.mode == "supermer")
-    )
-    return pr
-
-
-# ---------------------------------------------------------------------------
-# count phase
-# ---------------------------------------------------------------------------
-
-
-def _count_rank(
-    recv: np.ndarray,
-    recv_lengths: np.ndarray | None,
-    table: DeviceHashTable,
-    config: PipelineConfig,
-    backend: str,
-    opts: EngineOptions,
-) -> tuple[float, int, InsertStats]:
-    """Count one rank's received buffer -> (time, k-mer instances, stats)."""
-    supermer_mode = config.mode == "supermer"
-
-    def extract() -> np.ndarray:
-        if not supermer_mode:
-            return np.ascontiguousarray(recv, dtype=np.uint64)
-        kmers = extract_kmers_from_packed(recv, recv_lengths, config.k) if recv.size else np.empty(0, dtype=np.uint64)
-        return canonical_batch(kmers, config.k) if config.canonical and kmers.size else kmers
-
-    if backend == "cpu":
-        kmers = extract()
-        ins = table.insert_batch(kmers) if kmers.size else InsertStats.zero()
-        dt = opts.cpu_rates.phase_overhead + opts.cpu_rates.count_time(
-            kmers.shape[0] * opts.work_multiplier, supermer_mode=supermer_mode
-        )
-        return dt, int(kmers.shape[0]), ins
-
-    gpu = VirtualGPU(opts.device)
-    model = opts.gpu_model
-    mult = opts.work_multiplier
-
-    def body(_tid: np.ndarray) -> tuple[np.ndarray, InsertStats]:
-        kmers = extract()
-        ins = table.insert_batch(kmers) if kmers.size else InsertStats.zero()
-        return kmers, ins
-
-    def traffic(result: tuple[np.ndarray, InsertStats]) -> TrafficEstimate:
-        kmers, ins = result
-        n = kmers.shape[0]
-        ops = model.ops_count_kmer * n
-        if supermer_mode:
-            ops += model.ops_extract_kmer * n
-        return TrafficEstimate(
-            streaming_bytes=8.0 * n * mult,
-            random_bytes=ins.total_probes * model.bytes_per_probe * mult,
-            atomic_ops=(n + ins.cas_conflicts) * mult,
-            atomic_hot_fraction=0.0,
-            thread_ops=ops * mult,
-        )
-
-    kmers, ins = gpu.launch("count_kmers", int(recv.shape[0]), body, traffic)
-    return gpu.elapsed, int(kmers.shape[0]), ins
-
-
-# ---------------------------------------------------------------------------
-# rounds & merging
-# ---------------------------------------------------------------------------
-
-
-def _round_slice(pr: _RankParse, rnd: int, n_rounds: int) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
-    """Slice a rank's destination-ordered buffer for round ``rnd``.
-
-    Each destination segment is split evenly across rounds (Section III-A:
-    when the data exceeds memory limits "the computation and communication
-    may proceed in multiple rounds").  Preserves destination order within
-    the round.
-    """
-    if n_rounds == 1:
-        return pr.data, pr.lengths, pr.counts
-    p = pr.counts.shape[0]
-    offsets = np.concatenate(([0], np.cumsum(pr.counts)))
-    pieces: list[np.ndarray] = []
-    lpieces: list[np.ndarray] = []
-    counts = np.zeros(p, dtype=np.int64)
-    for dst in range(p):
-        seg_start, seg_end = offsets[dst], offsets[dst + 1]
-        seg_len = seg_end - seg_start
-        lo = seg_start + (seg_len * rnd) // n_rounds
-        hi = seg_start + (seg_len * (rnd + 1)) // n_rounds
-        counts[dst] = hi - lo
-        pieces.append(pr.data[lo:hi])
-        if pr.lengths is not None:
-            lpieces.append(pr.lengths[lo:hi])
-    data = np.concatenate(pieces) if pieces else pr.data[:0]
-    lengths = (np.concatenate(lpieces) if lpieces else None) if pr.lengths is not None else None
-    return data, lengths, counts
-
-
-def _merge_tables(tables: list[DeviceHashTable], k: int) -> KmerSpectrum:
-    """Merge per-rank partitions of the global table into one spectrum.
-
-    Partitioning guarantees disjoint key sets across ranks in both modes,
-    but canonical supermer mode can split a canonical k-mer across two
-    owners (its two strands hash to different minimizers), so duplicates
-    are aggregated rather than assumed absent.
-    """
-    all_keys = [t.items()[0] for t in tables]
-    all_counts = [t.items()[1] for t in tables]
-    if not all_keys:
-        return KmerSpectrum(k=k, values=np.empty(0, dtype=np.uint64), counts=np.empty(0, dtype=np.int64))
-    keys = np.concatenate(all_keys)
-    counts = np.concatenate(all_counts)
-    if keys.size == 0:
-        return KmerSpectrum(k=k, values=keys, counts=counts)
-    uniq, inverse = np.unique(keys, return_inverse=True)
-    merged = np.bincount(inverse, weights=counts).astype(np.int64)
-    return KmerSpectrum(k=k, values=uniq, counts=merged)
+    composition = build_composition(backend, config, opts, cluster)
+    return RoundScheduler(cluster, config, composition, opts).run(reads)

@@ -3,12 +3,15 @@
 The paper processes inputs "in multiple rounds" when they exceed memory
 limits (Section III-A); real deployments additionally stream many FASTQ
 files into one histogram and need to survive job preemption.
-:class:`DistributedCounter` provides that surface over the engine:
+:class:`DistributedCounter` provides that surface over the staged
+execution core:
 
-* ``add_reads(batch)`` runs one full parse→exchange→count pass and folds
-  the batch into the persistent per-rank tables (the global hash table
-  partition lives across batches, exactly like DEDUKT's);
-* timing/volume accounting accumulates across batches;
+* ``add_reads(batch)`` runs one full parse→exchange→count pass through the
+  shared :class:`~repro.core.stages.RoundScheduler` and folds the batch
+  into the persistent per-rank tables (the global hash table partition
+  lives across batches, exactly like DEDUKT's);
+* timing/volume accounting accumulates in a
+  :class:`~repro.core.stages.PipelineState`;
 * ``save``/``load`` checkpoint the partitioned table state to an ``.npz``
   so counting resumes after interruption — the pipelines' determinism makes
   resumed and uninterrupted runs bit-identical, which the tests assert.
@@ -22,21 +25,18 @@ from pathlib import Path
 import numpy as np
 
 from ..dna.reads import ReadSet
-from ..gpu.hashtable import DeviceHashTable, InsertStats
+from ..gpu.hashtable import InsertStats
 from ..kmers.spectrum import KmerSpectrum
-from ..mpi.collectives import alltoallv_segments
-from ..mpi.costmodel import CommCostModel
 from ..mpi.stats import TrafficStats
 from ..mpi.topology import ClusterSpec
 from ..telemetry import event, session
 from .config import PipelineConfig
-from .engine import EngineOptions, _count_rank, _merge_tables, _parse_rank_cpu, _parse_rank_gpu
-from .parallel import get_pool
 from .results import LoadStats, PhaseTiming
+from .stages.context import EngineOptions
+from .stages.registry import build_composition
+from .stages.scheduler import PipelineState, RoundScheduler
 
 __all__ = ["DistributedCounter"]
-
-_CHECKPOINT_VERSION = 1
 
 
 class DistributedCounter:
@@ -50,21 +50,13 @@ class DistributedCounter:
         backend: str = "gpu",
         options: EngineOptions | None = None,
     ) -> None:
-        if backend not in ("gpu", "cpu"):
-            raise ValueError("backend must be 'gpu' or 'cpu'")
         self.cluster = cluster
         self.config = config or PipelineConfig()
-        self.backend = backend
         self.options = options or EngineOptions()
-        p = cluster.n_ranks
-        self.tables = [DeviceHashTable(64, seed=self.config.table_seed) for _ in range(p)]
-        self.timing = PhaseTiming(0.0, 0.0, 0.0)
-        self.traffic = TrafficStats()
-        self.received_kmers = np.zeros(p, dtype=np.int64)
-        self.exchanged_items = 0
-        self.n_batches = 0
-        self.insert_stats = InsertStats.zero()
-        self._comm_model = CommCostModel(cluster)
+        self._composition = build_composition(backend, self.config, self.options, cluster)
+        self.backend = self._composition.backend
+        self._scheduler = RoundScheduler(cluster, self.config, self._composition, self.options)
+        self._state = PipelineState.fresh(cluster.n_ranks, self.config.table_seed)
 
     # -- counting -----------------------------------------------------------
 
@@ -80,7 +72,7 @@ class DistributedCounter:
         reg = self.options.telemetry
         ctx = session(reg) if reg is not None else nullcontext()
         with ctx:
-            batch_timing = self._add_batch(reads)
+            batch_timing = self._scheduler.run_batch(reads, self._state)
         event(
             "counter.batch",
             subsystem="engine",
@@ -108,64 +100,35 @@ class DistributedCounter:
             )
         return batch_timing
 
-    def _add_batch(self, reads: ReadSet) -> PhaseTiming:
-        p = self.cluster.n_ranks
-        opts = self.options
-        config = self.config
-        if opts.shard_mode == "bytes":
-            shards = reads.shard_bytes(p, overlap=config.k - 1)
-        else:
-            shards = reads.shard(p)
-        # Same parallel rank-execution contract as the engine: pool.map
-        # keeps rank order, each closure touches rank-private state only,
-        # so batches fold in bit-identically to the sequential loop.
-        pool = get_pool(opts.parallel)
-        parse_fn = _parse_rank_gpu if self.backend == "gpu" else _parse_rank_cpu
-        parsed = pool.map(lambda shard: parse_fn(shard, config, self.cluster, opts), shards)
-        t_parse = max(pr.time_s for pr in parsed)
+    # -- persistent state (backed by the scheduler's PipelineState) ----------
 
-        supermer_mode = config.mode == "supermer"
-        wire = config.supermer_wire_bytes if supermer_mode else config.kmer_wire_bytes
-        recv_data, counts_matrix = alltoallv_segments(
-            [pr.data for pr in parsed],
-            [pr.counts for pr in parsed],
-            stats=self.traffic,
-            label=f"{config.mode}-batch{self.n_batches}",
-            bytes_per_item=wire,
-            pool=pool,
-        )
-        recv_lengths = None
-        if supermer_mode:
-            recv_lengths, _ = alltoallv_segments(
-                [pr.lengths for pr in parsed], [pr.counts for pr in parsed], pool=pool
-            )
+    @property
+    def tables(self):
+        return self._state.tables
 
-        bytes_matrix = counts_matrix.astype(np.float64) * wire * opts.work_multiplier
-        overhead = (
-            opts.gpu_model.exchange_overhead_s if self.backend == "gpu" else opts.cpu_rates.phase_overhead
-        )
-        t_exchange = overhead + self._comm_model.exchange_time(bytes_matrix)
-        if self.backend == "gpu" and not config.gpudirect:
-            out_b = bytes_matrix.sum(axis=1)
-            in_b = bytes_matrix.sum(axis=0)
-            t_exchange += float(((out_b + in_b) / opts.device.host_link_bw).max()) if p else 0.0
+    @property
+    def timing(self) -> PhaseTiming:
+        return self._state.timing
 
-        def _count_one(r: int):
-            lengths_r = recv_lengths[r] if recv_lengths is not None else None
-            return _count_rank(recv_data[r], lengths_r, self.tables[r], config, self.backend, opts)
+    @property
+    def traffic(self) -> TrafficStats:
+        return self._state.traffic
 
-        per_rank_count = np.zeros(p, dtype=np.float64)
-        for r, (dt, n_inst, ins) in enumerate(pool.map(_count_one, range(p))):
-            per_rank_count[r] = dt
-            self.received_kmers[r] += n_inst
-            self.insert_stats = self.insert_stats.combined(ins)
-        batch_timing = PhaseTiming(
-            parse=t_parse, exchange=t_exchange, count=float(per_rank_count.max()) if p else 0.0
-        )
-        self.timing = self.timing.add(batch_timing)
-        self.exchanged_items += int(counts_matrix.sum())
-        self.n_batches += 1
-        return batch_timing
+    @property
+    def received_kmers(self) -> np.ndarray:
+        return self._state.received_kmers
+
+    @property
+    def exchanged_items(self) -> int:
+        return self._state.exchanged_items
+
+    @property
+    def n_batches(self) -> int:
+        return self._state.n_batches
+
+    @property
+    def insert_stats(self) -> InsertStats:
+        return self._state.insert_stats
 
     # -- results ------------------------------------------------------------
 
@@ -175,7 +138,7 @@ class DistributedCounter:
 
     def spectrum(self) -> KmerSpectrum:
         """The current merged global histogram."""
-        return _merge_tables(self.tables, self.config.k)
+        return self._composition.merge.merge_tables(self.tables, self.config.k)
 
     def load_stats(self) -> LoadStats:
         return LoadStats.from_loads(self.received_kmers)
@@ -184,22 +147,7 @@ class DistributedCounter:
 
     def save(self, path: str | Path) -> Path:
         """Persist the counter state (tables + accounting) to an ``.npz``."""
-        path = Path(path)
-        payload: dict[str, np.ndarray] = {
-            "version": np.array([_CHECKPOINT_VERSION]),
-            "k": np.array([self.config.k]),
-            "n_ranks": np.array([self.cluster.n_ranks]),
-            "n_batches": np.array([self.n_batches]),
-            "exchanged_items": np.array([self.exchanged_items]),
-            "received": self.received_kmers,
-            "timing": np.array([self.timing.parse, self.timing.exchange, self.timing.count]),
-        }
-        for r, table in enumerate(self.tables):
-            keys, counts = table.items()
-            payload[f"keys_{r}"] = keys
-            payload[f"counts_{r}"] = counts
-        np.savez_compressed(path, **payload)
-        return path
+        return self._state.save(path, k=self.config.k)
 
     def load(self, path: str | Path) -> None:
         """Restore state saved by :meth:`save` into this counter.
@@ -207,24 +155,4 @@ class DistributedCounter:
         The counter must have been constructed with the same cluster size
         and k; anything else is a configuration error and is rejected.
         """
-        with np.load(path) as data:
-            if int(data["version"][0]) != _CHECKPOINT_VERSION:
-                raise ValueError(f"{path}: unsupported checkpoint version")
-            if int(data["k"][0]) != self.config.k:
-                raise ValueError(f"{path}: checkpoint k={int(data['k'][0])} != config k={self.config.k}")
-            if int(data["n_ranks"][0]) != self.cluster.n_ranks:
-                raise ValueError(
-                    f"{path}: checkpoint has {int(data['n_ranks'][0])} ranks, cluster has {self.cluster.n_ranks}"
-                )
-            p = self.cluster.n_ranks
-            self.tables = [DeviceHashTable(64, seed=self.config.table_seed) for _ in range(p)]
-            for r in range(p):
-                keys = data[f"keys_{r}"]
-                counts = data[f"counts_{r}"]
-                if keys.size:
-                    self.tables[r].insert_batch(keys, weights=counts)
-            self.received_kmers = data["received"].astype(np.int64).copy()
-            self.n_batches = int(data["n_batches"][0])
-            self.exchanged_items = int(data["exchanged_items"][0])
-            t = data["timing"]
-            self.timing = PhaseTiming(parse=float(t[0]), exchange=float(t[1]), count=float(t[2]))
+        self._state.load(path, k=self.config.k, table_seed=self.config.table_seed)

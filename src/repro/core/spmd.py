@@ -1,48 +1,31 @@
 """SPMD rank programs: the pipelines as ordinary MPI-style code.
 
-The BSP engine (:mod:`repro.core.engine`) simulates all ranks in one
-process, which is ideal for deterministic experiments but looks nothing
-like the paper's actual MPI code.  This module provides the *other*
-rendering: per-rank programs for :class:`repro.mpi.ThreadedWorld` whose
-bodies read like Algorithm 1 / Algorithm 2 — parse your shard, alltoallv,
-count, gather — and which the test suite runs concurrently and checks
-produce bit-identical spectra to the engine.
+The BSP scheduler (:mod:`repro.core.stages.scheduler`) simulates all ranks
+in one process, which is ideal for deterministic experiments but looks
+nothing like the paper's actual MPI code.  This module provides the
+*other* rendering: per-rank programs for :class:`repro.mpi.ThreadedWorld`
+whose bodies read like Algorithm 1 / Algorithm 2 — parse your shard,
+alltoallv, count, gather — and which the test suite runs concurrently and
+checks produce bit-identical spectra to the engine.
 
-Use these as templates for prototyping new distributed k-mer algorithms;
-they are correctness-only (no cost model — model timing lives in the
-engine).
+Since the stage-graph refactor both renderings execute the *same* stage
+objects (:func:`repro.core.stages.staged_rank_program`); these wrappers
+only pin the transport mode.  Use them as templates for prototyping new
+distributed k-mer algorithms; they are correctness-only (no cost model —
+model timing lives in the scheduler).
 """
 
 from __future__ import annotations
 
-import numpy as np
+from dataclasses import replace
 
-from ..dna.encoding import canonical_batch
 from ..dna.reads import ReadSet
-from ..gpu.hashtable import DeviceHashTable
-from ..hashing.partition import KmerPartitioner, MinimizerPartitioner
-from ..kmers.extract import window_values
 from ..kmers.spectrum import KmerSpectrum
-from ..kmers.supermers import build_supermers, extract_kmers_from_packed
 from ..mpi.comm import Comm, run_spmd
 from .config import PipelineConfig
+from .stages.spmd import staged_rank_program
 
 __all__ = ["kmer_count_program", "supermer_count_program", "count_spmd"]
-
-
-def _gather_spectrum(comm: Comm, table: DeviceHashTable, k: int) -> KmerSpectrum | None:
-    """Gather per-rank table partitions to rank 0 and merge into a spectrum."""
-    values, counts = table.items()
-    gathered = comm.gather((values, counts), root=0)
-    if comm.rank != 0:
-        return None
-    all_values = np.concatenate([v for v, _ in gathered]) if gathered else np.empty(0, dtype=np.uint64)
-    all_counts = np.concatenate([c for _, c in gathered]) if gathered else np.empty(0, dtype=np.int64)
-    if all_values.size == 0:
-        return KmerSpectrum(k=k, values=all_values, counts=all_counts)
-    uniq, inverse = np.unique(all_values, return_inverse=True)
-    merged = np.bincount(inverse, weights=all_counts).astype(np.int64)
-    return KmerSpectrum(k=k, values=uniq, counts=merged)
 
 
 def kmer_count_program(comm: Comm, shard: ReadSet, config: PipelineConfig) -> KmerSpectrum | None:
@@ -50,67 +33,28 @@ def kmer_count_program(comm: Comm, shard: ReadSet, config: PipelineConfig) -> Km
 
     Returns the merged global spectrum on rank 0, ``None`` elsewhere.
     """
-    # PARSEKMER: every window position of the local shard.
-    kmers = window_values(shard.codes, config.k).compact()
-    if config.canonical and kmers.size:
-        kmers = canonical_batch(kmers, config.k)
-    owners = KmerPartitioner(comm.size, seed=config.partition_seed).owners(kmers)
-
-    # EXCHANGEKMER: destination-bucketed many-to-many.
-    send = [kmers[owners == dst] for dst in range(comm.size)]
-    received = comm.alltoallv(send)
-
-    # COUNTKMER: local partition of the global open-addressing table.
-    table = DeviceHashTable(64, seed=config.table_seed)
-    for buf in received:
-        if buf.size:
-            table.insert_batch(buf)
-    return _gather_spectrum(comm, table, config.k)
+    if config.mode != "kmer":
+        config = replace(config, mode="kmer")
+    return staged_rank_program(comm, shard, config)
 
 
 def supermer_count_program(comm: Comm, shard: ReadSet, config: PipelineConfig) -> KmerSpectrum | None:
     """Algorithm 2, one rank: build supermers, route by minimizer, extract
     and count at the destination.  Returns the spectrum on rank 0."""
-    batch = build_supermers(
-        shard,
-        config.k,
-        config.minimizer_len,
-        window=config.effective_window,
-        ordering=config.ordering,
-        canonical_minimizers=config.canonical,
-    )
-    partitioner = MinimizerPartitioner(comm.size, config.minimizer_len, seed=config.partition_seed)
-    owners = partitioner.owners(batch.minimizers) if len(batch) else np.empty(0, dtype=np.int32)
-
-    # EXCHANGESUPERMER: two parallel alltoallvs (payload words + lengths),
-    # exactly like Algorithm 2's pair of ALLTOALLV calls.
-    send_packed = [batch.packed[owners == dst] for dst in range(comm.size)]
-    send_lens = [batch.n_kmers[owners == dst] for dst in range(comm.size)]
-    recv_packed = comm.alltoallv(send_packed)
-    recv_lens = comm.alltoallv(send_lens)
-
-    # COUNTKMER: extract each supermer's k-mers, then count.
-    table = DeviceHashTable(64, seed=config.table_seed)
-    for packed, lens in zip(recv_packed, recv_lens):
-        if packed.size:
-            kmers = extract_kmers_from_packed(packed, lens, config.k)
-            if config.canonical:
-                kmers = canonical_batch(kmers, config.k)
-            table.insert_batch(kmers)
-    return _gather_spectrum(comm, table, config.k)
+    if config.mode != "supermer":
+        config = replace(config, mode="supermer")
+    return staged_rank_program(comm, shard, config)
 
 
 def count_spmd(reads: ReadSet, n_ranks: int, config: PipelineConfig | None = None) -> KmerSpectrum:
-    """Run the appropriate SPMD program across a threaded world.
+    """Run the staged SPMD program across a threaded world.
 
     Convenience wrapper: shards the input (byte-balanced, k-1 overlap),
-    picks the program matching ``config.mode``, runs one thread per rank,
-    and returns rank 0's merged spectrum.
+    runs one thread per rank, and returns rank 0's merged spectrum.
     """
     if n_ranks < 1:
         raise ValueError("n_ranks must be positive")
     config = config or PipelineConfig()
     shards = reads.shard_bytes(n_ranks, overlap=config.k - 1)
-    program = kmer_count_program if config.mode == "kmer" else supermer_count_program
-    results = run_spmd(n_ranks, program, shards, [config] * n_ranks)
+    results = run_spmd(n_ranks, staged_rank_program, shards, [config] * n_ranks)
     return results[0]

@@ -1,0 +1,106 @@
+"""Run options and the per-run stage context.
+
+:class:`EngineOptions` is the public backend/substrate knob set (moved here
+from :mod:`repro.core.engine`, which re-exports it for compatibility).  The
+:class:`StageContext` is the single object threaded through every stage
+invocation: configuration, cluster, substrate options, the rank pool, and
+the run's accounting sinks.  Stages never reach for globals — everything a
+stage may touch is on the context, which is what makes compositions
+swappable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...gpu.device import DeviceSpec, v100
+from ...mpi.costmodel import CommCostModel
+from ...mpi.stats import TrafficStats
+from ...mpi.topology import ClusterSpec
+from ...telemetry import MetricRegistry
+from ..config import PipelineConfig
+from ..cpu_model import CpuRates, power9_rates
+from ..gpu_model import GpuPipelineModel
+from ..parallel import ParallelSetting, RankPool
+from ..tracing import WallClockRecorder
+
+__all__ = ["EngineOptions", "StageContext"]
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Backend/substrate knobs for one engine run (config-independent)."""
+
+    device: DeviceSpec = field(default_factory=v100)
+    gpu_model: GpuPipelineModel = field(default_factory=GpuPipelineModel)
+    cpu_rates: CpuRates = field(default_factory=power9_rates)
+    work_multiplier: float = 1.0
+    minimizer_assignment: np.ndarray | None = None  # balanced-partition hook
+    shard_mode: str = "bytes"  # "bytes" (paper's parallel I/O) or "reads"
+    auto_rounds: bool = False  # split exchange+count by device memory (Sec. III-A)
+    memory_budget_fraction: float = 0.5  # usable share of device HBM per round
+    verify_exchange: bool = True  # end-to-end checksums over the alltoallv
+    # Worker count for per-rank phase execution: None defers to the
+    # REPRO_PARALLEL environment variable; see repro.core.parallel.
+    parallel: ParallelSetting = None
+    span_recorder: WallClockRecorder | None = None  # host wall-clock spans per (phase, rank)
+    # Metrics sink for this run: installed as the telemetry session so every
+    # layer (collectives, hash table, kernels, pools) feeds it.  None = off.
+    telemetry: MetricRegistry | None = None
+    # Extension stage plugins by registry name (e.g. ("bloom", "balanced"));
+    # resolved through repro.core.stages.registry when the composition is built.
+    stages: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.work_multiplier <= 0:
+            raise ValueError("work_multiplier must be positive")
+        if self.shard_mode not in ("bytes", "reads"):
+            raise ValueError("shard_mode must be 'bytes' or 'reads'")
+        if not 0 < self.memory_budget_fraction <= 1:
+            raise ValueError("memory_budget_fraction must be in (0, 1]")
+        object.__setattr__(self, "stages", tuple(self.stages))
+
+
+@dataclass
+class StageContext:
+    """Everything a stage invocation may read: config, substrate, sinks."""
+
+    config: PipelineConfig
+    cluster: ClusterSpec
+    opts: EngineOptions
+    backend: str  # substrate name ("gpu" or "cpu")
+    pool: RankPool
+    comm_model: CommCostModel
+    stats: TrafficStats
+    recorder: WallClockRecorder | None = None
+    registry: MetricRegistry | None = None
+    # None defers to opts.verify_exchange; the batch scheduler path sets
+    # False (streamed batches never checksummed, matching the original
+    # incremental counter).
+    verify: bool | None = None
+
+    @property
+    def n_ranks(self) -> int:
+        return self.cluster.n_ranks
+
+    @property
+    def supermer_mode(self) -> bool:
+        return self.config.mode == "supermer"
+
+    @property
+    def wire_bytes(self) -> int:
+        """Wire size per exchanged item for the active transport mode."""
+        return self.config.supermer_wire_bytes if self.supermer_mode else self.config.kmer_wire_bytes
+
+    @property
+    def exchange_overhead_s(self) -> float:
+        """Fixed per-exchange overhead of the active substrate."""
+        if self.backend == "gpu":
+            return self.opts.gpu_model.exchange_overhead_s
+        return self.opts.cpu_rates.phase_overhead
+
+    @property
+    def mult(self) -> float:
+        return self.opts.work_multiplier

@@ -1,0 +1,541 @@
+"""The round scheduler: memory-bounded multi-round execution of a composition.
+
+This is the single owner of the parse → exchange → count → merge loop.
+Every execution surface drives it:
+
+* :func:`repro.core.engine.run_pipeline` builds a composition and calls
+  :meth:`RoundScheduler.run` (one-shot run, full :class:`CountResult`);
+* :class:`repro.core.incremental.DistributedCounter` holds a
+  :class:`PipelineState` and calls :meth:`RoundScheduler.run_batch` per
+  read batch (streaming, checkpointable);
+* the SPMD rank programs (:mod:`repro.core.stages.spmd`) reuse the same
+  stage objects inside per-rank threads.
+
+Execution is bulk-synchronous: every rank's phase runs to completion (as
+real NumPy work), per-rank model times are derived from the work actually
+performed, and the phase's bulk time is the max over ranks.  When the
+modeled per-round working set exceeds device memory (``auto_rounds``), or
+the config asks for ``n_rounds > 1``, each destination segment is split
+evenly across rounds (Section III-A) and the exchange + count phases repeat.
+
+Checkpoint/resume is a scheduler concern: :class:`PipelineState` carries
+the persistent per-rank tables and accounting across batches and
+serializes to the ``.npz`` checkpoint format (unchanged from the previous
+incremental counter, version 1).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from ...gpu.hashtable import DeviceHashTable, InsertStats
+from ...dna.reads import ReadSet
+from ...mpi.costmodel import CommCostModel
+from ...mpi.stats import TrafficStats
+from ...mpi.topology import ClusterSpec
+from ...telemetry import MetricRegistry, event, session
+from ..config import PipelineConfig
+from ..parallel import get_pool
+from ..results import CountResult, PhaseTiming
+from ..tracing import WallClockRecorder
+from .buffers import RankParse
+from .context import EngineOptions, StageContext
+from .registry import StageComposition
+
+__all__ = ["RoundScheduler", "PipelineState"]
+
+_CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class PipelineState:
+    """Persistent cross-batch state: table partitions + accounting.
+
+    This is what checkpoint/resume serializes; a scheduler folds each batch
+    into it.  The ``.npz`` layout is checkpoint format version 1, identical
+    to the pre-stage-graph incremental counter's, so old checkpoints load.
+    """
+
+    tables: list[DeviceHashTable]
+    timing: PhaseTiming
+    traffic: TrafficStats
+    received_kmers: np.ndarray
+    exchanged_items: int
+    n_batches: int
+    insert_stats: InsertStats
+
+    @classmethod
+    def fresh(cls, n_ranks: int, table_seed: int) -> "PipelineState":
+        return cls(
+            tables=[DeviceHashTable(64, seed=table_seed) for _ in range(n_ranks)],
+            timing=PhaseTiming(0.0, 0.0, 0.0),
+            traffic=TrafficStats(),
+            received_kmers=np.zeros(n_ranks, dtype=np.int64),
+            exchanged_items=0,
+            n_batches=0,
+            insert_stats=InsertStats.zero(),
+        )
+
+    def save(self, path: str | Path, *, k: int) -> Path:
+        """Persist the state (tables + accounting) to an ``.npz``."""
+        path = Path(path)
+        payload: dict[str, np.ndarray] = {
+            "version": np.array([_CHECKPOINT_VERSION]),
+            "k": np.array([k]),
+            "n_ranks": np.array([len(self.tables)]),
+            "n_batches": np.array([self.n_batches]),
+            "exchanged_items": np.array([self.exchanged_items]),
+            "received": self.received_kmers,
+            "timing": np.array([self.timing.parse, self.timing.exchange, self.timing.count]),
+        }
+        for r, table in enumerate(self.tables):
+            keys, counts = table.items()
+            payload[f"keys_{r}"] = keys
+            payload[f"counts_{r}"] = counts
+        np.savez_compressed(path, **payload)
+        return path
+
+    def load(self, path: str | Path, *, k: int, table_seed: int) -> None:
+        """Restore state saved by :meth:`save` into this object.
+
+        The state must match the checkpoint's cluster size and k; anything
+        else is a configuration error and is rejected.
+        """
+        n_ranks = len(self.tables)
+        with np.load(path) as data:
+            if int(data["version"][0]) != _CHECKPOINT_VERSION:
+                raise ValueError(f"{path}: unsupported checkpoint version")
+            if int(data["k"][0]) != k:
+                raise ValueError(f"{path}: checkpoint k={int(data['k'][0])} != config k={k}")
+            if int(data["n_ranks"][0]) != n_ranks:
+                raise ValueError(
+                    f"{path}: checkpoint has {int(data['n_ranks'][0])} ranks, cluster has {n_ranks}"
+                )
+            self.tables = [DeviceHashTable(64, seed=table_seed) for _ in range(n_ranks)]
+            for r in range(n_ranks):
+                keys = data[f"keys_{r}"]
+                counts = data[f"counts_{r}"]
+                if keys.size:
+                    self.tables[r].insert_batch(keys, weights=counts)
+            self.received_kmers = data["received"].astype(np.int64).copy()
+            self.n_batches = int(data["n_batches"][0])
+            self.exchanged_items = int(data["exchanged_items"][0])
+            t = data["timing"]
+            self.timing = PhaseTiming(parse=float(t[0]), exchange=float(t[1]), count=float(t[2]))
+
+
+class RoundScheduler:
+    """Drives one stage composition through rounds on a rank pool."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        config: PipelineConfig,
+        composition: StageComposition,
+        opts: EngineOptions,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config
+        self.comp = composition
+        self.opts = opts
+        self.comm_model = CommCostModel(cluster)
+        self._prepared = False
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _shard(self, reads: ReadSet) -> list[ReadSet]:
+        p = self.cluster.n_ranks
+        if self.opts.shard_mode == "bytes":
+            return reads.shard_bytes(p, overlap=self.config.k - 1)
+        return reads.shard(p)
+
+    def _prepare_plugins(self, reads: ReadSet) -> None:
+        """One-time plugin pre-pass (first batch for streamed inputs)."""
+        if self._prepared:
+            return
+        self._prepared = True
+        for plugin in self.comp.plugins:
+            plugin.prepare(reads, self.config, self.cluster, self.opts)
+
+    def _context(
+        self,
+        pool,
+        stats: TrafficStats,
+        recorder: WallClockRecorder | None,
+        reg: MetricRegistry | None,
+        verify: bool | None = None,
+    ) -> StageContext:
+        return StageContext(
+            config=self.config,
+            cluster=self.cluster,
+            opts=self.opts,
+            backend=self.comp.backend,
+            pool=pool,
+            comm_model=self.comm_model,
+            stats=stats,
+            recorder=recorder,
+            registry=reg,
+            verify=verify,
+        )
+
+    # -- one-shot run (the classic engine surface) ---------------------------
+
+    def run(self, reads: ReadSet) -> CountResult:
+        """Run the composition over ``reads`` and return its full result.
+
+        When ``opts.telemetry`` is set, the registry is installed as the
+        active telemetry session for the duration of the run — every layer
+        underneath (collectives, hash tables, kernels, worker pools) feeds
+        it — and the scheduler adds its own phase/rank/round metrics plus
+        wall-clock metrics afterwards.  Model metrics are bit-identical
+        across execution engines; only families registered as wall metrics
+        may differ.
+        """
+        opts = self.opts
+        reg = opts.telemetry
+        recorder = opts.span_recorder
+        if reg is not None and recorder is None:
+            recorder = WallClockRecorder()  # wall metrics need spans even if the caller kept none
+        self._prepare_plugins(reads)
+        event(
+            "engine.run.start",
+            subsystem="engine",
+            backend=self.comp.backend,
+            mode=self.config.mode,
+            k=self.config.k,
+            ranks=self.cluster.n_ranks,
+            reads=reads.n_reads,
+        )
+        ctx = session(reg) if reg is not None else nullcontext()
+        with ctx:
+            result = self._run_once(reads, recorder, reg)
+        if reg is not None:
+            _record_run_metrics(reg, result, recorder)
+        event(
+            "engine.run.done",
+            subsystem="engine",
+            backend=self.comp.backend,
+            total_model_s=round(result.timing.total, 6),
+            exchanged_items=result.exchanged_items,
+            distinct=result.spectrum.n_distinct,
+            rounds=result.n_rounds_used,
+        )
+        return result
+
+    def _run_once(
+        self, reads: ReadSet, recorder: WallClockRecorder | None, reg: MetricRegistry | None
+    ) -> CountResult:
+        comp = self.comp
+        config = self.config
+        opts = self.opts
+        p = self.cluster.n_ranks
+        mult = opts.work_multiplier
+        stats = TrafficStats()
+        pool = get_pool(opts.parallel)
+        sctx = self._context(pool, stats, recorder, reg)
+
+        # ---- input partitioning (the paper's parallel I/O; Section IV-D) ----
+        shards = self._shard(reads)
+
+        # ---- phase 1: parse (& build supermers) per rank ----
+        # Each rank's parse touches only its own shard and builds rank-private
+        # outputs, so the pool may run ranks concurrently; results come back in
+        # rank order and are bit-identical to the sequential loop.
+        def _parse_one(r: int) -> RankParse:
+            t0 = perf_counter()
+            out = comp.substrate.parse_rank(shards[r], comp.parse, comp.partition, sctx)
+            if recorder is not None:
+                recorder.record("parse", r, t0, perf_counter())
+            return out
+
+        parsed: list[RankParse] = pool.map(_parse_one, range(p))
+        t_parse = max(pr.time_s for pr in parsed)
+        total_parsed_kmers = sum(pr.n_kmers_parsed for pr in parsed)
+
+        # ---- phases 2+3: exchange and count, possibly in multiple rounds ----
+        wire = sctx.wire_bytes
+        supermer_mode = sctx.supermer_mode
+        n_rounds = config.n_rounds
+        if opts.auto_rounds and comp.backend == "gpu":
+            n_rounds = max(n_rounds, _rounds_for_memory(parsed, p, wire, mult, opts))
+        tables = [
+            DeviceHashTable(
+                capacity_hint=max(64, pr.n_kmers_parsed // max(p, 1) + 16), seed=config.table_seed
+            )
+            for pr in parsed
+        ]
+        received_kmers = np.zeros(p, dtype=np.int64)
+        per_rank_count = np.zeros(p, dtype=np.float64)
+        t_exchange = 0.0
+        t_alltoallv = 0.0
+        staging_total = 0.0
+        counts_matrix_total = np.zeros((p, p), dtype=np.int64)
+        insert_total = InsertStats.zero()
+
+        for rnd in range(n_rounds):
+            round_send = [_round_slice(pr, rnd, n_rounds) for pr in parsed]
+            send_data = [rs[0] for rs in round_send]
+            send_lengths = [rs[1] for rs in round_send] if supermer_mode else None
+            send_counts = [rs[2] for rs in round_send]
+            label = f"{config.mode}-exchange" + (f"-round{rnd}" if n_rounds > 1 else "")
+            outcome = comp.exchange.exchange(send_data, send_lengths, send_counts, label, sctx)
+            counts_matrix_total += outcome.counts_matrix
+            t_exchange += outcome.seconds
+            t_alltoallv += outcome.alltoallv_seconds
+            staging_total += outcome.staging_seconds
+            if reg is not None:
+                backend = comp.backend
+                reg.counter("exchange_rounds_total", "Exchange/count rounds executed", engine=backend).inc()
+                reg.counter(
+                    "exchange_model_seconds_total",
+                    "Modeled exchange seconds (overhead + network + staging)",
+                    engine=backend,
+                    round=rnd,
+                ).inc(outcome.seconds)
+                reg.counter(
+                    "alltoallv_model_seconds_total",
+                    "Modeled MPI_Alltoallv routine seconds",
+                    engine=backend,
+                    round=rnd,
+                ).inc(outcome.alltoallv_seconds)
+                reg.counter(
+                    "staging_model_seconds_total",
+                    "Modeled host<->device staging seconds",
+                    engine=backend,
+                    round=rnd,
+                ).inc(outcome.staging_seconds)
+                reg.counter(
+                    "exchange_items_round_total",
+                    "Items exchanged per round",
+                    engine=backend,
+                    round=rnd,
+                ).inc(int(outcome.counts_matrix.sum()))
+
+            # ---- count phase ----
+            # Rank r's count touches only recv_data[r] and its own table
+            # partition, so ranks run concurrently; the stats reduction below
+            # stays in rank order (pool.map returns results in input order) so
+            # the combined InsertStats is identical to the sequential engine's.
+            count_label = "count" + (f"-round{rnd}" if n_rounds > 1 else "")
+            recv_data, recv_lengths = outcome.recv_data, outcome.recv_lengths
+
+            def _count_one(r: int):
+                lengths_r = recv_lengths[r] if recv_lengths is not None else None
+                t0 = perf_counter()
+                out = comp.substrate.count_rank(r, recv_data[r], lengths_r, tables[r], comp.count, sctx)
+                if recorder is not None:
+                    recorder.record(count_label, r, t0, perf_counter())
+                return out
+
+            for r, co in enumerate(pool.map(_count_one, range(p))):
+                per_rank_count[r] += co.time_s
+                received_kmers[r] += co.n_instances
+                insert_total = insert_total.combined(co.insert_stats)
+
+        t_count = float(per_rank_count.max()) if p else 0.0
+
+        # ---- merge the partitioned global table into one spectrum ----
+        spectrum = comp.merge.merge_tables(tables, config.k)
+        if comp.conserves_kmers and spectrum.n_total != total_parsed_kmers:
+            raise AssertionError(
+                f"pipeline lost k-mers: parsed {total_parsed_kmers}, counted {spectrum.n_total}"
+            )
+
+        exchanged_items = int(counts_matrix_total.sum())
+        supermer_bases = sum(pr.supermer_bases for pr in parsed)
+        n_supermers = sum(pr.n_supermers for pr in parsed)
+        if reg is not None:
+            backend = comp.backend
+            # Recorded here (not in the hash table) because only the engine knows
+            # the rank index; plain Gauge.set is safe from this ordered loop.
+            for r, table in enumerate(tables):
+                reg.gauge("hashtable_entries", "Distinct keys per rank partition", rank=r).set(
+                    table.n_entries
+                )
+                reg.gauge("hashtable_load_factor", "Final load factor per rank", rank=r).set(
+                    table.load_factor
+                )
+            reg.counter("kmers_parsed_total", "k-mer instances parsed", engine=backend).inc(
+                total_parsed_kmers
+            )
+            if n_supermers:
+                reg.counter("supermers_total", "Supermers built", engine=backend).inc(n_supermers)
+                reg.counter("supermer_bases_total", "Bases covered by supermers", engine=backend).inc(
+                    supermer_bases
+                )
+        return CountResult(
+            config=config,
+            cluster=self.cluster,
+            backend=comp.backend,
+            spectrum=spectrum,
+            timing=PhaseTiming(parse=t_parse, exchange=t_exchange, count=t_count),
+            per_rank_parse=np.array([pr.time_s for pr in parsed]),
+            per_rank_count=per_rank_count,
+            received_kmers=received_kmers,
+            exchanged_items=exchanged_items,
+            exchanged_bytes=int(exchanged_items * wire),
+            counts_matrix=counts_matrix_total,
+            work_multiplier=mult,
+            traffic=stats,
+            insert_stats=insert_total,
+            mean_supermer_length=(supermer_bases / n_supermers) if n_supermers else 0.0,
+            staging_seconds=staging_total,
+            alltoallv_seconds=t_alltoallv,
+            n_rounds_used=n_rounds,
+        )
+
+    # -- streamed batches (the incremental counter surface) ------------------
+
+    def run_batch(self, reads: ReadSet, state: PipelineState) -> PhaseTiming:
+        """Fold one batch of reads into ``state``; returns the batch timing.
+
+        Single-round by construction (streamed batches are already small);
+        the exchange skips the checksum verification pass, matching the
+        original incremental counter exactly.
+        """
+        comp = self.comp
+        config = self.config
+        p = self.cluster.n_ranks
+        pool = get_pool(self.opts.parallel)
+        sctx = self._context(pool, state.traffic, None, None, verify=False)
+
+        shards = self._shard(reads)
+        self._prepare_plugins(reads)
+        # Same parallel rank-execution contract as the one-shot run: pool.map
+        # keeps rank order, each closure touches rank-private state only,
+        # so batches fold in bit-identically to the sequential loop.
+        parsed = pool.map(
+            lambda shard: comp.substrate.parse_rank(shard, comp.parse, comp.partition, sctx), shards
+        )
+        t_parse = max(pr.time_s for pr in parsed)
+
+        supermer_mode = sctx.supermer_mode
+        outcome = comp.exchange.exchange(
+            [pr.data for pr in parsed],
+            [pr.lengths for pr in parsed] if supermer_mode else None,
+            [pr.counts for pr in parsed],
+            f"{config.mode}-batch{state.n_batches}",
+            sctx,
+        )
+        recv_data, recv_lengths = outcome.recv_data, outcome.recv_lengths
+
+        def _count_one(r: int):
+            lengths_r = recv_lengths[r] if recv_lengths is not None else None
+            return comp.substrate.count_rank(r, recv_data[r], lengths_r, state.tables[r], comp.count, sctx)
+
+        per_rank_count = np.zeros(p, dtype=np.float64)
+        for r, co in enumerate(pool.map(_count_one, range(p))):
+            per_rank_count[r] = co.time_s
+            state.received_kmers[r] += co.n_instances
+            state.insert_stats = state.insert_stats.combined(co.insert_stats)
+        batch_timing = PhaseTiming(
+            parse=t_parse, exchange=outcome.seconds, count=float(per_rank_count.max()) if p else 0.0
+        )
+        state.timing = state.timing.add(batch_timing)
+        state.exchanged_items += int(outcome.counts_matrix.sum())
+        state.n_batches += 1
+        return batch_timing
+
+
+def _record_run_metrics(
+    reg: MetricRegistry, result: CountResult, recorder: WallClockRecorder | None
+) -> None:
+    """Engine-level metrics derived from the finished result.
+
+    Everything here is computed from the deterministic result payload (so
+    sequential and parallel engines record identical values), except the
+    ``wall=True`` families, which come from host wall-clock spans.
+    """
+    backend = result.backend
+    t = result.timing
+    for phase, secs in (("parse", t.parse), ("exchange", t.exchange), ("count", t.count)):
+        reg.counter(
+            "phase_model_seconds_total",
+            "Bulk-synchronous phase time (max over ranks)",
+            engine=backend,
+            phase=phase,
+        ).inc(secs)
+    for r in range(result.cluster.n_ranks):
+        reg.gauge(
+            "rank_phase_model_seconds", "Per-rank modeled phase seconds", engine=backend, phase="parse", rank=r
+        ).set(float(result.per_rank_parse[r]))
+        reg.gauge(
+            "rank_phase_model_seconds", "Per-rank modeled phase seconds", engine=backend, phase="count", rank=r
+        ).set(float(result.per_rank_count[r]))
+        reg.gauge("rank_received_kmers", "k-mer instances counted per rank", rank=r).set(
+            int(result.received_kmers[r])
+        )
+    loads = result.load_stats()
+    reg.gauge("load_imbalance", "max/mean received k-mers (Table III)", engine=backend).set(loads.imbalance)
+    reg.counter("exchange_items_total", "Items routed through the exchange", engine=backend).inc(
+        result.exchanged_items
+    )
+    reg.counter("exchange_bytes_total", "Wire bytes at measured scale", engine=backend).inc(
+        result.exchanged_bytes
+    )
+    if recorder is not None and len(recorder):
+        for name in recorder.phases():
+            reg.counter(
+                "wall_phase_seconds_total", "Host wall-clock rank-seconds per phase", wall=True, phase=name
+            ).inc(recorder.busy_seconds(name))
+        reg.gauge("wall_busy_seconds", "Total host rank-seconds", wall=True).set(recorder.busy_seconds())
+        reg.gauge("wall_elapsed_seconds", "Host wall window of the run", wall=True).set(
+            recorder.elapsed_seconds()
+        )
+        reg.gauge("wall_overlap_factor", "Achieved rank concurrency", wall=True).set(
+            recorder.overlap_factor()
+        )
+
+
+def _round_slice(pr: RankParse, rnd: int, n_rounds: int) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
+    """Slice a rank's destination-ordered buffer for round ``rnd``.
+
+    Each destination segment is split evenly across rounds (Section III-A:
+    when the data exceeds memory limits "the computation and communication
+    may proceed in multiple rounds").  Preserves destination order within
+    the round.
+    """
+    if n_rounds == 1:
+        return pr.data, pr.lengths, pr.counts
+    p = pr.counts.shape[0]
+    offsets = np.concatenate(([0], np.cumsum(pr.counts)))
+    pieces: list[np.ndarray] = []
+    lpieces: list[np.ndarray] = []
+    counts = np.zeros(p, dtype=np.int64)
+    for dst in range(p):
+        seg_start, seg_end = offsets[dst], offsets[dst + 1]
+        seg_len = seg_end - seg_start
+        lo = seg_start + (seg_len * rnd) // n_rounds
+        hi = seg_start + (seg_len * (rnd + 1)) // n_rounds
+        counts[dst] = hi - lo
+        pieces.append(pr.data[lo:hi])
+        if pr.lengths is not None:
+            lpieces.append(pr.lengths[lo:hi])
+    data = np.concatenate(pieces) if pieces else pr.data[:0]
+    lengths = (np.concatenate(lpieces) if lpieces else None) if pr.lengths is not None else None
+    return data, lengths, counts
+
+
+def _rounds_for_memory(parsed: list[RankParse], p: int, wire: int, mult: float, opts: EngineOptions) -> int:
+    """Rounds needed so every rank's round working set fits device memory.
+
+    Models Section III-A: "Depending on the total size of the input,
+    relative to software limits (approximating available memory), the
+    computation and communication may proceed in multiple rounds."  The
+    per-rank working set of one round is its received wire buffer plus the
+    growing hash table (keys + counts per distinct key, bounded by received
+    instances), evaluated at full (multiplied) scale.
+    """
+    recv_items = np.zeros(p, dtype=np.float64)
+    for pr in parsed:
+        recv_items += pr.counts
+    worst = float(recv_items.max(initial=0.0)) * mult
+    # Wire buffer + staged copy + table entries (16 B/slot at ~0.7 load).
+    bytes_per_item = wire * 2 + 16 / 0.7
+    budget = opts.device.hbm_bytes * opts.memory_budget_fraction
+    return max(1, int(np.ceil(worst * bytes_per_item / budget)))

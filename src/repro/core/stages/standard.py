@@ -1,0 +1,468 @@
+"""The paper's stage implementations, shared by every execution engine.
+
+These are the algorithmic bodies that used to live inline in
+``repro.core.engine`` (BSP) and ``repro.core.spmd`` (threaded SPMD),
+factored so each exists exactly once:
+
+* :class:`KmerParse` / :class:`SupermerParse` — Algorithm 1's PARSEKMER
+  and Algorithm 2's windowed supermer construction;
+* :class:`KmerHashPartition` / :class:`MinimizerHashPartition` — the
+  hash partitioners (the latter accepts an explicit minimizer→rank
+  assignment, the seam the balanced-partitioning extension plugs into);
+* :class:`AlltoallvExchange` — the counts-alltoall + payload-alltoallv
+  exchange with exact byte accounting, checksum verification, and the
+  Summit-calibrated time model;
+* :class:`TableCount` — destination-side k-mer extraction and
+  open-addressing insertion, with the plugin filter seam;
+* :class:`SpectrumMerge` — partition merging (duplicate-aware for
+  canonical supermer mode), with the plugin count-adjustment seam;
+* :class:`GpuSubstrate` / :class:`CpuSubstrate` — the timing wrappers
+  that charge each phase through the virtual GPU or the Power9 rates.
+
+The numerical behaviour is bit-identical to the pre-refactor engine; the
+golden differential suite (``tests/test_stages_golden.py``) enforces it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...dna.encoding import canonical_batch
+from ...dna.reads import ReadSet
+from ...gpu.costmodel import TrafficEstimate
+from ...gpu.hashtable import DeviceHashTable, InsertStats
+from ...gpu.kernels import VirtualGPU
+from ...hashing.partition import KmerPartitioner, MinimizerPartitioner
+from ...kmers.extract import window_values
+from ...kmers.spectrum import KmerSpectrum
+from ...kmers.supermers import build_supermers, extract_kmers_from_packed
+from ...mpi.collectives import alltoallv_segments
+from ..config import PipelineConfig
+from .buffers import CountOutcome, ExchangeOutcome, ParsedItems, RankParse
+from .context import StageContext
+from .protocols import CountStage, ParseStage, PartitionStage, PipelinePlugin
+
+__all__ = [
+    "KmerParse",
+    "SupermerParse",
+    "KmerHashPartition",
+    "MinimizerHashPartition",
+    "AlltoallvExchange",
+    "TableCount",
+    "SpectrumMerge",
+    "GpuSubstrate",
+    "CpuSubstrate",
+    "assemble_rank_parse",
+    "outgoing_buffer_hot_fraction",
+    "verify_exchange",
+]
+
+
+# ---------------------------------------------------------------------------
+# parse stages
+# ---------------------------------------------------------------------------
+
+
+class KmerParse:
+    """Algorithm 1 / Fig. 2: every window position becomes one k-mer."""
+
+    kernel_name = "parse_kmers"
+
+    def extract(self, shard: ReadSet, config: PipelineConfig) -> ParsedItems:
+        windows = window_values(shard.codes, config.k)
+        kmers = windows.compact()
+        if config.canonical:
+            kmers = canonical_batch(kmers, config.k)
+        return ParsedItems(
+            data=kmers,
+            lengths=None,
+            route_keys=kmers,
+            n_kmers=int(kmers.shape[0]),
+            n_supermers=0,
+            supermer_bases=0,
+        )
+
+    def grid_threads(self, shard: ReadSet, config: PipelineConfig) -> int:
+        return max(int(shard.codes.shape[0]) - config.k + 1, 0)
+
+    def gpu_traffic(self, parsed: RankParse, shard: ReadSet, ctx: StageContext) -> TrafficEstimate:
+        model = ctx.opts.gpu_model
+        mult = ctx.mult
+        n = parsed.n_kmers_parsed
+        ops = model.ops_parse_kmer * n
+        atomics = n  # one outgoing-buffer append per k-mer (Fig. 2)
+        written = 8.0 * n
+        return TrafficEstimate(
+            streaming_bytes=(2.0 * shard.codes.nbytes + written) * mult,
+            atomic_ops=atomics * mult,
+            atomic_hot_fraction=outgoing_buffer_hot_fraction(
+                ctx.n_ranks, ctx.opts.device.atomic_serialization
+            ),
+            thread_ops=ops * mult,
+        )
+
+
+class SupermerParse:
+    """Algorithm 2 / Fig. 5: windowed supermer construction."""
+
+    kernel_name = "build_supermers"
+
+    def extract(self, shard: ReadSet, config: PipelineConfig) -> ParsedItems:
+        batch = build_supermers(
+            shard,
+            config.k,
+            config.minimizer_len,
+            window=config.effective_window,
+            ordering=config.ordering,
+            # Canonical counting needs strand-neutral minimizers so each
+            # canonical k-mer keeps a single owning rank.
+            canonical_minimizers=config.canonical,
+        )
+        return ParsedItems(
+            data=batch.packed,
+            lengths=batch.n_kmers.astype(np.uint8),
+            route_keys=batch.minimizers,
+            n_kmers=batch.total_kmers,
+            n_supermers=len(batch),
+            supermer_bases=batch.total_bases,
+        )
+
+    def grid_threads(self, shard: ReadSet, config: PipelineConfig) -> int:
+        return max(int(shard.codes.shape[0]) - config.k + 1, 0)
+
+    def gpu_traffic(self, parsed: RankParse, shard: ReadSet, ctx: StageContext) -> TrafficEstimate:
+        model = ctx.opts.gpu_model
+        mult = ctx.mult
+        ops = model.ops_parse_supermer * parsed.n_kmers_parsed
+        atomics = parsed.n_supermers  # one append per supermer (Fig. 5)
+        written = 9.0 * parsed.n_supermers
+        return TrafficEstimate(
+            streaming_bytes=(2.0 * shard.codes.nbytes + written) * mult,
+            atomic_ops=atomics * mult,
+            atomic_hot_fraction=outgoing_buffer_hot_fraction(
+                ctx.n_ranks, ctx.opts.device.atomic_serialization
+            ),
+            thread_ops=ops * mult,
+        )
+
+
+def outgoing_buffer_hot_fraction(p: int, serialization: float) -> float:
+    """Contention share for the per-destination outgoing-buffer counters.
+
+    The parse kernel's appends contend on ``p`` counters (Fig. 2).  With n
+    atomics spread over p addresses, the slowest address serializes ~n/p
+    increments, so the phase is bound by ``max(n, n * serialization / p)``
+    atomic-units.  Expressed through the cost model's hot-fraction form
+    ``(1 - h) + h * serialization == max(1, serialization / p)``.
+    """
+    factor = max(1.0, serialization / max(p, 1))
+    return (factor - 1.0) / (serialization - 1.0) if serialization > 1.0 else 0.0
+
+
+# ---------------------------------------------------------------------------
+# partition stages
+# ---------------------------------------------------------------------------
+
+
+class KmerHashPartition:
+    """Uniform hash partitioning over k-mer values (Algorithm 1)."""
+
+    def owners(self, route_keys: np.ndarray, n_ranks: int, config: PipelineConfig) -> np.ndarray:
+        if not route_keys.size:
+            return np.empty(0, dtype=np.int32)
+        return KmerPartitioner(n_ranks, seed=config.partition_seed).owners(route_keys)
+
+
+class MinimizerHashPartition:
+    """Minimizer-space partitioning (Algorithm 2), with assignment hook.
+
+    ``assignment`` (a ``4**m``-entry minimizer→rank map) overrides the
+    hash assignment; this is the seam both ``EngineOptions.
+    minimizer_assignment`` and the balanced-partitioning extension use.
+    """
+
+    def __init__(self, assignment: np.ndarray | None = None) -> None:
+        self.assignment = assignment
+
+    def owners(self, route_keys: np.ndarray, n_ranks: int, config: PipelineConfig) -> np.ndarray:
+        if not route_keys.size:
+            return np.empty(0, dtype=np.int32)
+        partitioner = MinimizerPartitioner(
+            n_ranks, config.minimizer_len, seed=config.partition_seed, assignment=self.assignment
+        )
+        return partitioner.owners(route_keys)
+
+
+def assemble_rank_parse(items: ParsedItems, owners: np.ndarray, n_ranks: int) -> RankParse:
+    """Destination-order one rank's parsed items -> exchange-ready buffer."""
+    order = np.argsort(owners, kind="stable")
+    counts = np.bincount(owners, minlength=n_ranks).astype(np.int64)
+    return RankParse(
+        data=items.data[order],
+        lengths=items.lengths[order] if items.lengths is not None else None,
+        counts=counts,
+        time_s=0.0,
+        n_kmers_parsed=items.n_kmers,
+        n_supermers=items.n_supermers,
+        supermer_bases=items.supermer_bases,
+    )
+
+
+# ---------------------------------------------------------------------------
+# exchange stage
+# ---------------------------------------------------------------------------
+
+
+def verify_exchange(
+    send_data: list[np.ndarray],
+    recv_data: list[np.ndarray],
+    counts_matrix: np.ndarray,
+    label: str,
+) -> None:
+    """End-to-end integrity check over one exchange round.
+
+    Production distributed counters checksum their wire traffic (a single
+    flipped key silently corrupts the histogram).  The simulator does the
+    equivalent: the global XOR and item count of everything sent must equal
+    those of everything received.  Catches routing/slicing bugs in the
+    collective layer at negligible cost.
+    """
+    sent_items = int(counts_matrix.sum())
+    recv_items = sum(int(buf.shape[0]) for buf in recv_data)
+    if sent_items != recv_items:
+        raise AssertionError(f"exchange {label!r} lost items: sent {sent_items}, received {recv_items}")
+    sent_xor = np.uint64(0)
+    for buf in send_data:
+        if buf.size:
+            sent_xor ^= np.bitwise_xor.reduce(buf.view(np.uint64))
+    recv_xor = np.uint64(0)
+    for buf in recv_data:
+        if buf.size:
+            recv_xor ^= np.bitwise_xor.reduce(buf.view(np.uint64))
+    if sent_xor != recv_xor:
+        raise AssertionError(f"exchange {label!r} corrupted payload (checksum mismatch)")
+
+
+class AlltoallvExchange:
+    """Counts alltoall + payload alltoallv, with exact accounting.
+
+    Moves the data (real reshuffle through the collective layer), checks
+    end-to-end checksums, and models the phase time as fixed overhead +
+    network time (alpha-beta alltoallv plus the small counts alltoall) +
+    host staging copies (skipped under GPUDirect).
+    """
+
+    def exchange(
+        self,
+        send_data: list[np.ndarray],
+        send_lengths: list[np.ndarray] | None,
+        send_counts: list[np.ndarray],
+        label: str,
+        ctx: StageContext,
+    ) -> ExchangeOutcome:
+        wire = ctx.wire_bytes
+        recv_data, counts_matrix = alltoallv_segments(
+            send_data, send_counts, stats=ctx.stats, label=label, bytes_per_item=wire, pool=ctx.pool
+        )
+        recv_lengths: list[np.ndarray] | None = None
+        if send_lengths is not None:
+            recv_lengths, _ = alltoallv_segments(
+                send_lengths, send_counts, stats=None, pool=ctx.pool  # bytes counted in `wire`
+            )
+        do_verify = ctx.verify if ctx.verify is not None else ctx.opts.verify_exchange
+        if do_verify:
+            verify_exchange(send_data, recv_data, counts_matrix, label)
+
+        bytes_matrix = counts_matrix.astype(np.float64) * wire * ctx.mult
+        t_a2av = ctx.comm_model.alltoallv(bytes_matrix).total
+        t_net = t_a2av + ctx.comm_model.alltoall_counts()
+        t_stage = 0.0
+        if ctx.backend == "gpu" and not ctx.config.gpudirect:
+            out_bytes = bytes_matrix.sum(axis=1)
+            in_bytes = bytes_matrix.sum(axis=0)
+            per_rank_stage = (out_bytes + in_bytes) / ctx.opts.device.host_link_bw
+            t_stage = float(per_rank_stage.max()) if ctx.n_ranks else 0.0
+        return ExchangeOutcome(
+            recv_data=recv_data,
+            recv_lengths=recv_lengths,
+            counts_matrix=counts_matrix,
+            seconds=ctx.exchange_overhead_s + t_net + t_stage,
+            alltoallv_seconds=t_a2av,
+            staging_seconds=t_stage,
+        )
+
+
+# ---------------------------------------------------------------------------
+# count stage
+# ---------------------------------------------------------------------------
+
+
+class TableCount:
+    """Destination-side extraction + open-addressing insertion.
+
+    ``plugins`` may filter the extracted k-mer stream before insertion
+    (the Bloom pre-filter seam); the default composition has none and the
+    stream passes through untouched.
+    """
+
+    def __init__(self, plugins: tuple[PipelinePlugin, ...] = ()) -> None:
+        self.plugins = plugins
+
+    def extract_kmers(self, recv: np.ndarray, lengths: np.ndarray | None, config: PipelineConfig) -> np.ndarray:
+        if config.mode != "supermer":
+            return np.ascontiguousarray(recv, dtype=np.uint64)
+        kmers = (
+            extract_kmers_from_packed(recv, lengths, config.k) if recv.size else np.empty(0, dtype=np.uint64)
+        )
+        return canonical_batch(kmers, config.k) if config.canonical and kmers.size else kmers
+
+    def materialize(
+        self, rank: int, recv: np.ndarray, lengths: np.ndarray | None, ctx: StageContext
+    ) -> tuple[np.ndarray, int]:
+        kmers = self.extract_kmers(recv, lengths, ctx.config)
+        n_seen = int(kmers.shape[0])
+        for plugin in self.plugins:
+            kmers = plugin.filter_received(rank, kmers)
+        return kmers, n_seen
+
+    def insert(self, table: DeviceHashTable, kmers: np.ndarray) -> InsertStats:
+        return table.insert_batch(kmers) if kmers.size else InsertStats.zero()
+
+
+# ---------------------------------------------------------------------------
+# merge stage
+# ---------------------------------------------------------------------------
+
+
+class SpectrumMerge:
+    """Merge per-rank partitions of the global table into one spectrum.
+
+    Partitioning guarantees disjoint key sets across ranks in both modes,
+    but canonical supermer mode can split a canonical k-mer across two
+    owners (its two strands hash to different minimizers), so duplicates
+    are aggregated rather than assumed absent.  Plugins may adjust each
+    partition's ``(values, counts)`` first (the Bloom filter restores the
+    occurrence that armed it).
+    """
+
+    def __init__(self, plugins: tuple[PipelinePlugin, ...] = ()) -> None:
+        self.plugins = plugins
+
+    def merge_items(self, pairs: list[tuple[np.ndarray, np.ndarray]], k: int) -> KmerSpectrum:
+        adjusted = []
+        for values, counts in pairs:
+            for plugin in self.plugins:
+                values, counts = plugin.adjust_merge_items(values, counts)
+            adjusted.append((values, counts))
+        if not adjusted:
+            return KmerSpectrum(k=k, values=np.empty(0, dtype=np.uint64), counts=np.empty(0, dtype=np.int64))
+        keys = np.concatenate([v for v, _ in adjusted])
+        counts = np.concatenate([c for _, c in adjusted])
+        if keys.size == 0:
+            return KmerSpectrum(k=k, values=keys, counts=counts)
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        merged = np.bincount(inverse, weights=counts).astype(np.int64)
+        return KmerSpectrum(k=k, values=uniq, counts=merged)
+
+    def merge_tables(self, tables: list[DeviceHashTable], k: int) -> KmerSpectrum:
+        return self.merge_items([t.items() for t in tables], k)
+
+
+# ---------------------------------------------------------------------------
+# substrates (timing wrappers)
+# ---------------------------------------------------------------------------
+
+
+class GpuSubstrate:
+    """Charges each phase through the virtual GPU's kernel cost model."""
+
+    name = "gpu"
+
+    def parse_rank(
+        self, shard: ReadSet, parse: ParseStage, partition: PartitionStage, ctx: StageContext
+    ) -> RankParse:
+        gpu = VirtualGPU(ctx.opts.device)
+
+        def body(_tid: np.ndarray) -> RankParse:
+            items = parse.extract(shard, ctx.config)
+            owners = partition.owners(items.route_keys, ctx.n_ranks, ctx.config)
+            return assemble_rank_parse(items, owners, ctx.n_ranks)
+
+        pr = gpu.launch(
+            parse.kernel_name,
+            parse.grid_threads(shard, ctx.config),
+            body,
+            lambda result: parse.gpu_traffic(result, shard, ctx),
+        )
+        pr.time_s = gpu.elapsed
+        return pr
+
+    def count_rank(
+        self,
+        rank: int,
+        recv: np.ndarray,
+        lengths: np.ndarray | None,
+        table: DeviceHashTable,
+        count: CountStage,
+        ctx: StageContext,
+    ) -> CountOutcome:
+        gpu = VirtualGPU(ctx.opts.device)
+        model = ctx.opts.gpu_model
+        mult = ctx.mult
+
+        def body(_tid: np.ndarray) -> tuple[np.ndarray, int, InsertStats]:
+            kmers, n_seen = count.materialize(rank, recv, lengths, ctx)
+            ins = count.insert(table, kmers)
+            return kmers, n_seen, ins
+
+        def traffic(result: tuple[np.ndarray, int, InsertStats]) -> TrafficEstimate:
+            kmers, _, ins = result
+            n = kmers.shape[0]
+            ops = model.ops_count_kmer * n
+            if ctx.supermer_mode:
+                ops += model.ops_extract_kmer * n
+            return TrafficEstimate(
+                streaming_bytes=8.0 * n * mult,
+                random_bytes=ins.total_probes * model.bytes_per_probe * mult,
+                atomic_ops=(n + ins.cas_conflicts) * mult,
+                atomic_hot_fraction=0.0,
+                thread_ops=ops * mult,
+            )
+
+        _, n_seen, ins = gpu.launch("count_kmers", int(recv.shape[0]), body, traffic)
+        return CountOutcome(time_s=gpu.elapsed, n_instances=n_seen, insert_stats=ins)
+
+
+class CpuSubstrate:
+    """Charges each phase through the Power9-calibrated CPU rates."""
+
+    name = "cpu"
+
+    def parse_rank(
+        self, shard: ReadSet, parse: ParseStage, partition: PartitionStage, ctx: StageContext
+    ) -> RankParse:
+        items = parse.extract(shard, ctx.config)
+        owners = partition.owners(items.route_keys, ctx.n_ranks, ctx.config)
+        pr = assemble_rank_parse(items, owners, ctx.n_ranks)
+        rates = ctx.opts.cpu_rates
+        pr.time_s = rates.phase_overhead + rates.parse_time(
+            pr.n_kmers_parsed * ctx.mult, supermer_mode=ctx.supermer_mode
+        )
+        return pr
+
+    def count_rank(
+        self,
+        rank: int,
+        recv: np.ndarray,
+        lengths: np.ndarray | None,
+        table: DeviceHashTable,
+        count: CountStage,
+        ctx: StageContext,
+    ) -> CountOutcome:
+        kmers, n_seen = count.materialize(rank, recv, lengths, ctx)
+        ins = count.insert(table, kmers)
+        rates = ctx.opts.cpu_rates
+        dt = rates.phase_overhead + rates.count_time(
+            kmers.shape[0] * ctx.mult, supermer_mode=ctx.supermer_mode
+        )
+        return CountOutcome(time_s=dt, n_instances=n_seen, insert_stats=ins)

@@ -104,6 +104,7 @@ def sweep(
     validate: bool = False,
     parallel: ParallelSetting = None,
     telemetry: bool = False,
+    stages: tuple[str, ...] = (),
 ) -> SweepResult:
     """Run the full cartesian grid; k-mer mode collapses the supermer axes.
 
@@ -116,6 +117,9 @@ def sweep(
 
     ``telemetry=True`` gives each grid point its own metric registry and
     attaches a :class:`RunReport` per point on ``SweepResult.reports``.
+
+    ``stages`` requests extension stages from the stage registry (e.g.
+    ``("bloom",)``) on every grid point.
     """
     oracle = None
     if validate:
@@ -152,7 +156,9 @@ def sweep(
             cluster,
             config,
             backend=backend,
-            options=EngineOptions(work_multiplier=work_multiplier, parallel=parallel, telemetry=registry),
+            options=EngineOptions(
+                work_multiplier=work_multiplier, parallel=parallel, telemetry=registry, stages=stages
+            ),
         )
         wall = perf_counter() - t0
         if oracle is not None:

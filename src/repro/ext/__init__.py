@@ -8,7 +8,11 @@
   the space-frugal alternative the related work surveys (Squeakr, Bloom
   counters);
 * :mod:`repro.ext.sortcount` — KMC-style sort-based counting (comparison
-  and from-scratch radix), the related-work alternative to hash tables.
+  and from-scratch radix), the related-work alternative to hash tables;
+* :mod:`repro.ext.stages` — the Bloom pre-filter and balanced partitioner
+  packaged as registry-pluggable pipeline stages (``--stages
+  bloom,balanced``); imported lazily by ``repro.core.stages.registry``, so
+  it is deliberately *not* imported here.
 """
 
 from .approximate import CountMinSketch

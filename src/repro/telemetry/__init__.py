@@ -27,6 +27,7 @@ from .log import configure_from_env, event, get_logger
 from .registry import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricRegistry
 from .report import RunReport
 from .runtime import active, session
+from .textfmt import format_series, format_table
 
 __all__ = [
     "MetricRegistry",
@@ -46,4 +47,6 @@ __all__ = [
     "configure_from_env",
     "event",
     "get_logger",
+    "format_table",
+    "format_series",
 ]

@@ -243,7 +243,7 @@ class RunReport:
 
     def render(self) -> str:
         """Paper-style breakdown tables (Fig. 3 / Table II / Table III)."""
-        from ..bench.reporting import format_table
+        from .textfmt import format_table
 
         blocks: list[str] = []
         run = self.run

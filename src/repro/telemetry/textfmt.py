@@ -1,0 +1,48 @@
+"""Plain-text table/series formatting shared by telemetry and bench.
+
+Lives in :mod:`repro.telemetry` (the bottom layer) so that both
+:class:`repro.telemetry.report.RunReport` rendering and the benchmark
+reports in :mod:`repro.bench.reporting` can use the same formatters
+without a back-edge from telemetry up into bench.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:
+    """Render one figure series as ``name: (x -> y), ...``."""
+    pairs = ", ".join(f"{_fmt(x)} -> {_fmt(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

@@ -1,0 +1,77 @@
+"""The import-boundary lint: the real tree is clean, and the lint bites."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CHECKER = REPO / "tools" / "check_layers.py"
+
+
+def run_checker(root: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(CHECKER), "--root", str(root)],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+
+
+class TestRepoIsLayered:
+    def test_no_back_edges_in_src(self):
+        proc = run_checker(REPO / "src" / "repro")
+        assert proc.returncode == 0, f"layering violations:\n{proc.stdout}{proc.stderr}"
+        assert "layering OK" in proc.stdout
+
+
+class TestCheckerDetects:
+    @staticmethod
+    def _tree(tmp_path: Path, body: str) -> Path:
+        """A minimal fake package with a dna module containing ``body``."""
+        root = tmp_path / "repro"
+        for comp in ("dna", "core"):
+            (root / comp).mkdir(parents=True)
+            (root / comp / "__init__.py").write_text("")
+        (root / "__init__.py").write_text("")
+        (root / "dna" / "mod.py").write_text(body)
+        return root
+
+    def test_flags_absolute_back_edge(self, tmp_path):
+        root = self._tree(tmp_path, "from repro.core.engine import run_pipeline\n")
+        proc = run_checker(root)
+        assert proc.returncode == 1
+        assert "dna (layer 1) imports core (layer 3)" in proc.stdout
+
+    def test_flags_relative_back_edge(self, tmp_path):
+        root = self._tree(tmp_path, "from ..core import engine\n")
+        proc = run_checker(root)
+        assert proc.returncode == 1
+        assert "back-edge" in proc.stdout
+
+    def test_flags_deferred_function_body_import(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            "def late():\n    from ..core import engine\n    return engine\n",
+        )
+        proc = run_checker(root)
+        assert proc.returncode == 1
+
+    def test_type_checking_block_is_exempt(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from ..core.results import CountResult\n",
+        )
+        proc = run_checker(root)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_unknown_component_is_reported(self, tmp_path):
+        root = self._tree(tmp_path, "")
+        (root / "mystery").mkdir()
+        (root / "mystery" / "__init__.py").write_text("")
+        proc = run_checker(root)
+        assert proc.returncode == 1
+        assert "missing from tools/check_layers.py LAYERS map" in proc.stdout

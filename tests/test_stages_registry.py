@@ -1,0 +1,260 @@
+"""Tests for the stage registry, extension stages, and their CLI surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.config import PipelineConfig
+from repro.core.engine import EngineOptions, run_pipeline
+from repro.core.incremental import DistributedCounter
+from repro.core.stages import (
+    PipelinePlugin,
+    build_composition,
+    register_stage,
+    registered_backends,
+    registered_stages,
+    substrate_names,
+)
+from repro.core.stages.registry import normalize_backend, resolve_stage
+from repro.kmers.spectrum import count_kmers_exact
+from repro.mpi.topology import summit_gpu
+
+
+class TestBackendRegistry:
+    def test_four_standard_backends_registered(self):
+        keys = registered_backends()
+        for key in ("cpu:kmer", "cpu:supermer", "gpu:kmer", "gpu:supermer"):
+            assert key in keys
+
+    def test_substrate_names(self):
+        assert substrate_names() == ("cpu", "gpu")
+
+    def test_bare_name_resolves_with_config_mode(self):
+        assert normalize_backend("gpu", "supermer") == "gpu:supermer"
+        assert normalize_backend("cpu", "kmer") == "cpu:kmer"
+
+    def test_explicit_mode_key_accepted(self):
+        assert normalize_backend("gpu:kmer", "kmer") == "gpu:kmer"
+
+    def test_mode_conflict_rejected(self):
+        with pytest.raises(ValueError, match="conflicts with config mode"):
+            normalize_backend("gpu:supermer", "kmer")
+
+    def test_unknown_backend_lists_registered(self):
+        with pytest.raises(ValueError, match="registered backends.*cpu:kmer"):
+            normalize_backend("tpu", "kmer")
+
+    def test_engine_rejects_unknown_backend(self, genome_reads):
+        with pytest.raises(ValueError, match="registered backends"):
+            run_pipeline(genome_reads, summit_gpu(1), PipelineConfig(k=15), backend="fpga")
+
+    def test_counter_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="registered backends"):
+            DistributedCounter(summit_gpu(1), PipelineConfig(k=15), backend="quantum")
+
+    def test_engine_accepts_explicit_mode_key(self, genome_reads):
+        cfg = PipelineConfig(k=15, mode="supermer", minimizer_len=7, window=15)
+        a = run_pipeline(genome_reads, summit_gpu(1), cfg, backend="gpu:supermer")
+        b = run_pipeline(genome_reads, summit_gpu(1), cfg, backend="gpu")
+        assert a.spectrum.equals(b.spectrum)
+        assert a.timing.total == b.timing.total
+
+
+class TestStageRegistry:
+    def test_builtin_stages_discovered_lazily(self):
+        stages = registered_stages()
+        assert "bloom" in stages and "balanced" in stages
+
+    def test_unknown_stage_lists_registered(self):
+        with pytest.raises(ValueError, match="registered stages.*bloom"):
+            resolve_stage("dedup", "kmer")
+
+    def test_mode_restriction_enforced(self):
+        with pytest.raises(ValueError, match="supports mode"):
+            resolve_stage("balanced", "kmer")
+
+    def test_engine_propagates_stage_mode_error(self, genome_reads):
+        with pytest.raises(ValueError, match="supports mode"):
+            run_pipeline(
+                genome_reads,
+                summit_gpu(1),
+                PipelineConfig(k=15, mode="kmer"),
+                options=EngineOptions(stages=("balanced",)),
+            )
+
+    def test_custom_plugin_round_trip(self, genome_reads):
+        class DropNothing(PipelinePlugin):
+            name = "noop-test"
+
+        register_stage("noop-test", DropNothing, description="test no-op")
+        try:
+            cfg = PipelineConfig(k=15)
+            comp = build_composition("gpu", cfg, EngineOptions(stages=("noop-test",)), summit_gpu(1))
+            assert [p.name for p in comp.plugins] == ["noop-test"]
+            base = run_pipeline(genome_reads, summit_gpu(1), cfg)
+            with_plugin = run_pipeline(
+                genome_reads, summit_gpu(1), cfg, options=EngineOptions(stages=("noop-test",))
+            )
+            assert with_plugin.spectrum.equals(base.spectrum)
+        finally:
+            from repro.core.stages import registry as registry_mod
+
+            registry_mod._STAGES.pop("noop-test", None)
+
+    def test_conflicting_partition_overrides_rejected(self):
+        class OtherBalanced(PipelinePlugin):
+            name = "other-balanced"
+
+            def partition_stage(self):
+                from repro.core.stages.standard import MinimizerHashPartition
+
+                return MinimizerHashPartition()
+
+        register_stage("other-balanced", OtherBalanced, modes=("supermer",))
+        try:
+            cfg = PipelineConfig(k=15, mode="supermer", minimizer_len=5, window=9)
+            with pytest.raises(ValueError, match="both override the partition stage"):
+                build_composition(
+                    "gpu", cfg, EngineOptions(stages=("balanced", "other-balanced")), summit_gpu(1)
+                )
+        finally:
+            from repro.core.stages import registry as registry_mod
+
+            registry_mod._STAGES.pop("other-balanced", None)
+
+
+class TestBloomStage:
+    def test_bloom_suppresses_singletons_exactly(self, genome_reads):
+        """Bloom-filtered spectrum == exact spectrum restricted to count>=2."""
+        k = 15
+        result = run_pipeline(
+            genome_reads,
+            summit_gpu(1),
+            PipelineConfig(k=k),
+            options=EngineOptions(stages=("bloom",)),
+        )
+        oracle = count_kmers_exact(genome_reads, k).frequent(2)
+        assert result.spectrum.equals(oracle)
+
+    def test_bloom_load_accounting_is_prefilter(self, genome_reads):
+        """received_kmers counts instances seen, not instances inserted."""
+        k = 15
+        base = run_pipeline(genome_reads, summit_gpu(1), PipelineConfig(k=k))
+        bloom = run_pipeline(
+            genome_reads, summit_gpu(1), PipelineConfig(k=k), options=EngineOptions(stages=("bloom",))
+        )
+        assert np.array_equal(bloom.received_kmers, base.received_kmers)
+        assert bloom.spectrum.n_distinct < base.spectrum.n_distinct
+
+    def test_bloom_in_streamed_counter(self):
+        from .golden_cases import batch_reads
+
+        k = 17
+        batches = batch_reads()
+        counter = DistributedCounter(
+            summit_gpu(1), PipelineConfig(k=k), options=EngineOptions(stages=("bloom",))
+        )
+        for batch in batches:
+            counter.add_reads(batch)
+        from repro.dna.reads import ReadSet
+
+        oracle = count_kmers_exact(ReadSet.concat(batches), k).frequent(2)
+        assert counter.spectrum().equals(oracle)
+
+
+class TestBalancedStage:
+    def test_balanced_preserves_spectrum_and_reduces_imbalance(self, genome_reads):
+        cfg = PipelineConfig(k=15, mode="supermer", minimizer_len=5, window=9)
+        base = run_pipeline(genome_reads, summit_gpu(2), cfg)
+        balanced = run_pipeline(
+            genome_reads, summit_gpu(2), cfg, options=EngineOptions(stages=("balanced",))
+        )
+        assert balanced.spectrum.equals(base.spectrum)
+        assert balanced.load_stats().imbalance <= base.load_stats().imbalance
+
+    def test_balanced_matches_manual_assignment_option(self, genome_reads):
+        """The plugin reproduces the EngineOptions.minimizer_assignment path."""
+        from repro.ext.balanced import balanced_minimizer_assignment
+
+        cfg = PipelineConfig(k=15, mode="supermer", minimizer_len=5, window=9)
+        cluster = summit_gpu(2)
+        assignment = balanced_minimizer_assignment(
+            genome_reads, cfg.k, cfg.minimizer_len, cluster.n_ranks, ordering=cfg.ordering
+        )
+        manual = run_pipeline(
+            genome_reads, cluster, cfg, options=EngineOptions(minimizer_assignment=assignment)
+        )
+        plugin = run_pipeline(genome_reads, cluster, cfg, options=EngineOptions(stages=("balanced",)))
+        assert plugin.spectrum.equals(manual.spectrum)
+        assert np.array_equal(plugin.received_kmers, manual.received_kmers)
+
+
+@pytest.fixture
+def fastq(tmp_path):
+    path = tmp_path / "sample.fastq"
+    assert (
+        main(
+            [
+                "simulate",
+                "--genome-length",
+                "6000",
+                "--coverage",
+                "5",
+                "--read-length",
+                "300",
+                "--seed",
+                "9",
+                "--out",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+class TestCliStages:
+    def test_count_with_stages_end_to_end(self, fastq, tmp_path, capsys):
+        db = tmp_path / "out.rkdb"
+        code = main(
+            [
+                "count",
+                "--input",
+                str(fastq),
+                "-k",
+                "15",
+                "--nodes",
+                "1",
+                "--backend",
+                "gpu",
+                "--mode",
+                "supermer",
+                "--stages",
+                "bloom,balanced",
+                "--out-db",
+                str(db),
+            ]
+        )
+        assert code == 0
+        assert "total_kmers" in capsys.readouterr().out
+        assert db.exists()
+
+    def test_unknown_backend_is_clear_error(self, fastq, capsys):
+        assert main(["count", "--input", str(fastq), "--backend", "tpu"]) == 2
+        err = capsys.readouterr().err
+        assert "registered backends" in err and "gpu:supermer" in err
+
+    def test_unknown_stage_is_clear_error(self, fastq, capsys):
+        assert main(["count", "--input", str(fastq), "--stages", "dedup"]) == 2
+        err = capsys.readouterr().err
+        assert "registered stages" in err and "bloom" in err
+
+    def test_stage_mode_conflict_is_clear_error(self, fastq, capsys):
+        assert main(["count", "--input", str(fastq), "--mode", "kmer", "--stages", "balanced"]) == 2
+        assert "supports mode" in capsys.readouterr().err
+
+    def test_backend_mode_conflict_is_clear_error(self, fastq, capsys):
+        assert main(["count", "--input", str(fastq), "--mode", "kmer", "--backend", "gpu:supermer"]) == 2
+        assert "conflicts with config mode" in capsys.readouterr().err

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Import-boundary lint for the ``repro`` package.
+
+The package is layered; a module may import only from its own layer or
+below.  Higher numbers sit higher in the stack:
+
+    0  telemetry                      (imports nothing from repro)
+    1  dna, hashing, kmers            (pure data structures / algorithms)
+    2  mpi, gpu                       (simulated substrates)
+    3  core                           (staged execution core)
+    4  ext                            (extensions; may build on core)
+    5  bench, cli                     (user-facing surfaces)
+
+Enforced statically over the AST, including imports deferred into
+function bodies.  ``if TYPE_CHECKING:`` blocks are exempt: annotations
+may reference higher layers (e.g. ``mpi.collectives`` typing against
+``core.parallel.RankPool``) without creating a runtime edge.  Note the
+stage registry's lazy backend discovery keeps ``core`` free of any
+static ``ext`` import — that is by design, not an oversight.
+
+Usage: ``python tools/check_layers.py [--root src/repro]``.
+Exits 0 when clean, 1 with one ``file:line`` diagnostic per violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+LAYERS: dict[str, int] = {
+    "telemetry": 0,
+    "dna": 1,
+    "hashing": 1,
+    "kmers": 1,
+    "mpi": 2,
+    "gpu": 2,
+    "core": 3,
+    "ext": 4,
+    "bench": 5,
+    "cli": 5,
+}
+
+PACKAGE = "repro"
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+        return True
+    if isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING":
+        return True
+    return False
+
+
+def _imported_components(node: ast.AST, importer_parts: tuple[str, ...]) -> list[tuple[str, int]]:
+    """Top-level repro components referenced by an import node, with lines.
+
+    ``importer_parts`` is the importing module's dotted path relative to
+    the package root, e.g. ``("core", "stages", "registry")``.
+    """
+    found: list[tuple[str, int]] = []
+
+    def note(parts: list[str], lineno: int) -> None:
+        # ``parts`` is a full dotted path starting with the package root;
+        # the layered component is the element right under it.
+        if parts[:1] == [PACKAGE] and len(parts) > 1:
+            found.append((parts[1], lineno))
+
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            note(alias.name.split("."), node.lineno)
+    elif isinstance(node, ast.ImportFrom):
+        module = node.module.split(".") if node.module else []
+        if node.level == 0:
+            note(module, node.lineno)
+        else:
+            # Relative import: resolve against the importer's dotted path.
+            base = list(importer_parts[: len(importer_parts) - node.level])
+            if module:
+                note(base + module, node.lineno)
+            else:
+                # ``from . import x`` at some level: each name is a component.
+                for alias in node.names:
+                    note(base + [alias.name], node.lineno)
+    return found
+
+
+def _walk_skipping_type_checking(tree: ast.AST):
+    """Yield nodes like ast.walk, but skip ``if TYPE_CHECKING:`` bodies."""
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+            stack.extend(node.orelse)  # the else branch still runs
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    rel = path.relative_to(root)
+    # Component = first directory under the package root, or the module
+    # stem for top-level modules (cli.py).  The package __init__ sits
+    # above all layers and may import anything.
+    if len(rel.parts) == 1:
+        component = rel.stem
+        if component == "__init__":
+            return []
+    else:
+        component = rel.parts[0]
+    layer = LAYERS.get(component)
+    if layer is None:
+        return [f"{path}: component {component!r} missing from tools/check_layers.py LAYERS map"]
+
+    importer_parts = rel.parts[:-1] if rel.name == "__init__.py" else rel.with_suffix("").parts
+    # Relative-import resolution counts from the full dotted module path
+    # including the package root itself.
+    resolver_parts = (PACKAGE, *importer_parts)
+
+    violations: list[str] = []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in _walk_skipping_type_checking(tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        for target, lineno in _imported_components(node, resolver_parts):
+            if target == PACKAGE or target == component:
+                continue
+            target_layer = LAYERS.get(target)
+            if target_layer is None:
+                continue  # not a layered component (stdlib sibling etc.)
+            if target_layer > layer:
+                violations.append(
+                    f"{path}:{lineno}: {component} (layer {layer}) imports "
+                    f"{target} (layer {target_layer}) — back-edge"
+                )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default="src/repro", help="package root to scan")
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        violations.extend(check_file(path, root))
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"\n{len(violations)} layering violation(s)", file=sys.stderr)
+        return 1
+    print(f"layering OK: {sum(1 for _ in root.rglob('*.py'))} files, no back-edges")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
