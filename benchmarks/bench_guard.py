@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""CI guard: the fused path must stay identical and stay fast.
+
+Runs a deliberately small slice of the fig6 grid (one Table I dataset,
+all three variants) with the staged-sequential and fused paths timed
+back-to-back, then enforces two gates:
+
+1. **identity** — the fused results must be bit-identical to the staged
+   results (spectrum, timing floats, traffic, insert statistics).  Any
+   divergence is an immediate failure; there is no tolerance.
+2. **speedup floor** — the measured staged/fused host-time ratio must
+   not fall below the committed ``BENCH_fused.json`` grid ratio scaled
+   by the benchmark's noise band.  The ratio is a same-machine paired
+   measurement, so unlike absolute seconds it transfers across CI
+   hardware; the noise-band scaling absorbs the remaining jitter of a
+   shared runner and the smaller workload.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_guard.py [--bench BENCH_fused.json]
+        [--datasets vvulnificus30x] [--nodes 16] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_stages import NOISE_BAND, _assert_identical, _run_grid  # noqa: E402
+
+from repro.core.memory import ScratchArena  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--bench", default="BENCH_fused.json", help="committed benchmark JSON")
+    ap.add_argument("--datasets", default="vvulnificus30x", help="comma-separated Table I names")
+    ap.add_argument("--nodes", type=int, default=16, help="simulated Summit node count")
+    ap.add_argument("--repeats", type=int, default=3, help="take the best of N paired runs per cell")
+    args = ap.parse_args(argv)
+
+    committed = json.loads(Path(args.bench).read_text())
+    committed_speedup = committed["fused_speedup"]
+    floor = round(NOISE_BAND[0] * committed_speedup, 3)
+
+    datasets = [d for d in args.datasets.split(",") if d]
+    cells = _run_grid(datasets, args.nodes, 1, args.repeats, ScratchArena())
+
+    total_seq = total_fused = 0.0
+    for key, (best, results) in cells.items():
+        _assert_identical(results["sequential"], results["fused"], f"{key} (fused)")
+        total_seq += best["sequential"]
+        total_fused += best["fused"]
+        print(
+            f"  {key:45s} seq {best['sequential']:7.3f}s  fused {best['fused']:7.3f}s "
+            f"({best['sequential'] / best['fused']:.2f}x)"
+        )
+
+    speedup = total_seq / total_fused
+    print(
+        f"fused identity: OK; speedup {speedup:.3f}x "
+        f"(committed {committed_speedup}x, floor {floor}x = {NOISE_BAND[0]} * committed)"
+    )
+    if speedup < floor:
+        print(f"FAIL: fused speedup {speedup:.3f}x fell below the floor {floor}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

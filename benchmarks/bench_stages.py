@@ -3,9 +3,9 @@
 
 Runs the same Fig. 6 workload as ``bench_parallel.py`` (small Table I
 datasets, 16 Summit nodes, CPU baseline + GPU k-mer + GPU supermer
-variants) through the staged stage-graph engine, verifies sequential and
-thread-pool execution stay bit-identical, and records wall-clock times
-into ``BENCH_stages.json``.
+variants) through the staged stage-graph engine, verifies sequential,
+thread-pool, and fused whole-cluster execution all stay bit-identical,
+and records wall-clock times into ``BENCH_stages.json``.
 
 When a ``BENCH_parallel.json`` recorded before the staged refactor is
 present, each cell's sequential time is compared against it so the
@@ -13,6 +13,11 @@ refactor's host-side overhead is visible: the staged core should match
 the monolithic engine within measurement noise (model seconds are
 bit-identical by the golden suite; this benchmark is about host time
 only).
+
+The fused column runs the same cells through the whole-cluster fused
+path (``EngineOptions(fused=True)`` with one shared scratch arena; see
+docs/PERFORMANCE.md); ``fused_speedup`` is per-cell staged-sequential /
+fused host time.
 
 Usage::
 
@@ -37,6 +42,7 @@ import numpy as np  # noqa: E402
 from repro.bench.runner import dataset_with_multiplier  # noqa: E402
 from repro.core.config import PipelineConfig  # noqa: E402
 from repro.core.engine import EngineOptions, run_pipeline  # noqa: E402
+from repro.core.memory import ScratchArena  # noqa: E402
 from repro.core.parallel import resolve_workers  # noqa: E402
 from repro.dna.datasets import SMALL_DATASETS  # noqa: E402
 from repro.mpi.topology import summit_cpu, summit_gpu  # noqa: E402
@@ -66,21 +72,35 @@ def _assert_identical(a, b, label: str) -> None:
         raise AssertionError(f"pooled staged engine diverged from sequential on {label}")
 
 
-def _run_grid(datasets, nodes, parallel, repeats):
-    """Best-of-``repeats`` wall time per (dataset, variant) cell."""
+def _run_grid(datasets, nodes, workers, repeats, arena):
+    """Best-of-``repeats`` wall time per (dataset, variant, execution-path) cell.
+
+    The three execution paths are timed back-to-back inside every repeat
+    (paired measurement): comparing separate full-grid passes lets slow
+    drift in machine state (clock throttling, allocator growth) land
+    entirely on whichever path happens to run last.
+    """
     cells = {}
     for name in datasets:
         reads, mult = dataset_with_multiplier(name)
         for backend, mode, m in VARIANTS:
             cluster = summit_gpu(nodes) if backend == "gpu" else summit_cpu(nodes)
             config = PipelineConfig(k=17, mode=mode, minimizer_len=m)
-            options = EngineOptions(work_multiplier=mult, parallel=parallel)
-            best, result = float("inf"), None
+            paths = {
+                "sequential": EngineOptions(work_multiplier=mult, parallel=1),
+                "parallel": EngineOptions(work_multiplier=mult, parallel=workers),
+                "fused": EngineOptions(work_multiplier=mult, parallel=1, fused=True, arena=arena),
+            }
+            best = dict.fromkeys(paths, float("inf"))
+            results = {}
             for _ in range(repeats):
-                t0 = perf_counter()
-                result = run_pipeline(reads, cluster, config, backend=backend, options=options)
-                best = min(best, perf_counter() - t0)
-            cells[f"{name}/{backend}-{mode}-m{m}"] = (best, result)
+                for path, options in paths.items():
+                    t0 = perf_counter()
+                    results[path] = run_pipeline(
+                        reads, cluster, config, backend=backend, options=options
+                    )
+                    best[path] = min(best[path], perf_counter() - t0)
+            cells[f"{name}/{backend}-{mode}-m{m}"] = (best, results)
     return cells
 
 
@@ -103,8 +123,7 @@ def main(argv: list[str] | None = None) -> int:
     world = summit_gpu(args.nodes).n_ranks
 
     print(f"staged-core fig6 workload: {datasets} on {args.nodes} nodes ({world} GPU ranks)")
-    seq_cells = _run_grid(datasets, args.nodes, 1, args.repeats)
-    par_cells = _run_grid(datasets, args.nodes, workers, args.repeats)
+    cells = _run_grid(datasets, args.nodes, workers, args.repeats, ScratchArena())
 
     baseline_cells = {}
     baseline_path = Path(args.baseline)
@@ -113,13 +132,16 @@ def main(argv: list[str] | None = None) -> int:
         baseline_cells = {row["cell"]: row["sequential_s"] for row in baseline.get("cells", [])}
 
     rows = []
-    for key, (seq_s, seq_result) in seq_cells.items():
-        par_s, par_result = par_cells[key]
-        _assert_identical(seq_result, par_result, key)
+    for key, (best, results) in cells.items():
+        seq_s, par_s, fused_s = best["sequential"], best["parallel"], best["fused"]
+        _assert_identical(results["sequential"], results["parallel"], key)
+        _assert_identical(results["sequential"], results["fused"], f"{key} (fused)")
         row = {
             "cell": key,
             "sequential_s": round(seq_s, 4),
             "parallel_s": round(par_s, 4),
+            "fused_s": round(fused_s, 4),
+            "fused_speedup": round(seq_s / fused_s, 3),
         }
         note = ""
         if key in baseline_cells:
@@ -127,10 +149,14 @@ def main(argv: list[str] | None = None) -> int:
             row["vs_baseline"] = round(seq_s / baseline_cells[key], 3)
             note = f"  vs pre-refactor {row['vs_baseline']:5.2f}x"
         rows.append(row)
-        print(f"  {key:45s} seq {seq_s:7.3f}s  par {par_s:7.3f}s{note}")
+        print(
+            f"  {key:45s} seq {seq_s:7.3f}s  par {par_s:7.3f}s  "
+            f"fused {fused_s:7.3f}s ({row['fused_speedup']:.2f}x){note}"
+        )
 
     total_seq = sum(r["sequential_s"] for r in rows)
     total_par = sum(r["parallel_s"] for r in rows)
+    total_fused = sum(r["fused_s"] for r in rows)
     payload = {
         "workload": "fig6",
         "engine": "staged",
@@ -144,6 +170,8 @@ def main(argv: list[str] | None = None) -> int:
         "results_identical": True,
         "sequential_total_s": round(total_seq, 4),
         "parallel_total_s": round(total_par, 4),
+        "fused_total_s": round(total_fused, 4),
+        "fused_speedup": round(total_seq / total_fused, 3),
         "cells": rows,
     }
     if baseline_cells:
@@ -167,7 +195,10 @@ def main(argv: list[str] | None = None) -> int:
 
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2))
-    print(f"total: seq {total_seq:.3f}s  par {total_par:.3f}s -> {out}")
+    print(
+        f"total: seq {total_seq:.3f}s  par {total_par:.3f}s  "
+        f"fused {total_fused:.3f}s ({payload['fused_speedup']:.2f}x) -> {out}"
+    )
     return 0
 
 

@@ -102,6 +102,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_count.add_argument("--canonical", action="store_true", help="count canonical (strand-neutral) k-mers")
     p_count.add_argument("--gpudirect", action="store_true", help="skip CPU staging copies")
     p_count.add_argument("--rounds", type=int, default=1, help="memory-bounded exchange rounds")
+    p_count.add_argument(
+        "--fused",
+        action="store_true",
+        help="run whole-cluster fused supersteps (bit-identical results; see docs/PERFORMANCE.md)",
+    )
+    p_count.add_argument(
+        "--profile",
+        nargs="?",
+        const=15,
+        type=int,
+        default=None,
+        metavar="N",
+        help="profile the run with cProfile and print the top N cumulative hotspots (default 15)",
+    )
     p_count.add_argument("--out-db", help="write binary k-mer database here")
     p_count.add_argument("--out-tsv", help="write kmer<TAB>count text here")
     p_count.add_argument("--report", help="write a structured telemetry run report (JSON) here")
@@ -189,6 +203,25 @@ def _load_one(path: str, args: argparse.Namespace) -> ReadSet:
     return _load_reads(path)
 
 
+def _profile_call(fn, *, top: int) -> str:
+    """Run ``fn`` under cProfile; return the top-``top`` cumulative hotspots."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(max(1, top))
+    lines = [ln.rstrip() for ln in buf.getvalue().splitlines() if ln.strip()]
+    return "\n".join(["host-time profile (cProfile, cumulative):", *("  " + ln for ln in lines)])
+
+
 def _cmd_count(args: argparse.Namespace) -> int:
     from .core.engine import EngineOptions
     from .core.incremental import DistributedCounter
@@ -209,16 +242,26 @@ def _cmd_count(args: argparse.Namespace) -> int:
     stages = tuple(s.strip() for s in args.stages.split(",") if s.strip())
     registry = MetricRegistry() if (args.report or args.metrics_out) else None
     counter = DistributedCounter(
-        cluster, config, backend=args.backend, options=EngineOptions(telemetry=registry, stages=stages)
+        cluster,
+        config,
+        backend=args.backend,
+        options=EngineOptions(telemetry=registry, stages=stages, fused=True if args.fused else None),
     )
     if args.checkpoint and Path(args.checkpoint).exists():
         counter.load(args.checkpoint)
         print(f"resumed from {args.checkpoint}: {counter.n_batches} batches, {counter.total_kmers:,} k-mers")
-    for path in args.input:
-        batch_timing = counter.add_reads(_load_one(path, args))
-        print(f"{path}: counted in {batch_timing.total:.3f} model seconds")
-        if args.checkpoint:
-            counter.save(args.checkpoint)
+
+    def _count_inputs() -> None:
+        for path in args.input:
+            batch_timing = counter.add_reads(_load_one(path, args))
+            print(f"{path}: counted in {batch_timing.total:.3f} model seconds")
+            if args.checkpoint:
+                counter.save(args.checkpoint)
+
+    if args.profile is not None:
+        print(_profile_call(_count_inputs, top=args.profile))
+    else:
+        _count_inputs()
 
     spectrum_full = counter.spectrum()
     loads = counter.load_stats()

@@ -12,6 +12,7 @@ registering custom stages.
 
 from .buffers import CountOutcome, ExchangeOutcome, ParsedItems, RankParse
 from .context import EngineOptions, StageContext
+from .fused import FusedPipeline, resolve_fused, supports_fusion
 from .protocols import (
     CountStage,
     ExchangeStage,
@@ -63,4 +64,7 @@ __all__ = [
     "PipelineState",
     "RoundScheduler",
     "staged_rank_program",
+    "FusedPipeline",
+    "resolve_fused",
+    "supports_fusion",
 ]

@@ -23,6 +23,7 @@ from ...telemetry import MetricRegistry
 from ..config import PipelineConfig
 from ..cpu_model import CpuRates, power9_rates
 from ..gpu_model import GpuPipelineModel
+from ..memory import ScratchArena
 from ..parallel import ParallelSetting, RankPool
 from ..tracing import WallClockRecorder
 
@@ -52,6 +53,13 @@ class EngineOptions:
     # Extension stage plugins by registry name (e.g. ("bloom", "balanced"));
     # resolved through repro.core.stages.registry when the composition is built.
     stages: tuple[str, ...] = ()
+    # Fused whole-cluster execution (repro.core.stages.fused): None defers to
+    # the REPRO_FUSED environment variable.  Results are bit-identical to the
+    # staged path; compositions with custom stage types fall back to staged.
+    fused: bool | None = None
+    # Scratch-buffer pool shared across runs/sweep cells in fused mode; None
+    # lets the scheduler create a private one per run.
+    arena: ScratchArena | None = None
 
     def __post_init__(self) -> None:
         if self.work_multiplier <= 0:

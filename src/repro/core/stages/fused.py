@@ -1,0 +1,723 @@
+"""Fused whole-cluster supersteps: each stage runs once over all ranks.
+
+The staged scheduler executes every superstep as P independent per-rank
+NumPy call sequences.  At fig6 scale (P = 96 simulated ranks, small
+per-rank shards) host wall time is dominated by array-dispatch overhead
+and allocation churn, not by the modeled work — the same observation
+that drives the paper's GPU kernels ("launch one grid over all data, not
+one per shard", Fig. 2).  This module applies that lesson to the
+simulator itself:
+
+* **parse/partition** — one :func:`window_values` / supermer build /
+  ``owners`` call over the concatenation of all shards, with a shard-id
+  segment array; one stable argsort on the composite ``(shard, owner)``
+  key produces every rank's destination-ordered send buffer as a single
+  rank-segmented flat array (which is *already* the wire form the
+  exchange needs);
+* **exchange** — :func:`repro.mpi.collectives.alltoallv_flat` on the
+  flat array (one fancy-index gather instead of P slices + concat);
+* **count** — one k-mer extraction over the whole received array and a
+  :class:`repro.gpu.segmented.SegmentedHashTable` whose probe rounds
+  span every rank's pending keys at once;
+* large temporaries are recycled through a
+  :class:`repro.core.memory.ScratchArena`.
+
+Bit-identity contract: every observable of the staged path — spectrum,
+per-rank model times, timing floats, traffic matrices and byte totals,
+InsertStats, model-metric telemetry — is reproduced exactly.  Per-rank
+model times are recomputed with the identical scalar formulas on
+identical per-rank quantities; per-rank probe behaviour is identical by
+the segmented table's construction (see its module docstring).  The
+golden suite replays the full engine matrix with ``fused=True`` against
+the same golden file to enforce this.
+
+Compositions whose stages are not the standard classes (custom
+registered stages) fall back to the staged scheduler; plugin *hooks*
+(bloom filter, balanced partition) are supported, since they act through
+the standard stage seams.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from ...dna.encoding import canonical_batch
+from ...dna.reads import ReadSet
+from ...gpu.costmodel import KernelCostModel, TrafficEstimate
+from ...gpu.hashtable import InsertStats
+from ...gpu.segmented import SegmentedHashTable
+from ...kmers.extract import window_values
+from ...kmers.supermers import build_supermers_with_positions, extract_kmers_from_packed
+from ...mpi.collectives import alltoallv_flat
+from ...mpi.stats import TrafficStats
+from ...telemetry import active
+from ..memory import ScratchArena
+from ..results import CountResult, PhaseTiming
+from .registry import StageComposition
+from .standard import (
+    AlltoallvExchange,
+    CpuSubstrate,
+    GpuSubstrate,
+    KmerHashPartition,
+    KmerParse,
+    MinimizerHashPartition,
+    SpectrumMerge,
+    SupermerParse,
+    TableCount,
+    exchange_time_model,
+    outgoing_buffer_hot_fraction,
+)
+
+__all__ = ["ENV_VAR", "FusedPipeline", "resolve_fused", "supports_fusion"]
+
+#: Environment switch consulted when ``EngineOptions.fused`` is ``None``.
+ENV_VAR = "REPRO_FUSED"
+
+#: Extraction kernels (window packing, minimizer scans, supermer builds)
+#: are multi-pass: they materialize several full-array intermediates per
+#: element.  Run them over cache-sized blocks of *whole shards* instead of
+#: the full concatenation — block boundaries on shard boundaries keep the
+#: outputs bit-identical (no window/supermer spans a shard), while keeping
+#: every pass's working set in L2.  128Ki bases ≈ 1-2 MB of intermediates
+#: per pass (swept on the benchmark host; see docs/PERFORMANCE.md).
+PARSE_BLOCK_BASES = 1 << 17
+
+_ON = frozenset({"1", "on", "true", "yes", "auto", "fused"})
+_OFF = frozenset({"", "0", "off", "false", "no", "none"})
+
+
+def resolve_fused(setting: bool | None) -> bool:
+    """Resolve the fused switch: explicit option, else ``REPRO_FUSED``."""
+    if setting is not None:
+        return bool(setting)
+    raw = os.environ.get(ENV_VAR, "")
+    value = raw.strip().lower()
+    if value in _ON:
+        return True
+    if value in _OFF:
+        return False
+    raise ValueError(f"{ENV_VAR}={raw!r} not understood (use on/off)")
+
+
+def _concat(parts: list[np.ndarray], dtype) -> np.ndarray:
+    """Concatenate block outputs (empty-safe, no copy for a single part)."""
+    if not parts:
+        return np.empty(0, dtype=dtype)
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
+def _shard_blocks(code_base: np.ndarray, target: int) -> list[tuple[int, int]]:
+    """Consecutive shard ranges of roughly ``target`` codes each."""
+    p = code_base.shape[0] - 1
+    blocks: list[tuple[int, int]] = []
+    s = 0
+    while s < p:
+        e = s + 1
+        while e < p and code_base[e + 1] - code_base[s] <= target:
+            e += 1
+        blocks.append((s, e))
+        s = e
+    return blocks
+
+
+def supports_fusion(comp: StageComposition) -> bool:
+    """Whether a composition consists solely of the standard stage types.
+
+    The fused path re-implements the standard stages' data flow; a
+    composition carrying a *custom* stage class must keep the staged
+    scheduler (its semantics are unknown here).  Plugins are fine: they
+    act through the standard seams (per-rank receive filter, merge
+    adjustment, partition override), all of which the fused path honours.
+    """
+    return (
+        type(comp.parse) in (KmerParse, SupermerParse)
+        and type(comp.partition) in (KmerHashPartition, MinimizerHashPartition)
+        and type(comp.exchange) is AlltoallvExchange
+        and type(comp.count) is TableCount
+        and type(comp.merge) is SpectrumMerge
+        and type(comp.substrate) in (GpuSubstrate, CpuSubstrate)
+    )
+
+
+@dataclass
+class _FusedParse:
+    """Whole-cluster parse output: rank-segmented flat buffers + per-rank stats."""
+
+    data: np.ndarray  # uint64, src-major / dst-segmented (the wire form)
+    lengths: np.ndarray | None  # uint8, parallel to data (supermer mode)
+    counts_matrix: np.ndarray  # (p, p) int64: [src, dst] item counts
+    n_kmers: np.ndarray  # int64 per rank
+    n_supermers: np.ndarray  # int64 per rank
+    supermer_bases: np.ndarray  # int64 per rank
+    times: np.ndarray  # float64 per rank: modeled parse seconds
+
+    @property
+    def total_kmers(self) -> int:
+        return int(self.n_kmers.sum())
+
+
+class FusedPipeline:
+    """Fused execution engine bound to one :class:`RoundScheduler`."""
+
+    def __init__(self, scheduler) -> None:
+        self.sched = scheduler
+        opts = scheduler.opts
+        self.arena = opts.arena if opts.arena is not None else ScratchArena()
+
+    # -- parse phase -------------------------------------------------
+
+    def _parse(self, shards: list[ReadSet], sctx) -> _FusedParse:
+        comp = self.sched.comp
+        config = self.sched.config
+        p = len(shards)
+        arena = self.arena
+
+        # One flat code array over all shards.  Every shard is sentinel-
+        # terminated, so no window/supermer can span a shard boundary and
+        # the per-position results equal the per-shard ones.
+        sizes = np.fromiter((s.codes.shape[0] for s in shards), dtype=np.int64, count=p)
+        code_base = np.zeros(p + 1, dtype=np.int64)
+        np.cumsum(sizes, out=code_base[1:])
+        total_codes = int(code_base[-1])
+        codes = arena.take(total_codes, np.uint8)
+        for s, shard in enumerate(shards):
+            codes[code_base[s] : code_base[s + 1]] = shard.codes
+
+        # Extraction runs block-by-block over whole shards (cache-sized
+        # working sets, see PARSE_BLOCK_BASES); block outputs concatenate
+        # to exactly the whole-array result because block boundaries fall
+        # on shard boundaries.
+        blocks = _shard_blocks(code_base, PARSE_BLOCK_BASES)
+        supermer = sctx.supermer_mode
+        if not supermer:
+            pos_parts: list[np.ndarray] = []
+            val_parts: list[np.ndarray] = []
+            for s0, s1 in blocks:
+                lo, hi = int(code_base[s0]), int(code_base[s1])
+                win = window_values(codes[lo:hi], config.k)
+                bpos = np.flatnonzero(win.valid)
+                val_parts.append(win.values[bpos])
+                if lo:
+                    bpos += lo
+                pos_parts.append(bpos)
+            pos = _concat(pos_parts, np.int64)
+            kmers = _concat(val_parts, np.uint64)
+            if config.canonical:
+                kmers = canonical_batch(kmers, config.k)
+            shard_of = np.searchsorted(code_base, pos, side="right") - 1
+            route_keys = kmers
+            items_data = kmers
+            items_lengths = None
+            n_kmers = np.bincount(shard_of, minlength=p)
+            n_supermers = np.zeros(p, dtype=np.int64)
+            supermer_bases = np.zeros(p, dtype=np.int64)
+        else:
+            read_base = np.zeros(p + 1, dtype=np.int64)
+            np.cumsum([s.n_reads for s in shards], out=read_base[1:])
+            n_reads = int(read_base[-1])
+            offsets = np.empty(n_reads, dtype=np.int64)
+            lengths = np.empty(n_reads, dtype=np.int64)
+            for s, shard in enumerate(shards):
+                offsets[read_base[s] : read_base[s + 1]] = shard.offsets + code_base[s]
+                lengths[read_base[s] : read_base[s + 1]] = shard.lengths
+            pos_parts = []
+            packed_parts: list[np.ndarray] = []
+            nk_parts: list[np.ndarray] = []
+            min_parts: list[np.ndarray] = []
+            for s0, s1 in blocks:
+                lo, hi = int(code_base[s0]), int(code_base[s1])
+                block_reads = ReadSet(
+                    codes=codes[lo:hi],
+                    offsets=offsets[read_base[s0] : read_base[s1]] - lo,
+                    lengths=lengths[read_base[s0] : read_base[s1]],
+                )
+                batch, spos = build_supermers_with_positions(
+                    block_reads,
+                    config.k,
+                    config.minimizer_len,
+                    window=config.effective_window,
+                    ordering=config.ordering,
+                    canonical_minimizers=config.canonical,
+                )
+                if lo:
+                    spos += lo
+                pos_parts.append(spos)
+                packed_parts.append(batch.packed)
+                nk_parts.append(batch.n_kmers)
+                min_parts.append(batch.minimizers)
+            start_pos = _concat(pos_parts, np.int64)
+            sm_kmers = _concat(nk_parts, np.int32)
+            shard_of = np.searchsorted(code_base, start_pos, side="right") - 1
+            route_keys = _concat(min_parts, np.uint64)
+            items_data = _concat(packed_parts, np.uint64)
+            items_lengths = sm_kmers.astype(np.uint8)
+            n_kmers = np.bincount(shard_of, weights=sm_kmers, minlength=p).astype(np.int64)
+            n_supermers = np.bincount(shard_of, minlength=p)
+            supermer_bases = np.bincount(
+                shard_of, weights=sm_kmers.astype(np.int64) + (config.k - 1), minlength=p
+            ).astype(np.int64)
+
+        # One partition call over every rank's route keys (the partition
+        # stages are elementwise in the key, so this equals the per-rank
+        # calls' concatenation).
+        owners = comp.partition.owners(route_keys, p, config)
+
+        # Composite (shard, owner) stable sort == concatenation of the
+        # per-rank stable owner sorts of assemble_rank_parse.
+        sort_key = shard_of * p + owners.astype(np.int64)
+        counts_matrix = np.bincount(sort_key, minlength=p * p).reshape(p, p)
+        # The key is < p*p, so narrow it before sorting: numpy's stable sort
+        # on integers is a radix sort whose pass count scales with itemsize.
+        if p * p <= np.iinfo(np.uint16).max:
+            key_dtype = np.uint16
+        elif p * p <= np.iinfo(np.uint32).max:
+            key_dtype = np.uint32
+        else:
+            key_dtype = np.int64
+        order = np.argsort(sort_key.astype(key_dtype), kind="stable")
+        data = np.take(items_data, order, out=arena.take(order.shape[0], np.uint64))
+        lengths_flat = (
+            np.take(items_lengths, order, out=arena.take(order.shape[0], np.uint8))
+            if items_lengths is not None
+            else None
+        )
+        arena.release(codes)
+
+        # Per-rank modeled parse time, with the exact per-rank formulas of
+        # the staged substrates evaluated on the same per-rank quantities.
+        times = np.zeros(p, dtype=np.float64)
+        opts = self.sched.opts
+        mult = sctx.mult
+        if sctx.backend == "gpu":
+            cost = KernelCostModel(opts.device)
+            model = opts.gpu_model
+            hot = outgoing_buffer_hot_fraction(p, opts.device.atomic_serialization)
+            reg = active()
+            kernel = comp.parse.kernel_name
+            for r in range(p):
+                nk = int(n_kmers[r])
+                if supermer:
+                    ops = model.ops_parse_supermer * nk
+                    atomics = int(n_supermers[r])
+                    written = 9.0 * int(n_supermers[r])
+                else:
+                    ops = model.ops_parse_kmer * nk
+                    atomics = nk
+                    written = 8.0 * nk
+                traffic = TrafficEstimate(
+                    streaming_bytes=(2.0 * shards[r].codes.nbytes + written) * mult,
+                    atomic_ops=atomics * mult,
+                    atomic_hot_fraction=hot,
+                    thread_ops=ops * mult,
+                )
+                t = cost.kernel_time(traffic)
+                times[r] = t
+                if reg is not None:
+                    grid = max(int(shards[r].codes.shape[0]) - config.k + 1, 0)
+                    reg.counter("gpu_kernel_launches_total", "Kernel launches", kernel=kernel).inc()
+                    reg.counter(
+                        "gpu_kernel_threads_total", "Logical threads launched", kernel=kernel
+                    ).inc(grid)
+                    reg.counter(
+                        "gpu_kernel_model_seconds_total", "Modeled kernel seconds", kernel=kernel
+                    ).inc(t)
+                    reg.counter(
+                        "gpu_kernel_atomic_ops_total", "Modeled atomic operations", kernel=kernel
+                    ).inc(traffic.atomic_ops)
+        else:
+            rates = opts.cpu_rates
+            for r in range(p):
+                times[r] = rates.phase_overhead + rates.parse_time(
+                    int(n_kmers[r]) * mult, supermer_mode=supermer
+                )
+
+        return _FusedParse(
+            data=data,
+            lengths=lengths_flat,
+            counts_matrix=counts_matrix,
+            n_kmers=n_kmers,
+            n_supermers=n_supermers,
+            supermer_bases=supermer_bases,
+            times=times,
+        )
+
+    # -- exchange phase ----------------------------------------------
+
+    def _round_gather(
+        self, fp: _FusedParse, rnd: int, n_rounds: int
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray, bool]:
+        """Round ``rnd``'s slice of the flat send buffer (still src-major).
+
+        Splits every (src, dst) segment evenly across rounds exactly like
+        the staged ``_round_slice``; the gathered flat array equals the
+        concatenation of the per-rank round buffers.  Returns
+        ``(data, lengths, counts, arena_backed)``.
+        """
+        if n_rounds == 1:
+            return fp.data, fp.lengths, fp.counts_matrix, False
+        seg_lens = fp.counts_matrix.reshape(-1)
+        seg_starts = np.zeros(seg_lens.shape[0], dtype=np.int64)
+        np.cumsum(seg_lens[:-1], out=seg_starts[1:])
+        lo = seg_starts + (seg_lens * rnd) // n_rounds
+        hi = seg_starts + (seg_lens * (rnd + 1)) // n_rounds
+        rlens = hi - lo
+        round_counts = rlens.reshape(fp.counts_matrix.shape).copy()
+        out_offsets = np.zeros(rlens.shape[0], dtype=np.int64)
+        np.cumsum(rlens[:-1], out=out_offsets[1:])
+        total = int(rlens.sum())
+        idx = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(out_offsets, rlens)
+            + np.repeat(lo, rlens)
+        )
+        data = np.take(fp.data, idx, out=self.arena.take(total, np.uint64))
+        lengths = (
+            np.take(fp.lengths, idx, out=self.arena.take(total, np.uint8))
+            if fp.lengths is not None
+            else None
+        )
+        return data, lengths, round_counts, True
+
+    def _exchange(
+        self,
+        send_flat: np.ndarray,
+        send_lengths: np.ndarray | None,
+        round_counts: np.ndarray,
+        label: str,
+        sctx,
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray, float, float, float]:
+        """One fused exchange round; mirrors ``AlltoallvExchange.exchange``."""
+        wire = sctx.wire_bytes
+        shuffled, dst_offsets = alltoallv_flat(
+            send_flat,
+            round_counts,
+            stats=sctx.stats,
+            label=label,
+            bytes_per_item=wire,
+            arena=self.arena,
+        )
+        shuffled_lengths: np.ndarray | None = None
+        if send_lengths is not None:
+            shuffled_lengths, _ = alltoallv_flat(
+                send_lengths, round_counts, stats=None, arena=self.arena  # bytes counted in `wire`
+            )
+        do_verify = sctx.verify if sctx.verify is not None else sctx.opts.verify_exchange
+        if do_verify:
+            _verify_flat(send_flat, shuffled, round_counts, label)
+        seconds, t_a2av, t_stage = exchange_time_model(round_counts, sctx)
+        return shuffled, shuffled_lengths, dst_offsets, seconds, t_a2av, t_stage
+
+    # -- count phase -------------------------------------------------
+
+    def _count(
+        self,
+        table: SegmentedHashTable,
+        shuffled: np.ndarray,
+        shuffled_lengths: np.ndarray | None,
+        dst_offsets: np.ndarray,
+        sctx,
+    ) -> tuple[np.ndarray, np.ndarray, list[InsertStats]]:
+        """One fused count round over every rank's received segment.
+
+        Returns ``(times, n_seen, stats)`` per rank.  Extraction runs once
+        over the whole received array (elementwise per supermer, so rank
+        slices equal the per-rank extractions); plugin receive-filters run
+        per rank in rank order, preserving their stateful semantics.
+        """
+        comp = self.sched.comp
+        config = self.sched.config
+        opts = self.sched.opts
+        p = self.sched.cluster.n_ranks
+        mult = sctx.mult
+
+        if sctx.supermer_mode:
+            if shuffled.size:
+                all_kmers = extract_kmers_from_packed(shuffled, shuffled_lengths, config.k)
+            else:
+                all_kmers = np.empty(0, dtype=np.uint64)
+            if config.canonical and all_kmers.size:
+                all_kmers = canonical_batch(all_kmers, config.k)
+            kmer_cum = np.zeros(shuffled.shape[0] + 1, dtype=np.int64)
+            np.cumsum(shuffled_lengths.astype(np.int64), out=kmer_cum[1:])
+            kmer_offsets = kmer_cum[dst_offsets]
+        else:
+            all_kmers = shuffled
+            kmer_offsets = dst_offsets
+
+        n_seen = np.diff(kmer_offsets).astype(np.int64)
+        if comp.count.plugins:
+            segments = []
+            for r in range(p):
+                kmers_r = all_kmers[kmer_offsets[r] : kmer_offsets[r + 1]]
+                for plugin in comp.count.plugins:
+                    kmers_r = plugin.filter_received(r, kmers_r)
+                segments.append(kmers_r)
+            insert_offsets = np.zeros(p + 1, dtype=np.int64)
+            np.cumsum([seg.shape[0] for seg in segments], out=insert_offsets[1:])
+            insert_flat = (
+                np.concatenate(segments) if p > 1 else segments[0]
+            )
+        else:
+            insert_flat = all_kmers
+            insert_offsets = kmer_offsets
+
+        stats = table.insert_flat(insert_flat, insert_offsets)
+        inserted = np.diff(insert_offsets)
+
+        times = np.zeros(p, dtype=np.float64)
+        recv_items = np.diff(dst_offsets)
+        if sctx.backend == "gpu":
+            cost = KernelCostModel(opts.device)
+            model = opts.gpu_model
+            reg = active()
+            for r in range(p):
+                n = int(inserted[r])
+                ins = stats[r]
+                ops = model.ops_count_kmer * n
+                if sctx.supermer_mode:
+                    ops += model.ops_extract_kmer * n
+                traffic = TrafficEstimate(
+                    streaming_bytes=8.0 * n * mult,
+                    random_bytes=ins.total_probes * model.bytes_per_probe * mult,
+                    atomic_ops=(n + ins.cas_conflicts) * mult,
+                    atomic_hot_fraction=0.0,
+                    thread_ops=ops * mult,
+                )
+                t = cost.kernel_time(traffic)
+                times[r] = t
+                if reg is not None:
+                    reg.counter("gpu_kernel_launches_total", "Kernel launches", kernel="count_kmers").inc()
+                    reg.counter(
+                        "gpu_kernel_threads_total", "Logical threads launched", kernel="count_kmers"
+                    ).inc(int(recv_items[r]))
+                    reg.counter(
+                        "gpu_kernel_model_seconds_total", "Modeled kernel seconds", kernel="count_kmers"
+                    ).inc(t)
+                    reg.counter(
+                        "gpu_kernel_atomic_ops_total", "Modeled atomic operations", kernel="count_kmers"
+                    ).inc(traffic.atomic_ops)
+        else:
+            rates = opts.cpu_rates
+            for r in range(p):
+                times[r] = rates.phase_overhead + rates.count_time(
+                    int(inserted[r]) * mult, supermer_mode=sctx.supermer_mode
+                )
+        return times, n_seen, stats
+
+    # -- one-shot run ------------------------------------------------
+
+    def run_once(self, reads: ReadSet, recorder, reg) -> CountResult:
+        from .scheduler import _rounds_for_recv_items  # local import avoids a cycle
+
+        sched = self.sched
+        comp = sched.comp
+        config = sched.config
+        opts = sched.opts
+        p = sched.cluster.n_ranks
+        mult = opts.work_multiplier
+        stats = TrafficStats()
+        sctx = sched._context(None, stats, recorder, reg)
+
+        shards = sched._shard(reads)
+
+        t0 = perf_counter()
+        fp = self._parse(shards, sctx)
+        if recorder is not None:
+            recorder.record("parse", 0, t0, perf_counter())
+        t_parse = float(fp.times.max()) if p else 0.0
+        total_parsed_kmers = fp.total_kmers
+
+        wire = sctx.wire_bytes
+        supermer_mode = sctx.supermer_mode
+        n_rounds = config.n_rounds
+        if opts.auto_rounds and comp.backend == "gpu":
+            recv_items = fp.counts_matrix.sum(axis=0).astype(np.float64)
+            n_rounds = max(n_rounds, _rounds_for_recv_items(recv_items, wire, mult, opts))
+
+        table = SegmentedHashTable(
+            [max(64, int(nk) // max(p, 1) + 16) for nk in fp.n_kmers],
+            seed=config.table_seed,
+        )
+        received_kmers = np.zeros(p, dtype=np.int64)
+        per_rank_count = np.zeros(p, dtype=np.float64)
+        t_exchange = 0.0
+        t_alltoallv = 0.0
+        staging_total = 0.0
+        counts_matrix_total = np.zeros((p, p), dtype=np.int64)
+        insert_total = InsertStats.zero()
+
+        for rnd in range(n_rounds):
+            send_flat, send_lengths, round_counts, round_owned = self._round_gather(
+                fp, rnd, n_rounds
+            )
+            label = f"{config.mode}-exchange" + (f"-round{rnd}" if n_rounds > 1 else "")
+            shuffled, shuffled_lengths, dst_offsets, seconds, t_a2av, t_stage = self._exchange(
+                send_flat, send_lengths, round_counts, label, sctx
+            )
+            if round_owned:
+                self.arena.release(send_flat, send_lengths)
+            counts_matrix_total += round_counts
+            t_exchange += seconds
+            t_alltoallv += t_a2av
+            staging_total += t_stage
+            if reg is not None:
+                backend = comp.backend
+                reg.counter("exchange_rounds_total", "Exchange/count rounds executed", engine=backend).inc()
+                reg.counter(
+                    "exchange_model_seconds_total",
+                    "Modeled exchange seconds (overhead + network + staging)",
+                    engine=backend,
+                    round=rnd,
+                ).inc(seconds)
+                reg.counter(
+                    "alltoallv_model_seconds_total",
+                    "Modeled MPI_Alltoallv routine seconds",
+                    engine=backend,
+                    round=rnd,
+                ).inc(t_a2av)
+                reg.counter(
+                    "staging_model_seconds_total",
+                    "Modeled host<->device staging seconds",
+                    engine=backend,
+                    round=rnd,
+                ).inc(t_stage)
+                reg.counter(
+                    "exchange_items_round_total",
+                    "Items exchanged per round",
+                    engine=backend,
+                    round=rnd,
+                ).inc(int(round_counts.sum()))
+
+            count_label = "count" + (f"-round{rnd}" if n_rounds > 1 else "")
+            t0 = perf_counter()
+            times, n_seen, ins_list = self._count(
+                table, shuffled, shuffled_lengths, dst_offsets, sctx
+            )
+            if recorder is not None:
+                recorder.record(count_label, 0, t0, perf_counter())
+            self.arena.release(shuffled, shuffled_lengths)
+            per_rank_count += times
+            received_kmers += n_seen
+            for ins in ins_list:
+                insert_total = insert_total.combined(ins)
+
+        self.arena.release(fp.data, fp.lengths)
+        t_count = float(per_rank_count.max()) if p else 0.0
+
+        # Plugins adjust each rank partition separately, so keep the
+        # per-rank item lists when any are active.  Without plugins the
+        # merge is one global np.unique over the concatenation, which is
+        # order-insensitive (integer count sums are exact in float64), so
+        # a single whole-table extraction replaces p masked key sorts.
+        if comp.merge.plugins:
+            spectrum = comp.merge.merge_items([table.items_of(r) for r in range(p)], config.k)
+        else:
+            spectrum = comp.merge.merge_items([table.items_flat()], config.k)
+        if comp.conserves_kmers and spectrum.n_total != total_parsed_kmers:
+            raise AssertionError(
+                f"pipeline lost k-mers: parsed {total_parsed_kmers}, counted {spectrum.n_total}"
+            )
+
+        exchanged_items = int(counts_matrix_total.sum())
+        supermer_bases = int(fp.supermer_bases.sum())
+        n_supermers = int(fp.n_supermers.sum())
+        if reg is not None:
+            backend = comp.backend
+            for r in range(p):
+                reg.gauge("hashtable_entries", "Distinct keys per rank partition", rank=r).set(
+                    int(table.n_entries_per_rank[r])
+                )
+                reg.gauge("hashtable_load_factor", "Final load factor per rank", rank=r).set(
+                    int(table.n_entries_per_rank[r]) / int(table.capacities[r])
+                )
+            reg.counter("kmers_parsed_total", "k-mer instances parsed", engine=backend).inc(
+                total_parsed_kmers
+            )
+            if n_supermers:
+                reg.counter("supermers_total", "Supermers built", engine=backend).inc(n_supermers)
+                reg.counter("supermer_bases_total", "Bases covered by supermers", engine=backend).inc(
+                    supermer_bases
+                )
+        return CountResult(
+            config=config,
+            cluster=sched.cluster,
+            backend=comp.backend,
+            spectrum=spectrum,
+            timing=PhaseTiming(parse=t_parse, exchange=t_exchange, count=t_count),
+            per_rank_parse=fp.times.copy(),
+            per_rank_count=per_rank_count,
+            received_kmers=received_kmers,
+            exchanged_items=exchanged_items,
+            exchanged_bytes=int(exchanged_items * wire),
+            counts_matrix=counts_matrix_total,
+            work_multiplier=mult,
+            traffic=stats,
+            insert_stats=insert_total,
+            mean_supermer_length=(supermer_bases / n_supermers) if n_supermers else 0.0,
+            staging_seconds=staging_total,
+            alltoallv_seconds=t_alltoallv,
+            n_rounds_used=n_rounds,
+        )
+
+    # -- streamed batches --------------------------------------------
+
+    def run_batch(self, reads: ReadSet, state) -> PhaseTiming:
+        sched = self.sched
+        config = sched.config
+        p = sched.cluster.n_ranks
+        sctx = sched._context(None, state.traffic, None, None, verify=False)
+
+        shards = sched._shard(reads)
+        sched._prepare_plugins(reads)
+        fp = self._parse(shards, sctx)
+        t_parse = float(fp.times.max()) if p else 0.0
+
+        label = f"{config.mode}-batch{state.n_batches}"
+        shuffled, shuffled_lengths, dst_offsets, seconds, _t_a2av, _t_stage = self._exchange(
+            fp.data, fp.lengths, fp.counts_matrix, label, sctx
+        )
+
+        table = state.fused_table
+        if table is None:
+            # Adopt the per-rank tables layout-verbatim, so a state that
+            # already counted staged batches continues bit-identically.
+            table = SegmentedHashTable.from_tables(state.tables)
+            state.fused_table = table
+            state.tables = table.views()
+
+        times, n_seen, ins_list = self._count(table, shuffled, shuffled_lengths, dst_offsets, sctx)
+        self.arena.release(shuffled, shuffled_lengths, fp.data, fp.lengths)
+        for r in range(p):
+            state.received_kmers[r] += int(n_seen[r])
+            state.insert_stats = state.insert_stats.combined(ins_list[r])
+        batch_timing = PhaseTiming(
+            parse=t_parse, exchange=seconds, count=float(times.max()) if p else 0.0
+        )
+        state.timing = state.timing.add(batch_timing)
+        state.exchanged_items += int(fp.counts_matrix.sum())
+        state.n_batches += 1
+        return batch_timing
+
+
+def _verify_flat(
+    send_flat: np.ndarray, recv_flat: np.ndarray, counts_matrix: np.ndarray, label: str
+) -> None:
+    """Flat-buffer form of :func:`repro.core.stages.standard.verify_exchange`.
+
+    XOR is commutative/associative, so the reductions over the flat
+    arrays equal the staged per-rank reductions' combination.
+    """
+    sent_items = int(counts_matrix.sum())
+    recv_items = int(recv_flat.shape[0])
+    if sent_items != recv_items:
+        raise AssertionError(f"exchange {label!r} lost items: sent {sent_items}, received {recv_items}")
+    sent_xor = np.bitwise_xor.reduce(send_flat.view(np.uint64)) if send_flat.size else np.uint64(0)
+    recv_xor = np.bitwise_xor.reduce(recv_flat.view(np.uint64)) if recv_flat.size else np.uint64(0)
+    if sent_xor != recv_xor:
+        raise AssertionError(f"exchange {label!r} corrupted payload (checksum mismatch)")

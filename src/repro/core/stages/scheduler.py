@@ -68,6 +68,9 @@ class PipelineState:
     exchanged_items: int
     n_batches: int
     insert_stats: InsertStats
+    # Set by the fused engine on first use: the SegmentedHashTable whose
+    # per-rank views then populate ``tables``.  Reset on checkpoint load.
+    fused_table: object | None = None
 
     @classmethod
     def fresh(cls, n_ranks: int, table_seed: int) -> "PipelineState":
@@ -117,11 +120,14 @@ class PipelineState:
                     f"{path}: checkpoint has {int(data['n_ranks'][0])} ranks, cluster has {n_ranks}"
                 )
             self.tables = [DeviceHashTable(64, seed=table_seed) for _ in range(n_ranks)]
+            self.fused_table = None
             for r in range(n_ranks):
                 keys = data[f"keys_{r}"]
                 counts = data[f"counts_{r}"]
                 if keys.size:
-                    self.tables[r].insert_batch(keys, weights=counts)
+                    # Checkpoints store each partition's items sorted by key
+                    # (DeviceHashTable.items), so the dedup sort is redundant.
+                    self.tables[r].insert_batch(keys, weights=counts, assume_unique=True)
             self.received_kmers = data["received"].astype(np.int64).copy()
             self.n_batches = int(data["n_batches"][0])
             self.exchanged_items = int(data["exchanged_items"][0])
@@ -145,6 +151,8 @@ class RoundScheduler:
         self.opts = opts
         self.comm_model = CommCostModel(cluster)
         self._prepared = False
+        self._fused_impl = None
+        self._fused_checked = False
 
     # -- shared helpers ------------------------------------------------------
 
@@ -161,6 +169,31 @@ class RoundScheduler:
         self._prepared = True
         for plugin in self.comp.plugins:
             plugin.prepare(reads, self.config, self.cluster, self.opts)
+
+    def _fused(self):
+        """The fused pipeline for this scheduler, or ``None`` (staged path).
+
+        Resolved once: ``opts.fused`` (or ``REPRO_FUSED``) must be on AND the
+        composition must consist of the standard stage types the fused path
+        re-implements.  A fused request over a custom composition falls back
+        to the staged scheduler with an event, never an error — results are
+        identical either way.
+        """
+        if not self._fused_checked:
+            self._fused_checked = True
+            from .fused import FusedPipeline, resolve_fused, supports_fusion
+
+            if resolve_fused(self.opts.fused):
+                if supports_fusion(self.comp):
+                    self._fused_impl = FusedPipeline(self)
+                else:
+                    event(
+                        "engine.fused.fallback",
+                        subsystem="engine",
+                        backend=self.comp.backend,
+                        reason="composition has custom stages; using staged path",
+                    )
+        return self._fused_impl
 
     def _context(
         self,
@@ -230,6 +263,9 @@ class RoundScheduler:
     def _run_once(
         self, reads: ReadSet, recorder: WallClockRecorder | None, reg: MetricRegistry | None
     ) -> CountResult:
+        fused = self._fused()
+        if fused is not None:
+            return fused.run_once(reads, recorder, reg)
         comp = self.comp
         config = self.config
         opts = self.opts
@@ -398,6 +434,9 @@ class RoundScheduler:
         the exchange skips the checksum verification pass, matching the
         original incremental counter exactly.
         """
+        fused = self._fused()
+        if fused is not None:
+            return fused.run_batch(reads, state)
         comp = self.comp
         config = self.config
         p = self.cluster.n_ranks
@@ -534,6 +573,16 @@ def _rounds_for_memory(parsed: list[RankParse], p: int, wire: int, mult: float, 
     recv_items = np.zeros(p, dtype=np.float64)
     for pr in parsed:
         recv_items += pr.counts
+    return _rounds_for_recv_items(recv_items, wire, mult, opts)
+
+
+def _rounds_for_recv_items(recv_items: np.ndarray, wire: int, mult: float, opts: EngineOptions) -> int:
+    """Core of :func:`_rounds_for_memory` on per-rank received-item totals.
+
+    Shared with the fused engine, which derives ``recv_items`` from the
+    counts-matrix column sums (the same values, exactly, since the int64
+    column sums convert to float64 losslessly below 2**53).
+    """
     worst = float(recv_items.max(initial=0.0)) * mult
     # Wire buffer + staged copy + table entries (16 B/slot at ~0.7 load).
     bytes_per_item = wire * 2 + 16 / 0.7

@@ -55,6 +55,7 @@ __all__ = [
     "assemble_rank_parse",
     "outgoing_buffer_hot_fraction",
     "verify_exchange",
+    "exchange_time_model",
 ]
 
 
@@ -243,13 +244,32 @@ def verify_exchange(
         raise AssertionError(f"exchange {label!r} corrupted payload (checksum mismatch)")
 
 
+def exchange_time_model(counts_matrix: np.ndarray, ctx: StageContext) -> tuple[float, float, float]:
+    """Model one exchange round's ``(seconds, alltoallv_s, staging_s)``.
+
+    Shared verbatim between the staged :class:`AlltoallvExchange` and the
+    fused engine so both compute the identical floats: fixed overhead +
+    network time (alpha-beta alltoallv plus the small counts alltoall) +
+    host staging copies (skipped under GPUDirect).
+    """
+    bytes_matrix = counts_matrix.astype(np.float64) * ctx.wire_bytes * ctx.mult
+    t_a2av = ctx.comm_model.alltoallv(bytes_matrix).total
+    t_net = t_a2av + ctx.comm_model.alltoall_counts()
+    t_stage = 0.0
+    if ctx.backend == "gpu" and not ctx.config.gpudirect:
+        out_bytes = bytes_matrix.sum(axis=1)
+        in_bytes = bytes_matrix.sum(axis=0)
+        per_rank_stage = (out_bytes + in_bytes) / ctx.opts.device.host_link_bw
+        t_stage = float(per_rank_stage.max()) if ctx.n_ranks else 0.0
+    return ctx.exchange_overhead_s + t_net + t_stage, t_a2av, t_stage
+
+
 class AlltoallvExchange:
     """Counts alltoall + payload alltoallv, with exact accounting.
 
     Moves the data (real reshuffle through the collective layer), checks
-    end-to-end checksums, and models the phase time as fixed overhead +
-    network time (alpha-beta alltoallv plus the small counts alltoall) +
-    host staging copies (skipped under GPUDirect).
+    end-to-end checksums, and models the phase time through
+    :func:`exchange_time_model`.
     """
 
     def exchange(
@@ -273,20 +293,12 @@ class AlltoallvExchange:
         if do_verify:
             verify_exchange(send_data, recv_data, counts_matrix, label)
 
-        bytes_matrix = counts_matrix.astype(np.float64) * wire * ctx.mult
-        t_a2av = ctx.comm_model.alltoallv(bytes_matrix).total
-        t_net = t_a2av + ctx.comm_model.alltoall_counts()
-        t_stage = 0.0
-        if ctx.backend == "gpu" and not ctx.config.gpudirect:
-            out_bytes = bytes_matrix.sum(axis=1)
-            in_bytes = bytes_matrix.sum(axis=0)
-            per_rank_stage = (out_bytes + in_bytes) / ctx.opts.device.host_link_bw
-            t_stage = float(per_rank_stage.max()) if ctx.n_ranks else 0.0
+        seconds, t_a2av, t_stage = exchange_time_model(counts_matrix, ctx)
         return ExchangeOutcome(
             recv_data=recv_data,
             recv_lengths=recv_lengths,
             counts_matrix=counts_matrix,
-            seconds=ctx.exchange_overhead_s + t_net + t_stage,
+            seconds=seconds,
             alltoallv_seconds=t_a2av,
             staging_seconds=t_stage,
         )

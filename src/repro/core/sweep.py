@@ -20,6 +20,7 @@ from ..mpi.topology import summit_cpu, summit_gpu
 from ..telemetry import MetricRegistry, RunReport
 from .config import PipelineConfig
 from .engine import EngineOptions, run_pipeline
+from .memory import ScratchArena
 from .parallel import ParallelSetting
 from .results import CountResult
 
@@ -105,6 +106,7 @@ def sweep(
     parallel: ParallelSetting = None,
     telemetry: bool = False,
     stages: tuple[str, ...] = (),
+    fused: bool | None = None,
 ) -> SweepResult:
     """Run the full cartesian grid; k-mer mode collapses the supermer axes.
 
@@ -120,6 +122,11 @@ def sweep(
 
     ``stages`` requests extension stages from the stage registry (e.g.
     ``("bloom",)``) on every grid point.
+
+    ``fused`` selects the whole-cluster fused execution path on every grid
+    point (``None`` defers to ``REPRO_FUSED``); results are bit-identical
+    to the staged path.  One scratch arena is shared across all grid points
+    so large temporaries are recycled between cells.
     """
     oracle = None
     if validate:
@@ -128,6 +135,7 @@ def sweep(
         oracle = count_kmers_exact(reads, k)
 
     out = SweepResult()
+    arena = ScratchArena()  # recycled across grid cells on the fused path
     seen: set[SweepPoint] = set()
     for nodes, backend, mode, m, window, ordering in product(
         node_counts, backends, modes, minimizer_lengths, windows, orderings
@@ -157,7 +165,12 @@ def sweep(
             config,
             backend=backend,
             options=EngineOptions(
-                work_multiplier=work_multiplier, parallel=parallel, telemetry=registry, stages=stages
+                work_multiplier=work_multiplier,
+                parallel=parallel,
+                telemetry=registry,
+                stages=stages,
+                fused=fused,
+                arena=arena,
             ),
         )
         wall = perf_counter() - t0

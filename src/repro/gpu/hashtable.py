@@ -152,14 +152,38 @@ class DeviceHashTable:
 
     # -- operations ----------------------------------------------------------
 
-    def insert_batch(self, values: np.ndarray, weights: np.ndarray | None = None) -> InsertStats:
-        """Insert/increment a batch of keys; returns probe statistics."""
+    def insert_batch(
+        self,
+        values: np.ndarray,
+        weights: np.ndarray | None = None,
+        *,
+        assume_unique: bool = False,
+    ) -> InsertStats:
+        """Insert/increment a batch of keys; returns probe statistics.
+
+        ``assume_unique=True`` skips the ``np.unique`` aggregation for
+        callers that already hold strictly-increasing keys with
+        pre-aggregated weights (spectrum merges, checkpoint reload); the
+        ordering is verified in O(n) and violations raise.
+        """
         vals = np.ascontiguousarray(values, dtype=np.uint64)
         if vals.size == 0:
             return InsertStats.zero()
         if bool((vals == EMPTY_KEY).any()):
             raise ValueError("key equal to the EMPTY sentinel cannot be stored (need k <= 31)")
-        if weights is None:
+        if assume_unique:
+            if vals.shape[0] > 1 and not bool((vals[1:] > vals[:-1]).all()):
+                raise ValueError("assume_unique requires strictly increasing keys")
+            uniq = vals
+            if weights is None:
+                w = np.ones(vals.shape[0], dtype=np.int64)
+            else:
+                w = np.ascontiguousarray(weights, dtype=np.int64)
+                if w.shape != vals.shape:
+                    raise ValueError("weights must parallel values")
+                if int(w.min()) < 1:
+                    raise ValueError("weights must be >= 1")
+        elif weights is None:
             uniq, w = np.unique(vals, return_counts=True)
             w = w.astype(np.int64)
         else:

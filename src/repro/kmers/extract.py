@@ -73,10 +73,23 @@ def window_values(codes: np.ndarray, width: int) -> KmerWindows:
         return KmerWindows(k=width, values=empty64, valid=np.empty(0, dtype=bool))
     is_base = codes < SENTINEL
     safe = np.where(is_base, codes, 0).astype(np.uint64)
-    # Shift-or accumulation over the width: values[i] = sum_j safe[i+j] << ...
-    values = np.zeros(n, dtype=np.uint64)
-    for j in range(width):
-        values = (values << np.uint64(2)) | safe[j : j + n]
+    # Doubling pack: pow2[w][i] holds the 2w-bit pack of codes[i:i+w], built
+    # in O(log width) full-array passes instead of one shift-or per base.
+    # The final window is the MSB-first concatenation of the power-of-two
+    # blocks of width's binary decomposition — bit-for-bit the same value the
+    # per-base shift-or loop produced.
+    pow2 = {1: safe}
+    w = 1
+    while w * 2 <= width:
+        prev = pow2[w]
+        pow2[w * 2] = (prev[: prev.shape[0] - w] << np.uint64(2 * w)) | prev[w:]
+        w *= 2
+    blocks = [b for b in sorted(pow2, reverse=True) if width & b]
+    values = pow2[blocks[0]][:n]
+    covered = blocks[0]
+    for b in blocks[1:]:
+        values = (values << np.uint64(2 * b)) | pow2[b][covered : covered + n]
+        covered += b
     # valid[i] = all bases in [i, i+width) are real; windowed AND via views.
     valid = sliding_window_view(is_base, width).all(axis=1)
     return KmerWindows(k=width, values=values, valid=np.ascontiguousarray(valid))

@@ -41,6 +41,7 @@ __all__ = [
     "max_window_for",
     "SupermerBatch",
     "build_supermers",
+    "build_supermers_with_positions",
     "build_supermers_scalar",
     "extract_kmers_from_packed",
 ]
@@ -228,6 +229,32 @@ def build_supermers(
     so a k-mer and its reverse complement always carry the same minimizer —
     required for exact canonical counting under minimizer partitioning.
     """
+    return build_supermers_with_positions(
+        reads,
+        k,
+        m,
+        window=window,
+        ordering=ordering,
+        canonical_minimizers=canonical_minimizers,
+    )[0]
+
+
+def build_supermers_with_positions(
+    reads: ReadSet,
+    k: int,
+    m: int,
+    *,
+    window: int | None = None,
+    ordering: MinimizerOrdering | str = "random-base",
+    canonical_minimizers: bool = False,
+) -> tuple[SupermerBatch, np.ndarray]:
+    """:func:`build_supermers` plus each supermer's start position.
+
+    The second return value gives, per supermer, the index into
+    ``reads.codes`` of its first base; the fused engine uses it to map
+    supermers built over a whole cluster's concatenated shards back to
+    their originating shard.
+    """
     if window is None:
         window = max_window_for(k)
     if window < 1:
@@ -240,7 +267,7 @@ def build_supermers(
     mins = minimizers_for_windows(reads.codes, k, m, ordering, canonical=canonical_minimizers)
     n = mins.n_windows
     if n == 0 or not mins.valid.any():
-        return SupermerBatch.empty(k)
+        return SupermerBatch.empty(k), np.empty(0, dtype=np.int64)
 
     valid = mins.valid
     positions = np.arange(n, dtype=np.int64)
@@ -278,7 +305,8 @@ def build_supermers(
         idx = start_positions[active] + j
         packed[active] = (packed[active] << np.uint64(2)) | safe[idx]
 
-    return SupermerBatch(k=k, packed=packed, n_kmers=n_kmers, minimizers=minimizers)
+    batch = SupermerBatch(k=k, packed=packed, n_kmers=n_kmers, minimizers=minimizers)
+    return batch, start_positions
 
 
 def build_supermers_scalar(

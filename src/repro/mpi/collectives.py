@@ -21,11 +21,13 @@ from ..telemetry import active
 from .stats import TrafficStats
 
 if TYPE_CHECKING:  # import for typing only; no runtime mpi -> core dependency
+    from ..core.memory import ScratchArena
     from ..core.parallel import RankPool
 
 __all__ = [
     "alltoallv",
     "alltoallv_segments",
+    "alltoallv_flat",
     "alltoall",
     "allreduce",
     "allgather",
@@ -87,6 +89,79 @@ def alltoallv(
     return [[send[src][dst] for src in range(p)] for dst in range(p)]
 
 
+def alltoallv_flat(
+    global_data: np.ndarray,
+    counts_matrix: np.ndarray,
+    *,
+    stats: TrafficStats | None = None,
+    label: str = "",
+    bytes_per_item: float | None = None,
+    arena: "ScratchArena | None" = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All-to-all over one flat, rank-segmented send array.
+
+    ``global_data`` is the concatenation of every source rank's
+    destination-ordered send buffer — segment ``(src, dst)`` holds
+    ``counts_matrix[src, dst]`` items, laid out src-major.  Returns
+    ``(shuffled, dst_offsets)`` where ``shuffled`` is the same items in
+    (dst, src)-major order and ``recv[dst] = shuffled[dst_offsets[dst]:
+    dst_offsets[dst + 1]]``.  This is the wire-level core of
+    :func:`alltoallv_segments`, exposed directly so the fused engine can
+    exchange whole-cluster arrays without slicing them into per-rank
+    buffers first.
+
+    ``arena`` optionally supplies the output buffer from a recycled
+    scratch pool; the caller owns releasing it.
+    """
+    counts_matrix = np.asarray(counts_matrix, dtype=np.int64)
+    p = counts_matrix.shape[0]
+    if counts_matrix.shape != (p, p):
+        raise ValueError("counts_matrix must be square")
+    if int(counts_matrix.sum()) != global_data.shape[0]:
+        raise ValueError(
+            f"counts sum {int(counts_matrix.sum())} != data length {global_data.shape[0]}"
+        )
+
+    reg = active()
+    if reg is not None:
+        reg.counter("comm_alltoallv_calls_total", "alltoallv_segments invocations").inc()
+        # One wire message per off-diagonal (src, dst) pair, as MPI would send.
+        reg.counter("comm_messages_total", "Rank-to-rank messages carried by collectives").inc(
+            max(p * (p - 1), 0)
+        )
+    if p == 0:
+        return global_data, np.zeros(1, dtype=np.int64)
+
+    src_base = np.zeros(p, dtype=np.int64)
+    np.cumsum(counts_matrix.sum(axis=1)[:-1], out=src_base[1:])
+    seg_offsets = np.zeros((p, p), dtype=np.int64)  # start of (src, dst) segment
+    np.cumsum(counts_matrix[:, :-1], axis=1, out=seg_offsets[:, 1:])
+    seg_starts_matrix = src_base[:, None] + seg_offsets
+
+    seg_starts_global = seg_starts_matrix.T.ravel()  # (dst, src) order
+    seg_lens = counts_matrix.T.ravel()
+    out_offsets = np.zeros(seg_lens.shape[0], dtype=np.int64)
+    np.cumsum(seg_lens[:-1], out=out_offsets[1:])
+    total_items = int(seg_lens.sum())
+    idx = (
+        np.arange(total_items, dtype=np.int64)
+        - np.repeat(out_offsets, seg_lens)
+        + np.repeat(seg_starts_global, seg_lens)
+    )
+    if arena is not None:
+        shuffled = np.take(global_data, idx, out=arena.take(total_items, global_data.dtype))
+    else:
+        shuffled = global_data[idx]
+    dst_offsets = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(counts_matrix.sum(axis=0), out=dst_offsets[1:])
+
+    if stats is not None:
+        per_item = float(bytes_per_item) if bytes_per_item is not None else float(global_data.itemsize)
+        bytes_matrix = (counts_matrix * per_item).astype(np.int64)
+        stats.record("alltoallv", bytes_matrix, label=label, items_matrix=counts_matrix)
+    return shuffled, dst_offsets
+
+
 def alltoallv_segments(
     send_data: Sequence[np.ndarray],
     send_counts: Sequence[np.ndarray],
@@ -95,6 +170,7 @@ def alltoallv_segments(
     label: str = "",
     bytes_per_item: float | None = None,
     pool: "RankPool | None" = None,
+    arena: "ScratchArena | None" = None,
 ) -> tuple[list[np.ndarray], np.ndarray]:
     """All-to-all of destination-ordered segment arrays (the MPI wire form).
 
@@ -126,27 +202,20 @@ def alltoallv_segments(
             raise ValueError(f"rank {src}: counts sum {int(counts.sum())} != data length {send_data[src].shape[0]}")
         counts_matrix[src] = counts
 
-    reg = active()
-    if reg is not None:
-        reg.counter("comm_alltoallv_calls_total", "alltoallv_segments invocations").inc()
-        # One wire message per off-diagonal (src, dst) pair, as MPI would send.
-        reg.counter("comm_messages_total", "Rank-to-rank messages carried by collectives").inc(
-            max(p * (p - 1), 0)
-        )
-
-    # Vectorized reshuffle: concatenate all send buffers, then gather the
-    # P*P segments in (dst, src) order with one fancy-index — O(total + P^2)
-    # NumPy work, no per-segment Python loop (P can be thousands).
-    if p == 0:
-        return [], counts_matrix
-    global_data = np.concatenate(send_data) if p > 1 else send_data[0]
-    src_base = np.zeros(p, dtype=np.int64)
-    np.cumsum(counts_matrix.sum(axis=1)[:-1], out=src_base[1:])
-    seg_offsets = np.zeros((p, p), dtype=np.int64)  # start of (src, dst) segment
-    np.cumsum(counts_matrix[:, :-1], axis=1, out=seg_offsets[:, 1:])
-    seg_starts_matrix = src_base[:, None] + seg_offsets  # start of (src, dst) segment
-
     if pool is not None and pool.is_parallel and p > 1:
+        reg = active()
+        if reg is not None:
+            reg.counter("comm_alltoallv_calls_total", "alltoallv_segments invocations").inc()
+            reg.counter("comm_messages_total", "Rank-to-rank messages carried by collectives").inc(
+                max(p * (p - 1), 0)
+            )
+        global_data = np.concatenate(send_data)
+        src_base = np.zeros(p, dtype=np.int64)
+        np.cumsum(counts_matrix.sum(axis=1)[:-1], out=src_base[1:])
+        seg_offsets = np.zeros((p, p), dtype=np.int64)  # start of (src, dst) segment
+        np.cumsum(counts_matrix[:, :-1], axis=1, out=seg_offsets[:, 1:])
+        seg_starts_matrix = src_base[:, None] + seg_offsets
+
         # Per-destination packing: each worker gathers one destination's
         # segments into that destination's private receive buffer.
         def _pack_dst(d: int) -> np.ndarray:
@@ -159,27 +228,28 @@ def alltoallv_segments(
             return global_data[idx]
 
         recv_data = pool.map(_pack_dst, range(p))
-    else:
-        seg_starts_global = seg_starts_matrix.T.ravel()  # (dst, src) order
-        seg_lens = counts_matrix.T.ravel()
-        out_offsets = np.zeros(seg_lens.shape[0], dtype=np.int64)
-        np.cumsum(seg_lens[:-1], out=out_offsets[1:])
-        total_items = int(seg_lens.sum())
-        idx = (
-            np.arange(total_items, dtype=np.int64)
-            - np.repeat(out_offsets, seg_lens)
-            + np.repeat(seg_starts_global, seg_lens)
-        )
-        shuffled = global_data[idx]
-        per_dst = counts_matrix.sum(axis=0)
-        dst_offsets = np.zeros(p + 1, dtype=np.int64)
-        np.cumsum(per_dst, out=dst_offsets[1:])
-        recv_data = [shuffled[dst_offsets[d] : dst_offsets[d + 1]] for d in range(p)]
+        if stats is not None:
+            per_item = float(bytes_per_item) if bytes_per_item is not None else float(send_data[0].itemsize)
+            bytes_matrix = (counts_matrix * per_item).astype(np.int64)
+            stats.record("alltoallv", bytes_matrix, label=label, items_matrix=counts_matrix)
+        return recv_data, counts_matrix
 
-    if stats is not None:
-        per_item = float(bytes_per_item) if bytes_per_item is not None else float(send_data[0].itemsize if p else 8)
-        bytes_matrix = (counts_matrix * per_item).astype(np.int64)
-        stats.record("alltoallv", bytes_matrix, label=label, items_matrix=counts_matrix)
+    # Sequential path: concatenate all send buffers, then gather the P*P
+    # segments in (dst, src) order with one fancy-index via alltoallv_flat —
+    # O(total + P^2) NumPy work, no per-segment Python loop.
+    if p == 0:
+        alltoallv_flat(np.empty(0, dtype=np.int64), counts_matrix, stats=None)
+        return [], counts_matrix
+    global_data = np.concatenate(send_data) if p > 1 else send_data[0]
+    shuffled, dst_offsets = alltoallv_flat(
+        global_data,
+        counts_matrix,
+        stats=stats,
+        label=label,
+        bytes_per_item=bytes_per_item if bytes_per_item is not None else float(send_data[0].itemsize),
+        arena=arena,
+    )
+    recv_data = [shuffled[dst_offsets[d] : dst_offsets[d + 1]] for d in range(p)]
     return recv_data, counts_matrix
 
 

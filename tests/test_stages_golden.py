@@ -125,6 +125,98 @@ class TestCounterGolden:
         _assert_same(expected, summary, f"counter-resume[{name}]")
 
 
+class TestFusedGolden:
+    """The fused whole-cluster path must match the same golden records.
+
+    Same case matrix, same expected fields, but executed through
+    ``repro.core.stages.fused`` (``EngineOptions(fused=True)``) — proving
+    the fused supersteps are bit-identical to the staged path all the way
+    back to the pre-refactor engine.
+    """
+
+    @pytest.mark.parametrize("name", sorted(ENGINE_CASES))
+    def test_engine_case_bit_identical(self, golden, reads, name):
+        case = ENGINE_CASES[name]
+        result = run_pipeline(
+            reads,
+            build_cluster(*case["cluster"]),
+            PipelineConfig(**case["config"]),
+            backend=case["backend"],
+            options=EngineOptions(fused=True, **case["options"]),
+        )
+        _assert_same(golden["engine"][name], summarize_result(result), f"fused-engine[{name}]")
+
+    @pytest.mark.parametrize("name", TELEMETRY_CASES)
+    def test_telemetry_model_metrics_bit_identical(self, golden, reads, name):
+        case = ENGINE_CASES[name]
+        registry = MetricRegistry()
+        run_pipeline(
+            reads,
+            build_cluster(*case["cluster"]),
+            PipelineConfig(**case["config"]),
+            backend=case["backend"],
+            options=EngineOptions(telemetry=registry, fused=True, **case["options"]),
+        )
+        assert snapshot_digest(registry) == golden["telemetry"][name], f"fused-telemetry[{name}] diverged"
+
+    @pytest.mark.parametrize("name", sorted(COUNTER_CASES))
+    def test_counter_case_bit_identical(self, golden, name):
+        case = COUNTER_CASES[name]
+        counter = DistributedCounter(
+            summit_gpu(1),
+            PipelineConfig(**case["config"]),
+            backend=case["backend"],
+            options=EngineOptions(fused=True),
+        )
+        for batch in batch_reads():
+            counter.add_reads(batch)
+        _assert_same(golden["counter"][name], summarize_counter(counter), f"fused-counter[{name}]")
+
+    @pytest.mark.parametrize("name", sorted(COUNTER_CASES))
+    def test_checkpoint_resume_mid_stream_equivalent(self, golden, name, tmp_path):
+        """Fused save after batch 1 of 3, fused resume: same golden tail."""
+        case = COUNTER_CASES[name]
+        batches = batch_reads()
+        opts = EngineOptions(fused=True)
+        first = DistributedCounter(
+            summit_gpu(1), PipelineConfig(**case["config"]), backend=case["backend"], options=opts
+        )
+        first.add_reads(batches[0])
+        ckpt = first.save(tmp_path / "mid-fused.npz")
+
+        resumed = DistributedCounter(
+            summit_gpu(1), PipelineConfig(**case["config"]), backend=case["backend"], options=opts
+        )
+        resumed.load(ckpt)
+        assert resumed.n_batches == 1
+        for batch in batches[1:]:
+            resumed.add_reads(batch)
+        summary = summarize_counter(resumed)
+        expected = dict(golden["counter"][name])
+        # Same transient exclusions as the staged resume test: traffic and
+        # probe statistics describe this process's execution history, which
+        # a bulk reload legitimately changes.
+        for transient in ("traffic_bytes", "insert_total_probes", "timing"):
+            expected.pop(transient)
+            summary.pop(transient)
+        _assert_same(expected, summary, f"fused-counter-resume[{name}]")
+
+    @pytest.mark.parametrize("name", sorted(COUNTER_CASES))
+    def test_staged_to_fused_adoption_mid_stream(self, golden, name):
+        """Batch 1 staged, batches 2-3 fused via from_tables: same golden."""
+        case = COUNTER_CASES[name]
+        batches = batch_reads()
+        counter = DistributedCounter(
+            summit_gpu(1), PipelineConfig(**case["config"]), backend=case["backend"]
+        )
+        counter.add_reads(batches[0])
+        counter._scheduler.opts = EngineOptions(fused=True)  # switch paths mid-stream
+        counter._scheduler._fused_checked = False
+        for batch in batches[1:]:
+            counter.add_reads(batch)
+        _assert_same(golden["counter"][name], summarize_counter(counter), f"fused-adopt[{name}]")
+
+
 class TestSpmdGolden:
     @pytest.mark.parametrize("name", sorted(SPMD_CASES))
     def test_spmd_case_bit_identical(self, golden, reads, name):
