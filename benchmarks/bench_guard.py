@@ -14,6 +14,12 @@ back-to-back, then enforces two gates:
    measurement, so unlike absolute seconds it transfers across CI
    hardware; the noise-band scaling absorbs the remaining jitter of a
    shared runner and the smaller workload.
+3. **calibration drift** — each cell's *modeled* phase seconds (parse,
+   exchange, count) must equal the ``model_times`` recorded in
+   ``BENCH_fused.json`` before the machine-model refactor, exactly.
+   Model times are deterministic functions of the data and the Summit
+   calibration constants, so any difference — float-level included —
+   means the summit presets no longer encode the paper's machine.
 
 Usage::
 
@@ -51,15 +57,41 @@ def main(argv: list[str] | None = None) -> int:
     datasets = [d for d in args.datasets.split(",") if d]
     cells = _run_grid(datasets, args.nodes, 1, args.repeats, ScratchArena())
 
+    committed_model = committed.get("model_times", {})
+    drifted: list[str] = []
     total_seq = total_fused = 0.0
     for key, (best, results) in cells.items():
         _assert_identical(results["sequential"], results["fused"], f"{key} (fused)")
+        timing = results["sequential"].timing
+        expected = committed_model.get(key)
+        if expected is not None:
+            got = {
+                "parse_s": timing.parse,
+                "exchange_s": timing.exchange,
+                "count_s": timing.count,
+                "total_s": timing.total,
+            }
+            for phase, want in expected.items():
+                if got[phase] != want:
+                    drifted.append(f"{key}: {phase} modeled {got[phase]!r}, committed {want!r}")
         total_seq += best["sequential"]
         total_fused += best["fused"]
         print(
             f"  {key:45s} seq {best['sequential']:7.3f}s  fused {best['fused']:7.3f}s "
             f"({best['sequential'] / best['fused']:.2f}x)"
         )
+
+    if drifted:
+        for line in drifted:
+            print(f"FAIL: {line}", file=sys.stderr)
+        print(
+            f"FAIL: {len(drifted)} modeled phase time(s) drifted from the pre-refactor "
+            "summit calibration (BENCH_fused.json model_times)",
+            file=sys.stderr,
+        )
+        return 1
+    checked = sum(1 for key in cells if key in committed_model)
+    print(f"model-time calibration: OK ({checked} cells exact vs pre-refactor record)")
 
     speedup = total_seq / total_fused
     print(

@@ -19,7 +19,8 @@ from ..core.parallel import ParallelSetting
 from ..core.results import CountResult
 from ..dna.datasets import TABLE1, load_dataset
 from ..dna.reads import ReadSet
-from ..mpi.topology import summit_cpu, summit_gpu
+from ..machines import MachineSpec, resolve_machine
+from ..mpi.topology import cluster_for
 from ..telemetry import MetricRegistry, RunReport
 
 __all__ = ["dataset_with_multiplier", "ExperimentCache"]
@@ -55,6 +56,9 @@ class ExperimentCache:
     scale: float = 1.0
     parallel: ParallelSetting = None
     telemetry: bool = False  # attach a MetricRegistry + RunReport per executed run
+    # Machine model for every run: a MachineSpec, preset name, or calibration
+    # path; None keeps the paper's Summit layouts picked per backend.
+    machine: MachineSpec | str | None = None
     wall_seconds: dict[tuple, float] = field(default_factory=dict)
     reports: dict[tuple, RunReport] = field(default_factory=dict)
     _datasets: dict[str, tuple[ReadSet, float]] = field(default_factory=dict)
@@ -80,7 +84,11 @@ class ExperimentCache:
         n_rounds: int = 1,
     ) -> CountResult:
         """Run (or fetch) one pipeline configuration on one dataset."""
-        key = (name, n_nodes, backend, mode, minimizer_len, k, window, ordering, gpudirect, n_rounds)
+        machine = self.machine
+        if machine is None:
+            machine = "summit-cpu" if backend == "cpu" else "summit-gpu"
+        machine = resolve_machine(machine)
+        key = (name, n_nodes, backend, mode, minimizer_len, k, window, ordering, gpudirect, n_rounds, machine.name)
         if key not in self._results:
             reads, mult = self.dataset(name)
             config = PipelineConfig(
@@ -92,9 +100,11 @@ class ExperimentCache:
                 gpudirect=gpudirect,
                 n_rounds=n_rounds,
             )
-            cluster = summit_gpu(n_nodes) if backend == "gpu" else summit_cpu(n_nodes)
+            cluster = cluster_for(machine, n_nodes)
             registry = MetricRegistry() if self.telemetry else None
-            options = EngineOptions(work_multiplier=mult, parallel=self.parallel, telemetry=registry)
+            options = EngineOptions(
+                machine=machine, work_multiplier=mult, parallel=self.parallel, telemetry=registry
+            )
             t0 = perf_counter()
             self._results[key] = run_pipeline(reads, cluster, config, backend=backend, options=options)
             self.wall_seconds[key] = perf_counter() - t0

@@ -6,6 +6,9 @@ counting k-mers in single genome, a microbial community...").  Subcommands:
 
 ``repro datasets``
     List the synthetic Table I dataset registry.
+``repro machines``
+    List the registered machine models (``repro count --machine`` accepts
+    any of them, or a TOML/JSON calibration file; see docs/MACHINES.md).
 ``repro simulate``
     Generate a synthetic dataset (registry entry or custom genome) as FASTQ.
 ``repro count``
@@ -61,6 +64,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list the synthetic Table I datasets")
 
+    sub.add_parser("machines", help="list the registered machine models")
+
     p_sim = sub.add_parser("simulate", help="generate a synthetic dataset as FASTQ")
     p_sim.add_argument("--out", required=True, help="output FASTQ path (.gz supported)")
     group = p_sim.add_mutually_exclusive_group(required=True)
@@ -82,7 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="counter state file: loaded if present (resume), saved after every input file",
     )
     p_count.add_argument("-k", type=int, default=17, help="k-mer length (2-31)")
-    p_count.add_argument("--nodes", type=int, default=4, help="simulated Summit nodes")
+    p_count.add_argument(
+        "--machine",
+        default=None,
+        help="machine model: a registered preset (see 'repro machines') or a "
+        "TOML/JSON calibration file; default picks the paper's Summit layout "
+        "for the chosen backend",
+    )
+    p_count.add_argument(
+        "--nodes", type=int, default=4, help="node count to instantiate the machine at (machine override)"
+    )
     p_count.add_argument(
         "--backend",
         default="gpu",
@@ -132,7 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="run the paper's pipeline comparison on one dataset")
     p_cmp.add_argument("--dataset", choices=DATASET_NAMES, default="abaumannii30x")
-    p_cmp.add_argument("--nodes", type=int, default=16)
+    p_cmp.add_argument("--nodes", type=int, default=16, help="node count to instantiate the machines at")
     p_cmp.add_argument("--scale", type=float, default=1.0)
     p_cmp.add_argument("--no-cpu", action="store_true", help="skip the (slow) CPU baseline")
 
@@ -222,10 +236,31 @@ def _profile_call(fn, *, top: int) -> str:
     return "\n".join(["host-time profile (cProfile, cumulative):", *("  " + ln for ln in lines)])
 
 
+def _cmd_machines(_args: argparse.Namespace) -> int:
+    from .machines import get_machine, machine_names
+
+    rows = []
+    for name in machine_names():
+        m = get_machine(name)
+        rows.append(
+            [
+                name,
+                m.effective_ranks_per_node,
+                m.device.name if m.device is not None else "-",
+                f"{m.injection_bw / 1e9:.0f} GB/s",
+                m.description,
+            ]
+        )
+    print(format_table(["name", "ranks/node", "device", "injection", "description"], rows))
+    print("use: repro count --machine <name>  (or a .toml/.json calibration file; see docs/MACHINES.md)")
+    return 0
+
+
 def _cmd_count(args: argparse.Namespace) -> int:
     from .core.engine import EngineOptions
     from .core.incremental import DistributedCounter
-    from .mpi.topology import summit_cpu, summit_gpu
+    from .machines import resolve_machine
+    from .mpi.topology import cluster_for
 
     config = PipelineConfig(
         k=args.k,
@@ -238,14 +273,18 @@ def _cmd_count(args: argparse.Namespace) -> int:
         n_rounds=args.rounds,
     )
     substrate = args.backend.split(":", 1)[0]
-    cluster = summit_cpu(args.nodes) if substrate == "cpu" else summit_gpu(args.nodes)
+    default_preset = "summit-cpu" if substrate == "cpu" else "summit-gpu"
+    machine = resolve_machine(args.machine, default=default_preset)
+    cluster = cluster_for(machine, args.nodes)
     stages = tuple(s.strip() for s in args.stages.split(",") if s.strip())
     registry = MetricRegistry() if (args.report or args.metrics_out) else None
     counter = DistributedCounter(
         cluster,
         config,
         backend=args.backend,
-        options=EngineOptions(telemetry=registry, stages=stages, fused=True if args.fused else None),
+        options=EngineOptions(
+            machine=machine, telemetry=registry, stages=stages, fused=True if args.fused else None
+        ),
     )
     if args.checkpoint and Path(args.checkpoint).exists():
         counter.load(args.checkpoint)
@@ -378,6 +417,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "datasets": _cmd_datasets,
+    "machines": _cmd_machines,
     "simulate": _cmd_simulate,
     "count": _cmd_count,
     "spectrum": _cmd_spectrum,

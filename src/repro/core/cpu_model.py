@@ -1,82 +1,14 @@
-"""CPU-baseline cost model (the diBELLA-derived k-mer counter's rates).
+"""Compatibility shim: CPU rates moved to :mod:`repro.machines.rates`.
 
-The paper's baseline is the CPU-only k-mer analysis of diBELLA run with 42
-MPI ranks per Summit node (Section V-A).  Fig. 3a gives its end-to-end
-behaviour on H. sapiens 54X at 2688 cores: ~3,800 s excluding I/O, almost
-all of it in parse and count — that works out to roughly 17k k-mers per
-second per core for the full compute path, i.e. rates dominated by software
-overheads (hash-table churn, buffer packing), not DRAM bandwidth.
-
-:class:`CpuRates` holds per-core throughput constants calibrated to that
-measurement.  They are deliberately *effective* rates — this model never
-tries to derive Power9 microarchitecture from first principles; the paper's
-claims we reproduce are about the *ratio* between this baseline and the
-GPU path, and about where time goes, not about Power9 internals.
+The unified machine-model layer (:mod:`repro.machines`) owns kernel
+calibration now, so one declarative :class:`~repro.machines.MachineSpec`
+can carry topology, device, and rates together.  Import from
+``repro.machines`` in new code; this module keeps the historic
+``repro.core.cpu_model`` import path working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from ..machines.rates import CpuRates, epyc_rates, power9_rates
 
-__all__ = ["CpuRates", "power9_rates"]
-
-
-@dataclass(frozen=True)
-class CpuRates:
-    """Per-core effective throughputs for the CPU baseline pipeline.
-
-    ``parse_rate``
-        k-mers parsed + hashed + packed into send buffers, per second per
-        core (Algorithm 1's PARSEKMER).
-    ``count_rate``
-        received k-mers inserted/incremented in the local hash table, per
-        second per core (Algorithm 1's COUNTKMER).
-    ``supermer_parse_factor`` / ``supermer_count_factor``
-        multiplicative slowdowns when the CPU pipeline runs in supermer
-        mode (minimizer scanning during parse; supermer->k-mer extraction
-        during count).  Mirrors the GPU-side overheads the paper measures
-        (Section V-C: 27-33% parse, 23-27% count).
-    ``phase_overhead``
-        fixed per-phase framework cost (buffer management, table setup,
-        synchronization) independent of data volume; charged once per
-        pipeline phase per round.
-
-    Default calibration: Fig. 3a gives ~3,800 s for H. sapiens 54X
-    (167e9 k-mers) on 2,688 cores with exchange a small slice, i.e. an
-    effective combined parse+count throughput of ~17k k-mers/s/core; the
-    40k/30k split reproduces that combined rate with parse somewhat faster
-    than counting (counting pays hash-table cache misses).
-    """
-
-    parse_rate: float = 4.0e4
-    count_rate: float = 3.0e4
-    supermer_parse_factor: float = 1.30
-    supermer_count_factor: float = 1.25
-    phase_overhead: float = 0.5
-
-    def __post_init__(self) -> None:
-        if self.parse_rate <= 0 or self.count_rate <= 0:
-            raise ValueError("rates must be positive")
-        if self.supermer_parse_factor < 1.0 or self.supermer_count_factor < 1.0:
-            raise ValueError("supermer factors are slowdowns and must be >= 1")
-        if self.phase_overhead < 0:
-            raise ValueError("phase_overhead must be non-negative")
-
-    def parse_time(self, n_kmers: float, *, supermer_mode: bool = False) -> float:
-        """Seconds for one rank to parse ``n_kmers`` windows (excl. overhead)."""
-        if n_kmers < 0:
-            raise ValueError("n_kmers must be non-negative")
-        factor = self.supermer_parse_factor if supermer_mode else 1.0
-        return n_kmers * factor / self.parse_rate
-
-    def count_time(self, n_kmers: float, *, supermer_mode: bool = False) -> float:
-        """Seconds for one rank to count ``n_kmers`` received instances."""
-        if n_kmers < 0:
-            raise ValueError("n_kmers must be non-negative")
-        factor = self.supermer_count_factor if supermer_mode else 1.0
-        return n_kmers * factor / self.count_rate
-
-
-def power9_rates() -> CpuRates:
-    """Rates calibrated to the Fig. 3a Summit Power9 measurement."""
-    return CpuRates()
+__all__ = ["CpuRates", "power9_rates", "epyc_rates"]

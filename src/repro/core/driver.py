@@ -10,7 +10,8 @@ dataset and cluster, which is the building block of Figs. 6-8.
 from __future__ import annotations
 
 from ..dna.reads import ReadSet
-from ..mpi.topology import ClusterSpec, summit_cpu, summit_gpu
+from ..machines import MachineSpec, resolve_machine
+from ..mpi.topology import ClusterSpec, cluster_for, summit_cpu, summit_gpu
 from .config import PipelineConfig, paper_config
 from .engine import EngineOptions, run_pipeline
 from .results import CountResult
@@ -35,6 +36,7 @@ def count_distributed(
     backend: str = "gpu",
     config: PipelineConfig | None = None,
     cluster: ClusterSpec | None = None,
+    machine: MachineSpec | str | None = None,
     options: EngineOptions | None = None,
     work_multiplier: float = 1.0,
     stages: tuple[str, ...] = (),
@@ -47,10 +49,16 @@ def count_distributed(
         The input read set (e.g. from :func:`repro.dna.load_dataset` or a
         FASTQ file via :class:`repro.dna.ReadSet`).
     n_nodes / backend:
-        Picks the paper's Summit layout: 6 ranks/node for ``"gpu"``, 42 for
-        ``"cpu"``.  ``backend`` is any registry key (``"gpu"``, ``"cpu"``,
-        or ``"gpu:supermer"``-style).  Ignored when an explicit ``cluster``
-        is given.
+        Node count and execution backend.  ``backend`` is any registry key
+        (``"gpu"``, ``"cpu"``, or ``"gpu:supermer"``-style).  Without an
+        explicit ``machine``, the substrate picks the paper's Summit layout
+        (6 ranks/node for ``"gpu"``, 42 for ``"cpu"``).
+    machine:
+        Machine model for the run: a :class:`~repro.machines.MachineSpec`,
+        a registered preset name (``"a100-gpu"``), or a calibration-file
+        path.  Drives the cluster topology, device, and kernel rates; the
+        node count stays the one run-time override.  Ignored for topology
+        when an explicit ``cluster`` is given.
     config:
         Algorithmic parameters; defaults to the paper's k=17 k-mer mode.
     work_multiplier:
@@ -60,12 +68,16 @@ def count_distributed(
         Extension stage names from the registry (e.g. ``("bloom",
         "balanced")``), applied on top of the backend's composition.
     """
-    if cluster is None:
+    if machine is not None:
+        machine = resolve_machine(machine)
+        if cluster is None:
+            cluster = cluster_for(machine, n_nodes)
+    elif cluster is None:
         substrate = backend.split(":", 1)[0]
         cluster = cpu_cluster(n_nodes) if substrate == "cpu" else gpu_cluster(n_nodes)
     config = config or paper_config()
     if options is None:
-        options = EngineOptions(work_multiplier=work_multiplier, stages=stages)
+        options = EngineOptions(machine=machine, work_multiplier=work_multiplier, stages=stages)
     else:
         if work_multiplier != 1.0:
             raise ValueError("pass work_multiplier inside options when options is given")
@@ -84,6 +96,8 @@ def run_paper_comparison(
     include_cpu_baseline: bool = True,
     work_multiplier: float = 1.0,
     options: EngineOptions | None = None,
+    gpu_machine: MachineSpec | str = "summit-gpu",
+    cpu_machine: MachineSpec | str = "summit-cpu",
 ) -> dict[str, CountResult]:
     """The paper's standard comparison on one dataset at one node count.
 
@@ -94,16 +108,23 @@ def run_paper_comparison(
     the CPU baseline uses the CPU layout at the *same node count*, as in
     the paper ("the CPU baseline uses 672 cores in total ... speedups are
     shown on 96 GPUs", Section V-B).
+
+    ``gpu_machine`` / ``cpu_machine`` swap in non-Summit machine models
+    (preset names, specs, or calibration files) for cross-machine studies.
     """
     if options is None:
-        options = EngineOptions(work_multiplier=work_multiplier)
+        gpu_options = EngineOptions(machine=gpu_machine, work_multiplier=work_multiplier)
+        cpu_options = EngineOptions(machine=cpu_machine, work_multiplier=work_multiplier)
+    else:
+        gpu_options = cpu_options = options
     results: dict[str, CountResult] = {}
     base = PipelineConfig(k=k, mode="kmer", window=window)
     if include_cpu_baseline:
-        results["cpu"] = run_pipeline(reads, cpu_cluster(n_nodes), base, backend="cpu", options=options)
-    gcluster = gpu_cluster(n_nodes)
-    results["kmer"] = run_pipeline(reads, gcluster, base, backend="gpu", options=options)
+        ccluster = cluster_for(cpu_machine, n_nodes)
+        results["cpu"] = run_pipeline(reads, ccluster, base, backend="cpu", options=cpu_options)
+    gcluster = cluster_for(gpu_machine, n_nodes)
+    results["kmer"] = run_pipeline(reads, gcluster, base, backend="gpu", options=gpu_options)
     for m in minimizer_lengths:
         cfg = PipelineConfig(k=k, mode="supermer", minimizer_len=m, window=window)
-        results[f"supermer-m{m}"] = run_pipeline(reads, gcluster, cfg, backend="gpu", options=options)
+        results[f"supermer-m{m}"] = run_pipeline(reads, gcluster, cfg, backend="gpu", options=gpu_options)
     return results

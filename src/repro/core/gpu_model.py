@@ -1,56 +1,14 @@
-"""Calibrated per-item GPU kernel work, expressed as thread-op counts.
+"""Compatibility shim: the GPU pipeline model moved to :mod:`repro.machines.rates`.
 
-The virtual GPU charges kernels via :class:`repro.gpu.TrafficEstimate`; the
-dominant term for these divergent, atomic-heavy kernels is serialized
-per-thread work, carried by ``thread_ops`` against the device's effective
-``op_rate``.  The op counts below are *calibration constants*, chosen so the
-modeled per-GPU rates land where the paper measured them:
-
-* Fig. 3b / Fig. 7b imply the k-mer parse and count kernels each take ~5 s
-  for H. sapiens 54X on 384 V100s, i.e. ~435M k-mers per GPU at ~85M
-  k-mers/s -> ~12 ns/k-mer -> 1,200 ops at the default ``op_rate`` of 1e11;
-* Section V-C: supermer construction raises parse time by ~27-33%
-  (minimizer tracking per window position) and counting by ~23-27%
-  (extracting k-mers from received supermers) — hence the factored
-  constants;
-* the per-exchange fixed overhead models buffer management, counts
-  exchange setup and the multi-launch choreography around MPI; it is
-  calibrated so small-dataset 16-node runs show the paper's modest 11-13x
-  overall speedups (Fig. 6a) while being negligible against the large-run
-  exchange times.
-
-Everything downstream (Figs. 3, 6, 7, 8, 9 benches) consumes these through
-the pipelines; the ablation benchmarks sweep them.
+The unified machine-model layer (:mod:`repro.machines`) owns kernel
+calibration now, so one declarative :class:`~repro.machines.MachineSpec`
+can carry topology, device, and rates together.  Import from
+``repro.machines`` in new code; this module keeps the historic
+``repro.core.gpu_model`` import path working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from ..machines.rates import GpuPipelineModel
 
 __all__ = ["GpuPipelineModel"]
-
-
-@dataclass(frozen=True)
-class GpuPipelineModel:
-    """Per-item thread-op counts and fixed overheads for the GPU pipelines.
-
-    With the V100 default ``op_rate = 1e11`` ops/s, ``ops_parse_kmer=1200``
-    means 12 ns of serialized thread work per k-mer window — the calibrated
-    effective cost of extracting, hashing, and atomically appending one
-    k-mer to the outgoing buffer.
-    """
-
-    ops_parse_kmer: float = 1200.0
-    ops_parse_supermer: float = 1560.0  # +30%: minimizer scan + register supermer build
-    ops_count_kmer: float = 1200.0
-    ops_extract_kmer: float = 300.0  # +25% on count: supermer -> k-mer unpacking
-    exchange_overhead_s: float = 1.5  # per exchange round: buffers, counts alltoall, setup
-    bytes_per_probe: float = 64.0  # one cache line per hash-table probe
-
-    def __post_init__(self) -> None:
-        if min(self.ops_parse_kmer, self.ops_parse_supermer, self.ops_count_kmer) <= 0:
-            raise ValueError("op counts must be positive")
-        if self.ops_extract_kmer < 0 or self.exchange_overhead_s < 0 or self.bytes_per_probe <= 0:
-            raise ValueError("invalid model constants")
-        if self.ops_parse_supermer < self.ops_parse_kmer:
-            raise ValueError("supermer parse must cost at least as much as k-mer parse")

@@ -11,18 +11,16 @@ swappable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from ...gpu.device import DeviceSpec, v100
+from ...machines import CpuRates, DeviceSpec, GpuPipelineModel, MachineSpec, resolve_machine
 from ...mpi.costmodel import CommCostModel
 from ...mpi.stats import TrafficStats
 from ...mpi.topology import ClusterSpec
 from ...telemetry import MetricRegistry
 from ..config import PipelineConfig
-from ..cpu_model import CpuRates, power9_rates
-from ..gpu_model import GpuPipelineModel
 from ..memory import ScratchArena
 from ..parallel import ParallelSetting, RankPool
 from ..tracing import WallClockRecorder
@@ -32,11 +30,20 @@ __all__ = ["EngineOptions", "StageContext"]
 
 @dataclass(frozen=True)
 class EngineOptions:
-    """Backend/substrate knobs for one engine run (config-independent)."""
+    """Backend/substrate knobs for one engine run (config-independent).
 
-    device: DeviceSpec = field(default_factory=v100)
-    gpu_model: GpuPipelineModel = field(default_factory=GpuPipelineModel)
-    cpu_rates: CpuRates = field(default_factory=power9_rates)
+    ``machine`` selects the machine model for the run — a
+    :class:`~repro.machines.MachineSpec`, a registered preset name, or a
+    calibration-file path (``None`` resolves to the paper's ``summit-gpu``
+    preset).  ``device``, ``gpu_model``, and ``cpu_rates`` default to the
+    machine's and act as per-field overrides when given explicitly, which
+    is what the ablation benchmarks sweep.
+    """
+
+    device: DeviceSpec | None = None
+    gpu_model: GpuPipelineModel | None = None
+    cpu_rates: CpuRates | None = None
+    machine: MachineSpec | str | None = None
     work_multiplier: float = 1.0
     minimizer_assignment: np.ndarray | None = None  # balanced-partition hook
     shard_mode: str = "bytes"  # "bytes" (paper's parallel I/O) or "reads"
@@ -62,6 +69,14 @@ class EngineOptions:
     arena: ScratchArena | None = None
 
     def __post_init__(self) -> None:
+        machine = resolve_machine(self.machine)
+        object.__setattr__(self, "machine", machine)
+        if self.device is None:
+            object.__setattr__(self, "device", machine.resolved_device)
+        if self.gpu_model is None:
+            object.__setattr__(self, "gpu_model", machine.gpu_model)
+        if self.cpu_rates is None:
+            object.__setattr__(self, "cpu_rates", machine.cpu_rates)
         if self.work_multiplier <= 0:
             raise ValueError("work_multiplier must be positive")
         if self.shard_mode not in ("bytes", "reads"):

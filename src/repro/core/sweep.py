@@ -16,7 +16,8 @@ from time import perf_counter
 from typing import Iterable
 
 from ..dna.reads import ReadSet
-from ..mpi.topology import summit_cpu, summit_gpu
+from ..machines import MachineSpec, resolve_machine
+from ..mpi.topology import cluster_for
 from ..telemetry import MetricRegistry, RunReport
 from .config import PipelineConfig
 from .engine import EngineOptions, run_pipeline
@@ -107,8 +108,15 @@ def sweep(
     telemetry: bool = False,
     stages: tuple[str, ...] = (),
     fused: bool | None = None,
+    machine: MachineSpec | str | None = None,
 ) -> SweepResult:
     """Run the full cartesian grid; k-mer mode collapses the supermer axes.
+
+    ``machine`` swaps the machine model for every grid point — a
+    :class:`~repro.machines.MachineSpec`, preset name, or calibration-file
+    path.  ``None`` keeps the paper's Summit layouts, picked per backend
+    (``summit-gpu`` for GPU points, ``summit-cpu`` for CPU points).  Exact
+    observables are machine-invariant; only model times change.
 
     ``validate=True`` additionally checks every run against the exact
     oracle (slower; meant for tests and small inputs).
@@ -128,6 +136,7 @@ def sweep(
     to the staged path.  One scratch arena is shared across all grid points
     so large temporaries are recycled between cells.
     """
+    explicit_machine = resolve_machine(machine) if machine is not None else None
     oracle = None
     if validate:
         from ..kmers.spectrum import count_kmers_exact
@@ -156,7 +165,10 @@ def sweep(
             window=window,
             ordering=ordering,
         )
-        cluster = summit_gpu(nodes) if backend == "gpu" else summit_cpu(nodes)
+        point_machine = explicit_machine
+        if point_machine is None:
+            point_machine = resolve_machine("summit-cpu" if backend == "cpu" else "summit-gpu")
+        cluster = cluster_for(point_machine, nodes)
         registry = MetricRegistry() if telemetry else None
         t0 = perf_counter()
         result = run_pipeline(
@@ -165,6 +177,7 @@ def sweep(
             config,
             backend=backend,
             options=EngineOptions(
+                machine=point_machine,
                 work_multiplier=work_multiplier,
                 parallel=parallel,
                 telemetry=registry,

@@ -92,6 +92,10 @@ def staging_time(device: DeviceSpec, h2d_bytes: float, d2h_bytes: float) -> floa
 
 
 def _default_device() -> DeviceSpec:
-    from .device import v100
+    # The default device comes from the machine registry's default preset,
+    # not a hardwired constructor, so recalibrating or re-registering
+    # "summit-gpu" reaches every KernelCostModel() built without an
+    # explicit device.
+    from ..machines import get_machine
 
-    return v100()
+    return get_machine("summit-gpu").resolved_device

@@ -295,15 +295,22 @@ def build_supermers_with_positions(
     start_positions = positions[starts_flag]
     minimizers = mins.minimizer_values[starts_flag]
 
-    # Pack each supermer's bases: masked shift-or over the (variable) length.
+    # Pack each supermer's bases back-aligned: the t-th base from the end
+    # lands at bit 2t, so each iteration is one full-width gather+or with
+    # no boolean compaction (the old front-aligned loop re-compressed a
+    # shrinking `active` subset every step).  Every supermer has at least
+    # k bases, so the first k iterations need no mask at all.
     n_bases = n_kmers.astype(np.int64) + (k - 1)
     max_bases = int(n_bases.max())
+    min_bases = int(n_bases.min())
     safe = np.where(reads.codes < SENTINEL, reads.codes, 0).astype(np.uint64)
-    packed = np.zeros(n_supermers, dtype=np.uint64)
-    for j in range(max_bases):
-        active = n_bases > j
-        idx = start_positions[active] + j
-        packed[active] = (packed[active] << np.uint64(2)) | safe[idx]
+    end1 = start_positions + n_bases - 1  # index of each supermer's last base
+    packed = safe[end1].copy()
+    for t in range(1, max_bases):
+        contrib = safe[end1 - t] << np.uint64(2 * t)
+        if t >= min_bases:
+            contrib = np.where(n_bases > t, contrib, np.uint64(0))
+        packed |= contrib
 
     batch = SupermerBatch(k=k, packed=packed, n_kmers=n_kmers, minimizers=minimizers)
     return batch, start_positions

@@ -1,0 +1,165 @@
+"""Named machine presets and the user-extensible machine registry.
+
+``summit-gpu`` / ``summit-cpu`` reproduce the paper's machine exactly
+(Section V-A) and are the calibration anchors: golden suites and the bench
+guard pin their modeled times bit-identically.  The other presets are
+what-if machines for cross-machine studies; no paper measurement backs
+them, but every exact observable they produce is identical to Summit's by
+construction (see :mod:`repro.machines.spec`).
+
+``register_machine`` adds user machines at runtime; calibration files
+(:func:`repro.machines.load`) are the declarative route to the same thing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .device import a100, v100
+from .rates import GpuPipelineModel, epyc_rates, power9_rates
+from .spec import MachineSpec
+
+__all__ = ["register_machine", "get_machine", "machine_names", "machine_descriptions", "DEFAULT_MACHINES"]
+
+
+def summit_gpu_machine() -> MachineSpec:
+    """Summit, GPU layout: 6 ranks/node, one per V100 (Section V-A)."""
+    return MachineSpec(
+        name="summit-gpu",
+        description="Summit AC922 node (2xPower9 + 6xV100, 23 GB/s injection), 6 ranks/node",
+        sockets_per_node=2,
+        cores_per_node=42,
+        gpus_per_node=6,
+        ranks_per_node=6,
+        injection_bw=23e9,
+        intra_node_bw=50e9,
+        latency=2e-6,
+        alltoallv_efficiency=0.04,
+        device=v100(),
+        cpu_rates=power9_rates(),
+        gpu_model=GpuPipelineModel(),
+    )
+
+
+def summit_cpu_machine() -> MachineSpec:
+    """Summit, CPU-baseline layout: 42 ranks/node, one per usable core."""
+    return MachineSpec(
+        name="summit-cpu",
+        description="Summit AC922 node, diBELLA CPU-baseline layout, 42 ranks/node",
+        sockets_per_node=2,
+        cores_per_node=42,
+        gpus_per_node=6,
+        ranks_per_node=42,
+        injection_bw=23e9,
+        intra_node_bw=50e9,
+        latency=2e-6,
+        alltoallv_efficiency=0.04,
+        device=v100(),
+        cpu_rates=power9_rates(),
+        gpu_model=GpuPipelineModel(),
+    )
+
+
+def a100_gpu_machine() -> MachineSpec:
+    """A Perlmutter-class GPU machine: 4xA100 nodes on a fat Slingshot fabric."""
+    return MachineSpec(
+        name="a100-gpu",
+        description="Perlmutter-class node (1xEPYC + 4xA100-40GB, 4x25 GB/s NICs), 4 ranks/node",
+        sockets_per_node=1,
+        cores_per_node=64,
+        gpus_per_node=4,
+        ranks_per_node=4,
+        injection_bw=100e9,
+        intra_node_bw=80e9,
+        latency=1.5e-6,
+        alltoallv_efficiency=0.05,
+        device=a100(),
+        cpu_rates=epyc_rates(),
+        gpu_model=GpuPipelineModel(exchange_overhead_s=1.0),
+    )
+
+
+def fat_nic_gpu_machine() -> MachineSpec:
+    """Summit's node compute with 4x the injection bandwidth.
+
+    The what-if the paper's Fig. 3b begs for: exchange is ~80% of the GPU
+    pipeline, so a fat-NIC variant isolates how far faster networking alone
+    moves the balance point.  Identical rank layout to ``summit-gpu``, so
+    every exact observable matches Summit bit-for-bit.
+    """
+    return summit_gpu_machine().with_overrides(
+        name="fat-nic-gpu",
+        description="Summit node compute with 4x injection bandwidth (fat-NIC what-if), 6 ranks/node",
+        injection_bw=4 * 23e9,
+    )
+
+
+def generic_cpu_machine() -> MachineSpec:
+    """A commodity CPU-only cluster: dual-socket x86 nodes on 100 GbE."""
+    return MachineSpec(
+        name="generic-cpu",
+        description="Commodity CPU cluster (2x32-core x86, 100 GbE), 64 ranks/node",
+        sockets_per_node=2,
+        cores_per_node=64,
+        gpus_per_node=0,
+        injection_bw=12.5e9,
+        intra_node_bw=30e9,
+        latency=1.5e-6,
+        alltoallv_efficiency=0.06,
+        device=None,
+        cpu_rates=epyc_rates(),
+        gpu_model=GpuPipelineModel(),
+    )
+
+
+#: The built-in presets: name -> factory.
+DEFAULT_MACHINES: dict[str, Callable[[], MachineSpec]] = {
+    "summit-gpu": summit_gpu_machine,
+    "summit-cpu": summit_cpu_machine,
+    "a100-gpu": a100_gpu_machine,
+    "fat-nic-gpu": fat_nic_gpu_machine,
+    "generic-cpu": generic_cpu_machine,
+}
+
+_MACHINES: dict[str, Callable[[], MachineSpec]] = dict(DEFAULT_MACHINES)
+
+
+def register_machine(spec_or_factory: MachineSpec | Callable[[], MachineSpec], name: str | None = None) -> str:
+    """Register a machine under ``name`` (default: the spec's own name).
+
+    Accepts a ready :class:`MachineSpec` or a zero-argument factory.
+    Returns the registered name.  Re-registering a name replaces it, so
+    tests and notebooks can shadow presets locally.
+    """
+    if isinstance(spec_or_factory, MachineSpec):
+        spec = spec_or_factory
+        factory: Callable[[], MachineSpec] = lambda: spec  # noqa: E731
+        name = name or spec.name
+    else:
+        factory = spec_or_factory
+        name = name or factory().name
+    if not name:
+        raise ValueError("machine registration needs a non-empty name")
+    _MACHINES[name] = factory
+    return name
+
+
+def machine_names() -> tuple[str, ...]:
+    """All registered machine names, sorted — CLI choices and error messages."""
+    return tuple(sorted(_MACHINES))
+
+
+def machine_descriptions() -> dict[str, str]:
+    """Registered machines: name -> one-line description."""
+    return {name: _MACHINES[name]().description for name in machine_names()}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Resolve a registered machine by name."""
+    factory = _MACHINES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown machine {name!r}; registered machines: {', '.join(machine_names())} "
+            "(or pass a .toml/.json calibration file; see docs/MACHINES.md)"
+        )
+    return factory()

@@ -8,8 +8,12 @@ GPU runs and 42 ranks/node (one per core) for the CPU baseline.
 
 :class:`ClusterSpec` captures exactly what the communication cost model
 needs — rank->node mapping, per-node injection bandwidth, intra-node
-bandwidth, and message latency — plus named constructors for the paper's
-two Summit configurations.
+bandwidth, and message latency.  Since the unified machine-model layer
+landed, the numbers come from a declarative
+:class:`~repro.machines.MachineSpec`: :func:`cluster_for` instantiates any
+registered machine (or calibration file) at a node count, and the named
+Summit constructors below are now thin wrappers over the ``summit-gpu`` /
+``summit-cpu`` presets.
 """
 
 from __future__ import annotations
@@ -18,7 +22,9 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-__all__ = ["ClusterSpec", "summit_gpu", "summit_cpu"]
+from ..machines import MachineSpec, get_machine, resolve_machine
+
+__all__ = ["ClusterSpec", "cluster_for", "summit_gpu", "summit_cpu"]
 
 #: Per-node injection bandwidth on Summit, bytes/s (Section V-A: "providing
 #: per node injection bandwidth of 23 GB/s").
@@ -95,11 +101,33 @@ class ClusterSpec:
         return replace(self, n_nodes=n_nodes)
 
 
+def cluster_for(machine: MachineSpec | str, n_nodes: int) -> ClusterSpec:
+    """Instantiate a machine's rank topology at ``n_nodes`` nodes.
+
+    ``machine`` is a :class:`~repro.machines.MachineSpec`, a registered
+    preset name, or a calibration-file path (resolved through
+    :func:`repro.machines.resolve_machine`).  Every network parameter of
+    the resulting cluster comes from the machine spec; the node count is
+    the one run-time override.
+    """
+    m = resolve_machine(machine)
+    return ClusterSpec(
+        name=f"{m.name}-{n_nodes}n",
+        n_nodes=n_nodes,
+        ranks_per_node=m.effective_ranks_per_node,
+        injection_bw=m.injection_bw,
+        intra_node_bw=m.intra_node_bw,
+        latency=m.latency,
+        alltoallv_efficiency=m.alltoallv_efficiency,
+        placement=m.placement,
+    )
+
+
 def summit_gpu(n_nodes: int) -> ClusterSpec:
     """Summit GPU layout: 6 MPI ranks per node, one per V100 (Section V-A)."""
-    return ClusterSpec(name=f"summit-gpu-{n_nodes}n", n_nodes=n_nodes, ranks_per_node=6)
+    return cluster_for(get_machine("summit-gpu"), n_nodes)
 
 
 def summit_cpu(n_nodes: int) -> ClusterSpec:
     """Summit CPU-baseline layout: 42 MPI ranks per node, one per core."""
-    return ClusterSpec(name=f"summit-cpu-{n_nodes}n", n_nodes=n_nodes, ranks_per_node=42)
+    return cluster_for(get_machine("summit-cpu"), n_nodes)

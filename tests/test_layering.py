@@ -42,7 +42,7 @@ class TestCheckerDetects:
         root = self._tree(tmp_path, "from repro.core.engine import run_pipeline\n")
         proc = run_checker(root)
         assert proc.returncode == 1
-        assert "dna (layer 1) imports core (layer 3)" in proc.stdout
+        assert "dna (layer 1) imports core (layer 4)" in proc.stdout
 
     def test_flags_relative_back_edge(self, tmp_path):
         root = self._tree(tmp_path, "from ..core import engine\n")

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Replay the golden engine matrix under a non-Summit machine preset.
+
+The machine-model layer promises that exact observables — spectrum,
+per-rank k-mer counts, exchanged items/bytes, counts matrix, insert
+statistics, traffic accounting — are functions of the rank topology and
+the algorithm alone.  This check proves it against the committed golden
+records: every GPU engine case from ``tests/golden/engine_golden.json``
+(recorded on the Summit presets, pre-refactor) is re-run under a
+different machine with the *same rank layout* (default ``fat-nic-gpu``:
+Summit's 6 ranks/node behind a 4x-injection fabric), and every exact
+field must still match the golden bit for bit.  Model times are the one
+thing allowed — required, for network-bound phases — to move.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_golden_machines.py [--machine fat-nic-gpu]
+
+Exits 0 when every case matches, 1 with one diagnostic per divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.core.config import PipelineConfig  # noqa: E402
+from repro.core.engine import EngineOptions, run_pipeline  # noqa: E402
+from repro.machines import get_machine  # noqa: E402
+from repro.mpi.topology import cluster_for  # noqa: E402
+
+from tests.golden_cases import (  # noqa: E402
+    ENGINE_CASES,
+    GOLDEN_PATH,
+    golden_reads,
+    summarize_result,
+)
+
+#: Golden fields that are exact observables — machine-invariant by
+#: construction.  Everything else in the record (phase timings, per-rank
+#: model seconds, staging/alltoallv seconds) tracks the machine's
+#: calibration and is deliberately excluded.
+EXACT_FIELDS = (
+    "spectrum",
+    "received_kmers",
+    "exchanged_items",
+    "exchanged_bytes",
+    "counts_matrix_sha",
+    "insert_stats",
+    "mean_supermer_length",
+    "n_rounds_used",
+    "traffic_bytes",
+    "traffic_collectives",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--machine",
+        default="fat-nic-gpu",
+        help="non-Summit preset to replay under; must keep summit-gpu's ranks/node "
+        "so per-case observables stay comparable (default: fat-nic-gpu)",
+    )
+    args = parser.parse_args(argv)
+
+    machine = get_machine(args.machine)
+    summit = get_machine("summit-gpu")
+    if machine.effective_ranks_per_node != summit.effective_ranks_per_node:
+        print(
+            f"error: {machine.name} has {machine.effective_ranks_per_node} ranks/node, "
+            f"summit-gpu has {summit.effective_ranks_per_node}; observables are only "
+            "comparable at equal rank layouts",
+            file=sys.stderr,
+        )
+        return 2
+
+    golden = json.loads((Path(__file__).resolve().parent.parent / GOLDEN_PATH).read_text())
+    reads = golden_reads()
+    gpu_cases = {name: case for name, case in ENGINE_CASES.items() if case["cluster"][0] == "gpu"}
+
+    failures: list[str] = []
+    timings_moved = 0
+    for name in sorted(gpu_cases):
+        case = gpu_cases[name]
+        result = run_pipeline(
+            reads,
+            cluster_for(machine, case["cluster"][1]),
+            PipelineConfig(**case["config"]),
+            backend=case["backend"],
+            options=EngineOptions(machine=machine, **case["options"]),
+        )
+        summary = summarize_result(result)
+        expected = golden["engine"][name]
+        for key in EXACT_FIELDS:
+            if summary[key] != expected[key]:
+                failures.append(
+                    f"{name}: exact observable {key!r} diverged under {machine.name} "
+                    f"(golden {expected[key]!r} != {summary[key]!r})"
+                )
+        if summary["timing"] != expected["timing"]:
+            timings_moved += 1
+        status = "ok" if not any(f.startswith(name + ":") for f in failures) else "FAIL"
+        print(f"  {name:40s} {status}")
+
+    for line in failures:
+        print(line, file=sys.stderr)
+    if failures:
+        print(f"\n{len(failures)} golden divergence(s) under {machine.name}", file=sys.stderr)
+        return 1
+    print(
+        f"golden matrix machine-invariant under {machine.name}: {len(gpu_cases)} cases, "
+        f"{len(EXACT_FIELDS)} exact fields each; model timings moved in {timings_moved} cases"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,10 +6,11 @@ below.  Higher numbers sit higher in the stack:
 
     0  telemetry                      (imports nothing from repro)
     1  dna, hashing, kmers            (pure data structures / algorithms)
-    2  mpi, gpu                       (simulated substrates)
-    3  core                           (staged execution core)
-    4  ext                            (extensions; may build on core)
-    5  bench, cli                     (user-facing surfaces)
+    2  machines                       (declarative machine models; pure data)
+    3  mpi, gpu                       (simulated substrates)
+    4  core                           (staged execution core)
+    5  ext                            (extensions; may build on core)
+    6  bench, cli                     (user-facing surfaces)
 
 Enforced statically over the AST, including imports deferred into
 function bodies.  ``if TYPE_CHECKING:`` blocks are exempt: annotations
@@ -34,12 +35,13 @@ LAYERS: dict[str, int] = {
     "dna": 1,
     "hashing": 1,
     "kmers": 1,
-    "mpi": 2,
-    "gpu": 2,
-    "core": 3,
-    "ext": 4,
-    "bench": 5,
-    "cli": 5,
+    "machines": 2,
+    "mpi": 3,
+    "gpu": 3,
+    "core": 4,
+    "ext": 5,
+    "bench": 6,
+    "cli": 6,
 }
 
 PACKAGE = "repro"
