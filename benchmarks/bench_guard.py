@@ -6,8 +6,10 @@ all three variants) with the staged-sequential and fused paths timed
 back-to-back, then enforces two gates:
 
 1. **identity** — the fused results must be bit-identical to the staged
-   results (spectrum, timing floats, traffic, insert statistics).  Any
-   divergence is an immediate failure; there is no tolerance.
+   results (spectrum, timing floats, traffic, insert statistics), and so
+   must the out-of-core spill path (exchange partitions spooled to disk,
+   external merge).  Any divergence is an immediate failure; there is no
+   tolerance.
 2. **speedup floor** — the measured staged/fused host-time ratio must
    not fall below the committed ``BENCH_fused.json`` grid ratio scaled
    by the benchmark's noise band.  The ratio is a same-machine paired
@@ -32,6 +34,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -55,13 +58,15 @@ def main(argv: list[str] | None = None) -> int:
     floor = round(NOISE_BAND[0] * committed_speedup, 3)
 
     datasets = [d for d in args.datasets.split(",") if d]
-    cells = _run_grid(datasets, args.nodes, 1, args.repeats, ScratchArena())
+    with tempfile.TemporaryDirectory(prefix="guard-spool-") as spool:
+        cells = _run_grid(datasets, args.nodes, 1, args.repeats, ScratchArena(), spill_dir=spool)
 
     committed_model = committed.get("model_times", {})
     drifted: list[str] = []
     total_seq = total_fused = 0.0
     for key, (best, results) in cells.items():
         _assert_identical(results["sequential"], results["fused"], f"{key} (fused)")
+        _assert_identical(results["sequential"], results["spill"], f"{key} (spill)")
         timing = results["sequential"].timing
         expected = committed_model.get(key)
         if expected is not None:
@@ -95,7 +100,7 @@ def main(argv: list[str] | None = None) -> int:
 
     speedup = total_seq / total_fused
     print(
-        f"fused identity: OK; speedup {speedup:.3f}x "
+        f"fused + spill identity: OK; speedup {speedup:.3f}x "
         f"(committed {committed_speedup}x, floor {floor}x = {NOISE_BAND[0]} * committed)"
     )
     if speedup < floor:

@@ -19,6 +19,12 @@ path (``EngineOptions(fused=True)`` with one shared scratch arena; see
 docs/PERFORMANCE.md); ``fused_speedup`` is per-cell staged-sequential /
 fused host time.
 
+The spill column runs the same cells through the out-of-core path
+(``EngineOptions(spill_dir=...)``: exchange partitions spooled to disk,
+external merge), asserts it stays bit-identical, and records its
+overhead ratio into ``BENCH_spill.json`` so the guard can bound the
+cost of spilling.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_stages.py [--out BENCH_stages.json]
@@ -32,6 +38,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 from pathlib import Path
 from time import perf_counter
 
@@ -72,13 +79,15 @@ def _assert_identical(a, b, label: str) -> None:
         raise AssertionError(f"pooled staged engine diverged from sequential on {label}")
 
 
-def _run_grid(datasets, nodes, workers, repeats, arena):
+def _run_grid(datasets, nodes, workers, repeats, arena, spill_dir=None):
     """Best-of-``repeats`` wall time per (dataset, variant, execution-path) cell.
 
-    The three execution paths are timed back-to-back inside every repeat
+    The execution paths are timed back-to-back inside every repeat
     (paired measurement): comparing separate full-grid passes lets slow
     drift in machine state (clock throttling, allocator growth) land
-    entirely on whichever path happens to run last.
+    entirely on whichever path happens to run last.  When ``spill_dir``
+    is given, a fourth out-of-core path spools exchange partitions there
+    and is timed alongside the in-memory ones.
     """
     cells = {}
     for name in datasets:
@@ -91,6 +100,10 @@ def _run_grid(datasets, nodes, workers, repeats, arena):
                 "parallel": EngineOptions(work_multiplier=mult, parallel=workers),
                 "fused": EngineOptions(work_multiplier=mult, parallel=1, fused=True, arena=arena),
             }
+            if spill_dir is not None:
+                paths["spill"] = EngineOptions(
+                    work_multiplier=mult, parallel=1, spill_dir=spill_dir
+                )
             best = dict.fromkeys(paths, float("inf"))
             results = {}
             for _ in range(repeats):
@@ -108,6 +121,11 @@ def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     ap.add_argument("--out", default="BENCH_stages.json", help="output JSON path")
     ap.add_argument(
+        "--spill-out",
+        default="BENCH_spill.json",
+        help="out-of-core benchmark JSON path (empty string disables the spill column)",
+    )
+    ap.add_argument(
         "--baseline",
         default="BENCH_parallel.json",
         help="pre-refactor benchmark JSON to compare against (skipped if absent)",
@@ -123,7 +141,15 @@ def main(argv: list[str] | None = None) -> int:
     world = summit_gpu(args.nodes).n_ranks
 
     print(f"staged-core fig6 workload: {datasets} on {args.nodes} nodes ({world} GPU ranks)")
-    cells = _run_grid(datasets, args.nodes, workers, args.repeats, ScratchArena())
+    with tempfile.TemporaryDirectory(prefix="bench-spool-") as spool:
+        cells = _run_grid(
+            datasets,
+            args.nodes,
+            workers,
+            args.repeats,
+            ScratchArena(),
+            spill_dir=spool if args.spill_out else None,
+        )
 
     baseline_cells = {}
     baseline_path = Path(args.baseline)
@@ -143,6 +169,12 @@ def main(argv: list[str] | None = None) -> int:
             "fused_s": round(fused_s, 4),
             "fused_speedup": round(seq_s / fused_s, 3),
         }
+        spill_note = ""
+        if "spill" in results:
+            _assert_identical(results["sequential"], results["spill"], f"{key} (spill)")
+            row["spill_s"] = round(best["spill"], 4)
+            row["spill_overhead"] = round(best["spill"] / seq_s, 3)
+            spill_note = f"  spill {best['spill']:7.3f}s ({row['spill_overhead']:.2f}x)"
         note = ""
         if key in baseline_cells:
             row["baseline_sequential_s"] = baseline_cells[key]
@@ -151,7 +183,7 @@ def main(argv: list[str] | None = None) -> int:
         rows.append(row)
         print(
             f"  {key:45s} seq {seq_s:7.3f}s  par {par_s:7.3f}s  "
-            f"fused {fused_s:7.3f}s ({row['fused_speedup']:.2f}x){note}"
+            f"fused {fused_s:7.3f}s ({row['fused_speedup']:.2f}x){spill_note}{note}"
         )
 
     total_seq = sum(r["sequential_s"] for r in rows)
@@ -199,6 +231,36 @@ def main(argv: list[str] | None = None) -> int:
         f"total: seq {total_seq:.3f}s  par {total_par:.3f}s  "
         f"fused {total_fused:.3f}s ({payload['fused_speedup']:.2f}x) -> {out}"
     )
+
+    if args.spill_out and any("spill_s" in r for r in rows):
+        total_spill = sum(r["spill_s"] for r in rows if "spill_s" in r)
+        spill_payload = {
+            "workload": "fig6",
+            "engine": "staged+spill",
+            "datasets": datasets,
+            "n_nodes": args.nodes,
+            "repeats": args.repeats,
+            "results_identical": True,
+            "sequential_total_s": round(total_seq, 4),
+            "spill_total_s": round(total_spill, 4),
+            "spill_overhead": round(total_spill / total_seq, 3),
+            "cells": [
+                {
+                    "cell": r["cell"],
+                    "sequential_s": r["sequential_s"],
+                    "spill_s": r["spill_s"],
+                    "spill_overhead": r["spill_overhead"],
+                }
+                for r in rows
+                if "spill_s" in r
+            ],
+        }
+        spill_out = Path(args.spill_out)
+        spill_out.write_text(json.dumps(spill_payload, indent=2))
+        print(
+            f"spill: {total_spill:.3f}s total "
+            f"({spill_payload['spill_overhead']:.2f}x of sequential) -> {spill_out}"
+        )
     return 0
 
 

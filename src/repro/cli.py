@@ -122,6 +122,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="run whole-cluster fused supersteps (bit-identical results; see docs/PERFORMANCE.md)",
     )
     p_count.add_argument(
+        "--spill",
+        metavar="DIR",
+        default=None,
+        help="spool exchange partitions to this directory and count out of core "
+        "(bit-identical results; see docs/PERFORMANCE.md)",
+    )
+    p_count.add_argument(
+        "--memory-limit",
+        metavar="BYTES",
+        type=int,
+        default=None,
+        help="host-memory target per rank in bytes: splits the exchange into enough "
+        "rounds that one round's working set fits (combine with --spill to cap RSS)",
+    )
+    p_count.add_argument(
         "--profile",
         nargs="?",
         const=15,
@@ -283,7 +298,12 @@ def _cmd_count(args: argparse.Namespace) -> int:
         config,
         backend=args.backend,
         options=EngineOptions(
-            machine=machine, telemetry=registry, stages=stages, fused=True if args.fused else None
+            machine=machine,
+            telemetry=registry,
+            stages=stages,
+            fused=True if args.fused else None,
+            spill_dir=args.spill,
+            host_memory_budget=args.memory_limit,
         ),
     )
     if args.checkpoint and Path(args.checkpoint).exists():

@@ -13,8 +13,14 @@ execution core:
 * timing/volume accounting accumulates in a
   :class:`~repro.core.stages.PipelineState`;
 * ``save``/``load`` checkpoint the partitioned table state to an ``.npz``
-  so counting resumes after interruption — the pipelines' determinism makes
-  resumed and uninterrupted runs bit-identical, which the tests assert.
+  (checkpoint format version 2, which carries the cumulative insert
+  statistics and the collective-traffic log alongside the tables) so
+  counting resumes after interruption.  The pipelines' determinism makes a
+  resumed run's *every* observable — spectrum, timing, insert statistics,
+  traffic records — bit-identical to an uninterrupted run's, which the
+  tests assert.  (Version-1 checkpoints predate the stats payload; they
+  still load, resuming with zeroed insert stats and an empty traffic log,
+  so only the spectrum/timing identity holds across a v1 resume.)
 """
 
 from __future__ import annotations

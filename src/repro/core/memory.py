@@ -29,6 +29,7 @@ Design constraints:
 from __future__ import annotations
 
 import threading
+import weakref
 
 import numpy as np
 
@@ -56,13 +57,36 @@ class ScratchArena:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        # RLock: the weakref callback in _adopt may fire from a GC pass
+        # triggered by an allocation made while the lock is already held.
+        self._lock = threading.RLock()
         self._free: dict[str, list[np.ndarray]] = {}
-        self._owned: set[int] = set()
+        # Registry of blocks this arena handed out, keyed by id().  The
+        # values are weakrefs whose callbacks retire the entry, so a block
+        # whose borrower dropped its view unreleased is forgotten the
+        # moment it is collected — a later unrelated array that happens to
+        # reuse the id can never be adopted into the free lists.
+        self._owned: dict[int, weakref.ref] = {}
         self.bytes_allocated = 0
         self.bytes_reused = 0
         self.peak_bytes = 0
         self._footprint = 0
+
+    def _adopt(self, block: np.ndarray) -> None:
+        """Register a freshly allocated block in the owned registry."""
+        block_id = id(block)
+        nbytes = block.nbytes
+
+        def _retire(ref: weakref.ref) -> None:
+            # The block died while borrowed (view dropped without release).
+            # Only retire if the registry still holds *this* weakref — a
+            # reset() may already have removed it.
+            with self._lock:
+                if self._owned.get(block_id) is ref:
+                    del self._owned[block_id]
+                    self._footprint -= nbytes
+
+        self._owned[block_id] = weakref.ref(block, _retire)
 
     # -- borrowing ---------------------------------------------------
 
@@ -85,7 +109,7 @@ class ScratchArena:
                     break
             if block is None:
                 block = np.empty(cap, dtype=dt)
-                self._owned.add(id(block))
+                self._adopt(block)
                 self.bytes_allocated += block.nbytes
                 self._footprint += block.nbytes
                 self.peak_bytes = max(self.peak_bytes, self._footprint)
@@ -120,7 +144,10 @@ class ScratchArena:
                 if view is None:
                     continue
                 block = view if view.base is None else view.base
-                if id(block) not in self._owned:
+                ref = self._owned.get(id(block))
+                if ref is None or ref() is not block:
+                    # Not one of ours — either a foreign array, or an id
+                    # recycled from a block that died while borrowed.
                     continue
                 if any(b is block for b in self._free.get(block.dtype.str, ())):
                     raise ValueError("buffer released to the arena twice")
@@ -131,7 +158,7 @@ class ScratchArena:
         with self._lock:
             for blocks in self._free.values():
                 for block in blocks:
-                    self._owned.discard(id(block))
+                    self._owned.pop(id(block), None)
                     self._footprint -= block.nbytes
             self._free.clear()
 

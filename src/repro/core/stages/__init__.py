@@ -35,6 +35,7 @@ from .registry import (
     substrate_names,
 )
 from .scheduler import PipelineState, RoundScheduler
+from .spill import SpillExchange, SpillPipeline, SpillSpool, external_merge, supports_spill
 from .spmd import staged_rank_program
 
 __all__ = [
@@ -67,4 +68,9 @@ __all__ = [
     "FusedPipeline",
     "resolve_fused",
     "supports_fusion",
+    "SpillExchange",
+    "SpillPipeline",
+    "SpillSpool",
+    "external_merge",
+    "supports_spill",
 ]

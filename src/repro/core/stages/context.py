@@ -12,6 +12,7 @@ swappable.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -67,6 +68,18 @@ class EngineOptions:
     # Scratch-buffer pool shared across runs/sweep cells in fused mode; None
     # lets the scheduler create a private one per run.
     arena: ScratchArena | None = None
+    # Out-of-core execution (repro.core.stages.spill): a spool directory for
+    # disk-spilled exchange partitions.  When set, the one-shot run writes
+    # each round's destination partitions to disk, counts them one memory-
+    # mapped partition at a time, and produces the spectrum by external
+    # merge of sorted per-partition runs — results bit-identical to the
+    # in-memory path.  None = everything stays in RAM.
+    spill_dir: str | Path | None = None
+    # Hard host-memory target in bytes: auto-rounds split the exchange so
+    # one round's per-rank working set (partition buffer + extraction +
+    # table growth) fits under it.  Honored by every execution path so
+    # n_rounds_used stays identical between spilled and in-memory runs.
+    host_memory_budget: int | None = None
 
     def __post_init__(self) -> None:
         machine = resolve_machine(self.machine)
@@ -83,6 +96,10 @@ class EngineOptions:
             raise ValueError("shard_mode must be 'bytes' or 'reads'")
         if not 0 < self.memory_budget_fraction <= 1:
             raise ValueError("memory_budget_fraction must be in (0, 1]")
+        if self.host_memory_budget is not None and self.host_memory_budget <= 0:
+            raise ValueError("host_memory_budget must be positive (bytes)")
+        if self.spill_dir is not None:
+            object.__setattr__(self, "spill_dir", Path(self.spill_dir))
         object.__setattr__(self, "stages", tuple(self.stages))
 
 

@@ -535,10 +535,10 @@ class FusedPipeline:
 
         wire = sctx.wire_bytes
         supermer_mode = sctx.supermer_mode
-        n_rounds = config.n_rounds
-        if opts.auto_rounds and comp.backend == "gpu":
-            recv_items = fp.counts_matrix.sum(axis=0).astype(np.float64)
-            n_rounds = max(n_rounds, _rounds_for_recv_items(recv_items, wire, mult, opts))
+        recv_items = fp.counts_matrix.sum(axis=0).astype(np.float64)
+        n_rounds = max(
+            config.n_rounds, _rounds_for_recv_items(recv_items, wire, mult, opts, comp.backend)
+        )
 
         table = SegmentedHashTable(
             [max(64, int(nk) // max(p, 1) + 16) for nk in fp.n_kmers],
@@ -673,8 +673,9 @@ class FusedPipeline:
         p = sched.cluster.n_ranks
         sctx = sched._context(None, state.traffic, None, None, verify=False)
 
-        shards = sched._shard(reads)
+        # Prepare before sharding, matching the one-shot and staged paths.
         sched._prepare_plugins(reads)
+        shards = sched._shard(reads)
         fp = self._parse(shards, sctx)
         t_parse = float(fp.times.max()) if p else 0.0
 

@@ -20,8 +20,10 @@ evenly across rounds (Section III-A) and the exchange + count phases repeat.
 
 Checkpoint/resume is a scheduler concern: :class:`PipelineState` carries
 the persistent per-rank tables and accounting across batches and
-serializes to the ``.npz`` checkpoint format (unchanged from the previous
-incremental counter, version 1).
+serializes to the ``.npz`` checkpoint format (version 2: version 1's
+table/timing layout plus insert statistics and the traffic record log,
+so resumed runs reproduce an uninterrupted run's accounting exactly;
+version-1 files still load, with zeroed stats and empty traffic).
 """
 
 from __future__ import annotations
@@ -36,7 +38,7 @@ import numpy as np
 from ...gpu.hashtable import DeviceHashTable, InsertStats
 from ...dna.reads import ReadSet
 from ...mpi.costmodel import CommCostModel
-from ...mpi.stats import TrafficStats
+from ...mpi.stats import CollectiveRecord, TrafficStats
 from ...mpi.topology import ClusterSpec
 from ...telemetry import MetricRegistry, event, session
 from ..config import PipelineConfig
@@ -49,7 +51,20 @@ from .registry import StageComposition
 
 __all__ = ["RoundScheduler", "PipelineState"]
 
-_CHECKPOINT_VERSION = 1
+#: Version 2 adds ``insert_stats`` and the traffic record log to version
+#: 1's tables/timing/volume layout; :meth:`PipelineState.load` accepts both.
+_CHECKPOINT_VERSION = 2
+
+#: Field order of the serialized :class:`InsertStats` vector.
+_INSERT_STAT_FIELDS = (
+    "n_instances",
+    "n_distinct",
+    "total_probes",
+    "max_probe",
+    "cas_conflicts",
+    "rounds",
+    "resizes",
+)
 
 
 @dataclass
@@ -57,8 +72,13 @@ class PipelineState:
     """Persistent cross-batch state: table partitions + accounting.
 
     This is what checkpoint/resume serializes; a scheduler folds each batch
-    into it.  The ``.npz`` layout is checkpoint format version 1, identical
-    to the pre-stage-graph incremental counter's, so old checkpoints load.
+    into it.  The ``.npz`` layout is checkpoint format version 2: version
+    1's table/timing/volume layout (unchanged from the pre-stage-graph
+    incremental counter) plus the cumulative :class:`InsertStats` and the
+    :class:`TrafficStats` record log, so every accounting observable of a
+    resumed run matches an uninterrupted run's.  Version-1 files (which
+    never carried either) still load, with zeroed insert stats and empty
+    traffic.
     """
 
     tables: list[DeviceHashTable]
@@ -95,7 +115,16 @@ class PipelineState:
             "exchanged_items": np.array([self.exchanged_items]),
             "received": self.received_kmers,
             "timing": np.array([self.timing.parse, self.timing.exchange, self.timing.count]),
+            "insert_stats": np.array(
+                [getattr(self.insert_stats, f) for f in _INSERT_STAT_FIELDS], dtype=np.int64
+            ),
+            "traffic_n": np.array([len(self.traffic.records)]),
         }
+        for i, rec in enumerate(self.traffic.records):
+            payload[f"traffic_meta_{i}"] = np.array([rec.op, rec.label])
+            payload[f"traffic_bytes_{i}"] = rec.bytes_matrix
+            if rec.items_matrix is not None:
+                payload[f"traffic_items_{i}"] = rec.items_matrix
         for r, table in enumerate(self.tables):
             keys, counts = table.items()
             payload[f"keys_{r}"] = keys
@@ -111,7 +140,8 @@ class PipelineState:
         """
         n_ranks = len(self.tables)
         with np.load(path) as data:
-            if int(data["version"][0]) != _CHECKPOINT_VERSION:
+            version = int(data["version"][0])
+            if version not in (1, _CHECKPOINT_VERSION):
                 raise ValueError(f"{path}: unsupported checkpoint version")
             if int(data["k"][0]) != k:
                 raise ValueError(f"{path}: checkpoint k={int(data['k'][0])} != config k={k}")
@@ -133,6 +163,31 @@ class PipelineState:
             self.exchanged_items = int(data["exchanged_items"][0])
             t = data["timing"]
             self.timing = PhaseTiming(parse=float(t[0]), exchange=float(t[1]), count=float(t[2]))
+            # Accounting is always reset — any stats accumulated in this
+            # object before the load belong to a different run, and a
+            # version-1 file simply has nothing to restore.
+            self.insert_stats = InsertStats.zero()
+            self.traffic = TrafficStats()
+            if version >= 2:
+                self.insert_stats = InsertStats(
+                    **{
+                        field: int(value)
+                        for field, value in zip(_INSERT_STAT_FIELDS, data["insert_stats"])
+                    }
+                )
+                for i in range(int(data["traffic_n"][0])):
+                    op, label = (str(s) for s in data[f"traffic_meta_{i}"])
+                    items_key = f"traffic_items_{i}"
+                    self.traffic.records.append(
+                        CollectiveRecord(
+                            op=op,
+                            label=label,
+                            bytes_matrix=data[f"traffic_bytes_{i}"].astype(np.int64),
+                            items_matrix=(
+                                data[items_key].astype(np.int64) if items_key in data else None
+                            ),
+                        )
+                    )
 
 
 class RoundScheduler:
@@ -153,6 +208,8 @@ class RoundScheduler:
         self._prepared = False
         self._fused_impl = None
         self._fused_checked = False
+        self._spill_impl = None
+        self._spill_checked = False
 
     # -- shared helpers ------------------------------------------------------
 
@@ -194,6 +251,42 @@ class RoundScheduler:
                         reason="composition has custom stages; using staged path",
                     )
         return self._fused_impl
+
+    def _spill(self):
+        """The out-of-core pipeline for this scheduler, or ``None``.
+
+        Resolved once: ``opts.spill_dir`` must be set AND the composition's
+        exchange/merge must be the standard classes whose semantics the
+        spill path mirrors (:func:`repro.core.stages.spill.supports_spill`).
+        A spill request over a custom composition falls back to the
+        in-memory scheduler with an event, never an error; a simultaneous
+        fused request spills via the staged loop (the fused path keeps
+        whole-cluster buffers resident, which is what spilling avoids),
+        also announced with an event.  Results are identical either way.
+        """
+        if not self._spill_checked:
+            self._spill_checked = True
+            if self.opts.spill_dir is not None:
+                from .fused import resolve_fused
+                from .spill import SpillPipeline, supports_spill
+
+                if not supports_spill(self.comp):
+                    event(
+                        "engine.spill.fallback",
+                        subsystem="engine",
+                        backend=self.comp.backend,
+                        reason="composition has custom exchange/merge stages; counting in memory",
+                    )
+                else:
+                    self._spill_impl = SpillPipeline(self)
+                    if resolve_fused(self.opts.fused):
+                        event(
+                            "engine.spill.fallback",
+                            subsystem="engine",
+                            backend=self.comp.backend,
+                            reason="fused path keeps whole-cluster buffers resident; spilling via the staged loop",
+                        )
+        return self._spill_impl
 
     def _context(
         self,
@@ -263,6 +356,9 @@ class RoundScheduler:
     def _run_once(
         self, reads: ReadSet, recorder: WallClockRecorder | None, reg: MetricRegistry | None
     ) -> CountResult:
+        spill = self._spill()
+        if spill is not None:
+            return spill.run_once(reads, recorder, reg)
         fused = self._fused()
         if fused is not None:
             return fused.run_once(reads, recorder, reg)
@@ -296,9 +392,7 @@ class RoundScheduler:
         # ---- phases 2+3: exchange and count, possibly in multiple rounds ----
         wire = sctx.wire_bytes
         supermer_mode = sctx.supermer_mode
-        n_rounds = config.n_rounds
-        if opts.auto_rounds and comp.backend == "gpu":
-            n_rounds = max(n_rounds, _rounds_for_memory(parsed, p, wire, mult, opts))
+        n_rounds = max(config.n_rounds, _rounds_for_memory(parsed, p, wire, mult, opts, comp.backend))
         tables = [
             DeviceHashTable(
                 capacity_hint=max(64, pr.n_kmers_parsed // max(p, 1) + 16), seed=config.table_seed
@@ -434,6 +528,9 @@ class RoundScheduler:
         the exchange skips the checksum verification pass, matching the
         original incremental counter exactly.
         """
+        spill = self._spill()
+        if spill is not None:
+            return spill.run_batch(reads, state)
         fused = self._fused()
         if fused is not None:
             return fused.run_batch(reads, state)
@@ -443,8 +540,11 @@ class RoundScheduler:
         pool = get_pool(self.opts.parallel)
         sctx = self._context(pool, state.traffic, None, None, verify=False)
 
-        shards = self._shard(reads)
+        # Plugins prepare before sharding, exactly as `run` does: a plugin
+        # whose `prepare` influences partitioning must see the same state on
+        # the streamed path as on the one-shot path.
         self._prepare_plugins(reads)
+        shards = self._shard(reads)
         # Same parallel rank-execution contract as the one-shot run: pool.map
         # keeps rank order, each closure touches rank-private state only,
         # so batches fold in bit-identically to the sequential loop.
@@ -560,8 +660,10 @@ def _round_slice(pr: RankParse, rnd: int, n_rounds: int) -> tuple[np.ndarray, np
     return data, lengths, counts
 
 
-def _rounds_for_memory(parsed: list[RankParse], p: int, wire: int, mult: float, opts: EngineOptions) -> int:
-    """Rounds needed so every rank's round working set fits device memory.
+def _rounds_for_memory(
+    parsed: list[RankParse], p: int, wire: int, mult: float, opts: EngineOptions, backend: str
+) -> int:
+    """Rounds needed so every rank's round working set fits its memory budgets.
 
     Models Section III-A: "Depending on the total size of the input,
     relative to software limits (approximating available memory), the
@@ -573,18 +675,36 @@ def _rounds_for_memory(parsed: list[RankParse], p: int, wire: int, mult: float, 
     recv_items = np.zeros(p, dtype=np.float64)
     for pr in parsed:
         recv_items += pr.counts
-    return _rounds_for_recv_items(recv_items, wire, mult, opts)
+    return _rounds_for_recv_items(recv_items, wire, mult, opts, backend)
 
 
-def _rounds_for_recv_items(recv_items: np.ndarray, wire: int, mult: float, opts: EngineOptions) -> int:
+def _rounds_for_recv_items(
+    recv_items: np.ndarray, wire: int, mult: float, opts: EngineOptions, backend: str
+) -> int:
     """Core of :func:`_rounds_for_memory` on per-rank received-item totals.
 
-    Shared with the fused engine, which derives ``recv_items`` from the
-    counts-matrix column sums (the same values, exactly, since the int64
-    column sums convert to float64 losslessly below 2**53).
+    Shared by every execution path — the fused engine derives
+    ``recv_items`` from the counts-matrix column sums (the same values,
+    exactly, since the int64 column sums convert to float64 losslessly
+    below 2**53), and the spill path calls it with the staged inputs — so
+    ``n_rounds_used`` is bit-identical across paths.  Two independent
+    budgets apply: the modeled device-HBM budget (``auto_rounds``, GPU
+    substrate only, as before) and the *host* budget
+    (``opts.host_memory_budget``, any substrate), which bounds one round's
+    per-rank host working set: the received partition, its extraction
+    copy, and the table growth it can cause.
     """
     worst = float(recv_items.max(initial=0.0)) * mult
-    # Wire buffer + staged copy + table entries (16 B/slot at ~0.7 load).
-    bytes_per_item = wire * 2 + 16 / 0.7
-    budget = opts.device.hbm_bytes * opts.memory_budget_fraction
-    return max(1, int(np.ceil(worst * bytes_per_item / budget)))
+    rounds = 1
+    if opts.auto_rounds and backend == "gpu":
+        # Wire buffer + staged copy + table entries (16 B/slot at ~0.7 load).
+        bytes_per_item = wire * 2 + 16 / 0.7
+        budget = opts.device.hbm_bytes * opts.memory_budget_fraction
+        rounds = max(rounds, int(np.ceil(worst * bytes_per_item / budget)))
+    if opts.host_memory_budget is not None:
+        # Host-side working set per item: the partition buffer and its
+        # extraction copy, the unpacked 8-byte key stream, and the table
+        # slots (16 B each at ~0.7 target load) the round may add.
+        host_bytes_per_item = wire * 2 + 8.0 + 16 / 0.7
+        rounds = max(rounds, int(np.ceil(worst * host_bytes_per_item / opts.host_memory_budget)))
+    return rounds

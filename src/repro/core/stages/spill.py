@@ -1,0 +1,626 @@
+"""Out-of-core execution tier: spill-to-disk exchange + external merge.
+
+Every other execution path holds the whole run in RAM — the parsed send
+buffers, every rank's received buffer, and all P hash-table partitions
+live simultaneously, which caps the dataset registry at tiny scales.
+Gerbil-style two-phase counting (PAPERS.md) splits that: phase one hashes
+reads into minimizer-keyed temporary partition files, phase two counts
+one partition at a time.  We already partition by minimizer shard, so
+this module adds the two missing pieces:
+
+* :class:`SpillExchange` — a sibling of
+  :class:`~repro.core.stages.standard.AlltoallvExchange` that writes each
+  round's destination-ordered send segments to one partition file per
+  (destination rank, round) in a spool directory, instead of materializing
+  in-memory receive buffers.  Byte/item traffic accounting and the modeled
+  exchange time are computed through the identical code paths, so every
+  model observable matches the in-memory exchange bit for bit; the
+  returned receive "buffers" are read-only memory maps of the partition
+  files.
+
+* :class:`SpillPipeline` — the out-of-core run loop bound to a
+  :class:`~repro.core.stages.scheduler.RoundScheduler`.  The one-shot run
+  spools all rounds first, then streams the count phase one rank at a
+  time: rank r's partitions are memory-mapped round by round into the
+  standard count stage, the finished table partition is dumped as a
+  sorted ``(key, count)`` run file, and the table is freed before rank
+  r+1 starts.  The final spectrum is produced by an external k-way merge
+  of the sorted runs (a heap orders the run cursors, cf. the ``heapq``
+  idiom in :mod:`repro.ext.balanced`), so peak residency is one rank's
+  partition + table, not P of them.
+
+Bit-identity contract: spectrum, timing floats, per-rank model times,
+traffic records, counts matrices, and InsertStats all equal the in-memory
+staged path's (``tests/test_spill.py`` enforces it, and
+``benchmarks/bench_guard.py`` gates it in CI).  Only ``wall=True``
+telemetry families (``spill_*``) differ.  Compositions with custom
+exchange/merge stages fall back to the in-memory scheduler with an
+``engine.spill.fallback`` event, as does a simultaneous ``fused=True``
+request (the fused path keeps whole-cluster buffers resident, which is
+exactly what spilling exists to avoid).
+"""
+
+from __future__ import annotations
+
+import heapq
+import shutil
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from ...gpu.hashtable import DeviceHashTable, InsertStats
+from ...kmers.spectrum import KmerSpectrum
+from ...mpi.stats import TrafficStats
+from ...telemetry import active
+from ..results import CountResult, PhaseTiming
+from .buffers import ExchangeOutcome, RankParse
+from .registry import StageComposition
+from .standard import AlltoallvExchange, SpectrumMerge, exchange_time_model, verify_exchange
+
+__all__ = [
+    "SpillExchange",
+    "SpillPipeline",
+    "SpillSpool",
+    "external_merge",
+    "supports_spill",
+]
+
+#: Keys loaded from each sorted run per refill during the external merge.
+MERGE_BLOCK_KEYS = 1 << 16
+
+
+def supports_spill(comp: StageComposition) -> bool:
+    """Whether the composition can run out of core.
+
+    The spill path substitutes the exchange (partition files for receive
+    buffers) and the merge (external k-way merge for the in-memory
+    ``np.unique``), so both must be the standard classes whose semantics
+    it reproduces.  Parse, partition, count, and substrate are driven
+    through their ordinary seams and may be anything; plugins act through
+    the standard hooks, which the spill path honours.
+    """
+    return type(comp.exchange) is AlltoallvExchange and type(comp.merge) is SpectrumMerge
+
+
+def _record_comm_telemetry(p: int) -> None:
+    """The collective-layer model counters one alltoallv emits."""
+    reg = active()
+    if reg is not None:
+        reg.counter("comm_alltoallv_calls_total", "alltoallv_segments invocations").inc()
+        reg.counter("comm_messages_total", "Rank-to-rank messages carried by collectives").inc(
+            max(p * (p - 1), 0)
+        )
+
+
+def _spill_counter(name: str, desc: str, amount: int) -> None:
+    reg = active()
+    if reg is not None:
+        reg.counter(name, desc, wall=True).inc(amount)
+
+
+class SpillSpool:
+    """One run's spool directory: partition files keyed by (label, rank).
+
+    Partition payloads are raw little-endian dtype bytes (``tofile``
+    format), one file per destination rank per exchange label, with an
+    optional parallel ``.lens`` file for supermer length bytes.  Empty
+    partitions create no file.
+    """
+
+    def __init__(self, base_dir: Path) -> None:
+        base_dir.mkdir(parents=True, exist_ok=True)
+        self.dir = Path(tempfile.mkdtemp(prefix="spool-", dir=base_dir))
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def partition_path(self, label: str, rank: int, *, lens: bool = False) -> Path:
+        suffix = "lens" if lens else "data"
+        return self.dir / f"{label}.dst{rank}.{suffix}"
+
+    def write_partition(
+        self,
+        label: str,
+        rank: int,
+        segments: list[np.ndarray],
+        *,
+        lens: bool = False,
+    ) -> int:
+        """Append ``segments`` (in source-rank order) to one partition file."""
+        total = sum(int(seg.shape[0]) for seg in segments)
+        if total == 0:
+            return 0
+        path = self.partition_path(label, rank, lens=lens)
+        nbytes = 0
+        with open(path, "wb") as fh:
+            for seg in segments:
+                if seg.shape[0]:
+                    np.ascontiguousarray(seg).tofile(fh)
+                    nbytes += int(seg.nbytes)
+        self.bytes_written += nbytes
+        _spill_counter("spill_bytes_written_total", "Bytes written to spool partition files", nbytes)
+        return nbytes
+
+    def map_partition(
+        self, label: str, rank: int, dtype, *, lens: bool = False, account: bool = True
+    ) -> np.ndarray:
+        """Memory-map one partition back (empty array if nothing was spooled).
+
+        ``account=False`` skips the read-byte accounting — used when the
+        map is handed out only for checksum verification and the real
+        streamed read happens (and is accounted) later.
+        """
+        path = self.partition_path(label, rank, lens=lens)
+        if not path.exists():
+            return np.empty(0, dtype=dtype)
+        data = np.memmap(path, dtype=dtype, mode="r")
+        if account:
+            self.bytes_read += int(data.nbytes)
+            _spill_counter(
+                "spill_bytes_read_total", "Bytes read back from spool files", int(data.nbytes)
+            )
+        return data
+
+    def drop_partitions(self, label: str, rank: int) -> None:
+        """Delete one rank's partition files for a label (after counting)."""
+        for lens in (False, True):
+            path = self.partition_path(label, rank, lens=lens)
+            if path.exists():
+                path.unlink()
+
+    def write_run(self, rank: int, keys: np.ndarray, counts: np.ndarray) -> tuple[Path, Path]:
+        """Persist one rank's sorted (key, count) run for the external merge."""
+        kpath = self.dir / f"run.r{rank}.keys.npy"
+        cpath = self.dir / f"run.r{rank}.counts.npy"
+        np.save(kpath, keys)
+        np.save(cpath, counts)
+        nbytes = int(keys.nbytes + counts.nbytes)
+        self.bytes_written += nbytes
+        _spill_counter("spill_bytes_written_total", "Bytes written to spool partition files", nbytes)
+        _spill_counter("spill_merge_runs_total", "Sorted runs produced for the external merge", 1)
+        return kpath, cpath
+
+    def map_run(self, rank: int) -> tuple[np.ndarray, np.ndarray]:
+        keys = np.load(self.dir / f"run.r{rank}.keys.npy", mmap_mode="r")
+        counts = np.load(self.dir / f"run.r{rank}.counts.npy", mmap_mode="r")
+        nbytes = int(keys.nbytes + counts.nbytes)
+        self.bytes_read += nbytes
+        _spill_counter("spill_bytes_read_total", "Bytes read back from spool files", nbytes)
+        return keys, counts
+
+    def close(self) -> None:
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+
+class SpillExchange:
+    """Counts alltoall + payload "alltoallv" onto disk partitions.
+
+    Accounting twin of :class:`AlltoallvExchange`: the byte/item traffic
+    record, the collective-layer telemetry counters, the end-to-end
+    checksum verification, and the modeled phase time are all computed
+    exactly as the in-memory exchange computes them.  Only the data
+    placement differs — each destination's segments are appended to a
+    per-(rank, label) partition file, and ``recv_data`` comes back as
+    read-only memory maps.
+    """
+
+    def __init__(self, spool: SpillSpool, *, account_reads: bool = True) -> None:
+        self.spool = spool
+        # False when the one-shot run's streamed count phase re-maps the
+        # partitions itself (with accounting); the maps returned here then
+        # exist only for the checksum pass.
+        self.account_reads = account_reads
+
+    def exchange(self, send_data, send_lengths, send_counts, label, ctx) -> ExchangeOutcome:
+        p = len(send_data)
+        wire = ctx.wire_bytes
+        counts_matrix = np.zeros((p, p), dtype=np.int64)
+        offsets = []
+        for src in range(p):
+            counts = np.ascontiguousarray(send_counts[src], dtype=np.int64)
+            if counts.shape != (p,):
+                raise ValueError(f"rank {src} send_counts must have shape ({p},)")
+            if int(counts.sum()) != send_data[src].shape[0]:
+                raise ValueError(
+                    f"rank {src}: counts sum {int(counts.sum())} != data length {send_data[src].shape[0]}"
+                )
+            counts_matrix[src] = counts
+            off = np.zeros(p + 1, dtype=np.int64)
+            np.cumsum(counts, out=off[1:])
+            offsets.append(off)
+
+        # Model accounting first, identical to alltoallv_segments: one
+        # logical alltoallv for the payload (recorded into the traffic
+        # stats), and in supermer mode a second one for the length bytes
+        # (counters only; its bytes ride in the payload's `wire` size).
+        _record_comm_telemetry(p)
+        if ctx.stats is not None:
+            bytes_matrix = (counts_matrix * float(wire)).astype(np.int64)
+            ctx.stats.record("alltoallv", bytes_matrix, label=label, items_matrix=counts_matrix)
+        if send_lengths is not None:
+            _record_comm_telemetry(p)
+
+        # The disk form of recv_data[dst]: every source's segment for dst,
+        # in source-rank order — byte-identical to the in-memory gather.
+        for dst in range(p):
+            segs = [send_data[src][offsets[src][dst] : offsets[src][dst + 1]] for src in range(p)]
+            self.spool.write_partition(label, dst, segs)
+            if send_lengths is not None:
+                lens = [
+                    send_lengths[src][offsets[src][dst] : offsets[src][dst + 1]] for src in range(p)
+                ]
+                self.spool.write_partition(label, dst, lens, lens=True)
+        _spill_counter("spill_partitions_total", "Exchange partitions spooled to disk", p)
+
+        recv_data = [
+            self.spool.map_partition(label, dst, send_data[0].dtype, account=self.account_reads)
+            for dst in range(p)
+        ]
+        recv_lengths = None
+        if send_lengths is not None:
+            recv_lengths = [
+                self.spool.map_partition(label, dst, np.uint8, lens=True, account=self.account_reads)
+                for dst in range(p)
+            ]
+
+        do_verify = ctx.verify if ctx.verify is not None else ctx.opts.verify_exchange
+        if do_verify:
+            verify_exchange(send_data, recv_data, counts_matrix, label)
+
+        seconds, t_a2av, t_stage = exchange_time_model(counts_matrix, ctx)
+        return ExchangeOutcome(
+            recv_data=recv_data,
+            recv_lengths=recv_lengths,
+            counts_matrix=counts_matrix,
+            seconds=seconds,
+            alltoallv_seconds=t_a2av,
+            staging_seconds=t_stage,
+        )
+
+
+def external_merge(
+    runs: list[tuple[np.ndarray, np.ndarray]],
+    k: int,
+    *,
+    block: int = MERGE_BLOCK_KEYS,
+) -> KmerSpectrum:
+    """External k-way merge of sorted ``(keys, counts)`` runs.
+
+    Each run's keys are strictly increasing (a dumped table partition);
+    runs may share keys (canonical supermer mode splits a canonical k-mer
+    across two owners), so equal keys aggregate.  A heap of the run
+    cursors' last-loaded keys yields the *safe emission bound*: every
+    instance of a key ``<= bound`` is already loaded, because each run's
+    unloaded keys exceed its last-loaded key.  Chunks are aggregated with
+    the same ``np.unique`` + weighted ``bincount`` the in-memory
+    :class:`SpectrumMerge` uses, so the concatenated chunk outputs equal
+    the whole-array merge exactly.
+    """
+    # per run: [keys, counts, lo, head_keys, head_counts, hp, generation]
+    cursors = []
+    heap: list[tuple[int, int, int]] = []  # (last loaded key, generation, run index)
+
+    def refill(i: int) -> None:
+        cur = cursors[i]
+        keys, counts, lo = cur[0], cur[1], cur[2]
+        hi = min(lo + block, keys.shape[0])
+        cur[3] = np.asarray(keys[lo:hi])
+        cur[4] = np.asarray(counts[lo:hi])
+        cur[2], cur[5] = hi, 0
+        cur[6] += 1
+        if hi < keys.shape[0]:  # more on disk: this head's last key bounds emission
+            heapq.heappush(heap, (int(cur[3][-1]), cur[6], i))
+
+    for keys, counts in runs:
+        if keys.shape[0]:
+            cursors.append([keys, counts, 0, None, None, 0, 0])
+            refill(len(cursors) - 1)
+
+    live = {i for i in range(len(cursors))}
+    out_keys: list[np.ndarray] = []
+    out_counts: list[np.ndarray] = []
+    while live:
+        # Drop stale heap entries: the cursor was dropped, fully loaded, or
+        # refilled since the entry was pushed (its bound is already consumed).
+        while heap and (
+            heap[0][2] not in live
+            or heap[0][1] != cursors[heap[0][2]][6]
+            or cursors[heap[0][2]][2] >= cursors[heap[0][2]][0].shape[0]
+        ):
+            heapq.heappop(heap)
+        bound = heap[0][0] if heap else None
+
+        parts_k: list[np.ndarray] = []
+        parts_c: list[np.ndarray] = []
+        for i in sorted(live):
+            cur = cursors[i]
+            hk, hc, hp = cur[3], cur[4], cur[5]
+            end = hk.shape[0] if bound is None else int(np.searchsorted(hk, bound, side="right"))
+            if end > hp:
+                parts_k.append(hk[hp:end])
+                parts_c.append(hc[hp:end])
+                cur[5] = end
+        chunk_k = np.concatenate(parts_k) if parts_k else np.empty(0, dtype=np.uint64)
+        chunk_c = np.concatenate(parts_c) if parts_c else np.empty(0, dtype=np.int64)
+        if chunk_k.size:
+            uniq, inverse = np.unique(chunk_k, return_inverse=True)
+            merged = np.bincount(inverse, weights=chunk_c).astype(np.int64)
+            out_keys.append(uniq)
+            out_counts.append(merged)
+
+        for i in list(live):
+            cur = cursors[i]
+            if cur[5] >= cur[3].shape[0]:  # head fully consumed
+                if cur[2] < cur[0].shape[0]:
+                    refill(i)
+                else:
+                    live.discard(i)
+
+    if not out_keys:
+        return KmerSpectrum(k=k, values=np.empty(0, dtype=np.uint64), counts=np.empty(0, dtype=np.int64))
+    return KmerSpectrum(k=k, values=np.concatenate(out_keys), counts=np.concatenate(out_counts))
+
+
+class SpillPipeline:
+    """Out-of-core execution engine bound to one :class:`RoundScheduler`."""
+
+    def __init__(self, scheduler) -> None:
+        self.sched = scheduler
+
+    def _spool(self) -> SpillSpool:
+        return SpillSpool(Path(self.sched.opts.spill_dir))
+
+    # -- one-shot run ------------------------------------------------
+
+    def run_once(self, reads, recorder, reg) -> CountResult:
+        from .scheduler import _round_slice, _rounds_for_memory
+        from ..parallel import get_pool
+
+        sched = self.sched
+        comp = sched.comp
+        config = sched.config
+        opts = sched.opts
+        p = sched.cluster.n_ranks
+        mult = opts.work_multiplier
+        pool = get_pool(opts.parallel)
+        spool = self._spool()
+        try:
+            stats = TrafficStats()
+            sctx = sched._context(pool, stats, recorder, reg)
+            exchange = SpillExchange(spool, account_reads=False)
+
+            # ---- phase 1: parse, exactly as the in-memory staged path ----
+            shards = sched._shard(reads)
+
+            def _parse_one(r: int) -> RankParse:
+                t0 = perf_counter()
+                out = comp.substrate.parse_rank(shards[r], comp.parse, comp.partition, sctx)
+                if recorder is not None:
+                    recorder.record("parse", r, t0, perf_counter())
+                return out
+
+            parsed: list[RankParse] = pool.map(_parse_one, range(p))
+            t_parse = max(pr.time_s for pr in parsed)
+            total_parsed_kmers = sum(pr.n_kmers_parsed for pr in parsed)
+
+            wire = sctx.wire_bytes
+            supermer_mode = sctx.supermer_mode
+            n_rounds = max(
+                config.n_rounds, _rounds_for_memory(parsed, p, wire, mult, opts, comp.backend)
+            )
+
+            # ---- phase 2: spool every round's partitions to disk ----
+            counts_matrix_total = np.zeros((p, p), dtype=np.int64)
+            t_exchange = 0.0
+            t_alltoallv = 0.0
+            staging_total = 0.0
+            labels: list[str] = []
+            for rnd in range(n_rounds):
+                round_send = [_round_slice(pr, rnd, n_rounds) for pr in parsed]
+                send_data = [rs[0] for rs in round_send]
+                send_lengths = [rs[1] for rs in round_send] if supermer_mode else None
+                send_counts = [rs[2] for rs in round_send]
+                label = f"{config.mode}-exchange" + (f"-round{rnd}" if n_rounds > 1 else "")
+                labels.append(label)
+                outcome = exchange.exchange(send_data, send_lengths, send_counts, label, sctx)
+                # outcome's receive views exist only for the checksum pass;
+                # the streamed count phase re-maps each rank's partition.
+                counts_matrix_total += outcome.counts_matrix
+                t_exchange += outcome.seconds
+                t_alltoallv += outcome.alltoallv_seconds
+                staging_total += outcome.staging_seconds
+                _round_metrics(reg, comp.backend, rnd, outcome)
+
+            # The big destination-ordered send buffers are now on disk;
+            # free them before the count phase so peak residency is one
+            # rank's partition + table, not the whole parse output.
+            capacity_hints = [max(64, pr.n_kmers_parsed // max(p, 1) + 16) for pr in parsed]
+            per_rank_parse = np.array([pr.time_s for pr in parsed])
+            supermer_bases = sum(pr.supermer_bases for pr in parsed)
+            n_supermers = sum(pr.n_supermers for pr in parsed)
+            del parsed, round_send, send_data, send_lengths
+
+            # ---- phase 3: streamed count, one rank partition at a time ----
+            received_kmers = np.zeros(p, dtype=np.int64)
+            per_rank_count = np.zeros(p, dtype=np.float64)
+            insert_total = InsertStats.zero()
+            table_entries = np.zeros(p, dtype=np.int64)
+            table_load = np.zeros(p, dtype=np.float64)
+            for r in range(p):
+                table = DeviceHashTable(capacity_hint=capacity_hints[r], seed=config.table_seed)
+                for rnd, label in enumerate(labels):
+                    recv = spool.map_partition(label, r, np.uint64)
+                    lengths_r = (
+                        spool.map_partition(label, r, np.uint8, lens=True) if supermer_mode else None
+                    )
+                    count_label = "count" + (f"-round{rnd}" if n_rounds > 1 else "")
+                    t0 = perf_counter()
+                    co = comp.substrate.count_rank(r, recv, lengths_r, table, comp.count, sctx)
+                    if recorder is not None:
+                        recorder.record(count_label, r, t0, perf_counter())
+                    per_rank_count[r] += co.time_s
+                    received_kmers[r] += co.n_instances
+                    insert_total = insert_total.combined(co.insert_stats)
+                    del recv, lengths_r
+                for label in labels:
+                    spool.drop_partitions(label, r)
+                table_entries[r] = table.n_entries
+                table_load[r] = table.load_factor
+                values, counts = table.items()
+                for plugin in comp.merge.plugins:
+                    values, counts = plugin.adjust_merge_items(values, counts)
+                if values.size > 1 and not np.all(values[1:] > values[:-1]):
+                    order = np.argsort(values, kind="stable")
+                    values, counts = values[order], counts[order]
+                spool.write_run(r, values, counts)
+                del table, values, counts
+
+            t_count = float(per_rank_count.max()) if p else 0.0
+
+            # ---- phase 4: external merge of the sorted runs ----
+            spectrum = external_merge([spool.map_run(r) for r in range(p)], config.k)
+            if comp.conserves_kmers and spectrum.n_total != total_parsed_kmers:
+                raise AssertionError(
+                    f"pipeline lost k-mers: parsed {total_parsed_kmers}, counted {spectrum.n_total}"
+                )
+
+            exchanged_items = int(counts_matrix_total.sum())
+            if reg is not None:
+                backend = comp.backend
+                for r in range(p):
+                    reg.gauge("hashtable_entries", "Distinct keys per rank partition", rank=r).set(
+                        int(table_entries[r])
+                    )
+                    reg.gauge("hashtable_load_factor", "Final load factor per rank", rank=r).set(
+                        float(table_load[r])
+                    )
+                reg.counter("kmers_parsed_total", "k-mer instances parsed", engine=backend).inc(
+                    total_parsed_kmers
+                )
+                if n_supermers:
+                    reg.counter("supermers_total", "Supermers built", engine=backend).inc(n_supermers)
+                    reg.counter(
+                        "supermer_bases_total", "Bases covered by supermers", engine=backend
+                    ).inc(supermer_bases)
+            return CountResult(
+                config=config,
+                cluster=sched.cluster,
+                backend=comp.backend,
+                spectrum=spectrum,
+                timing=PhaseTiming(parse=t_parse, exchange=t_exchange, count=t_count),
+                per_rank_parse=per_rank_parse,
+                per_rank_count=per_rank_count,
+                received_kmers=received_kmers,
+                exchanged_items=exchanged_items,
+                exchanged_bytes=int(exchanged_items * wire),
+                counts_matrix=counts_matrix_total,
+                work_multiplier=mult,
+                traffic=sctx.stats,
+                insert_stats=insert_total,
+                mean_supermer_length=(supermer_bases / n_supermers) if n_supermers else 0.0,
+                staging_seconds=staging_total,
+                alltoallv_seconds=t_alltoallv,
+                n_rounds_used=n_rounds,
+            )
+        finally:
+            spool.close()
+
+    # -- streamed batches --------------------------------------------
+
+    def run_batch(self, reads, state) -> PhaseTiming:
+        """One spilled batch folded into persistent ``state``.
+
+        The exchange partitions go through the spool and the count phase
+        walks them rank by rank as memory maps, so the batch's receive
+        buffers never reside in RAM; the persistent tables (the cross-batch
+        state itself) stay in memory.  Observables are bit-identical to the
+        in-memory ``RoundScheduler.run_batch``.
+        """
+        sched = self.sched
+        comp = sched.comp
+        config = sched.config
+        p = sched.cluster.n_ranks
+        from ..parallel import get_pool
+
+        pool = get_pool(sched.opts.parallel)
+        sctx = sched._context(pool, state.traffic, None, None, verify=False)
+        spool = self._spool()
+        try:
+            exchange = SpillExchange(spool, account_reads=False)
+            sched._prepare_plugins(reads)
+            shards = sched._shard(reads)
+            parsed = pool.map(
+                lambda shard: comp.substrate.parse_rank(shard, comp.parse, comp.partition, sctx),
+                shards,
+            )
+            t_parse = max(pr.time_s for pr in parsed)
+
+            supermer_mode = sctx.supermer_mode
+            label = f"{config.mode}-batch{state.n_batches}"
+            outcome = exchange.exchange(
+                [pr.data for pr in parsed],
+                [pr.lengths for pr in parsed] if supermer_mode else None,
+                [pr.counts for pr in parsed],
+                label,
+                sctx,
+            )
+            counts_matrix = outcome.counts_matrix
+            exch_seconds = outcome.seconds
+            # The batch's send buffers are on disk now: free them (and the
+            # outcome's verification maps) before the streamed count.
+            del parsed, outcome
+
+            per_rank_count = np.zeros(p, dtype=np.float64)
+            for r in range(p):
+                recv = spool.map_partition(label, r, np.uint64)
+                lengths_r = (
+                    spool.map_partition(label, r, np.uint8, lens=True) if supermer_mode else None
+                )
+                co = comp.substrate.count_rank(r, recv, lengths_r, state.tables[r], comp.count, sctx)
+                per_rank_count[r] = co.time_s
+                state.received_kmers[r] += co.n_instances
+                state.insert_stats = state.insert_stats.combined(co.insert_stats)
+                del recv, lengths_r
+                spool.drop_partitions(label, r)
+
+            batch_timing = PhaseTiming(
+                parse=t_parse, exchange=exch_seconds, count=float(per_rank_count.max()) if p else 0.0
+            )
+            state.timing = state.timing.add(batch_timing)
+            state.exchanged_items += int(counts_matrix.sum())
+            state.n_batches += 1
+            return batch_timing
+        finally:
+            spool.close()
+
+
+def _round_metrics(reg, backend: str, rnd: int, outcome: ExchangeOutcome) -> None:
+    """The scheduler's per-round exchange metrics, verbatim."""
+    if reg is None:
+        return
+    reg.counter("exchange_rounds_total", "Exchange/count rounds executed", engine=backend).inc()
+    reg.counter(
+        "exchange_model_seconds_total",
+        "Modeled exchange seconds (overhead + network + staging)",
+        engine=backend,
+        round=rnd,
+    ).inc(outcome.seconds)
+    reg.counter(
+        "alltoallv_model_seconds_total",
+        "Modeled MPI_Alltoallv routine seconds",
+        engine=backend,
+        round=rnd,
+    ).inc(outcome.alltoallv_seconds)
+    reg.counter(
+        "staging_model_seconds_total",
+        "Modeled host<->device staging seconds",
+        engine=backend,
+        round=rnd,
+    ).inc(outcome.staging_seconds)
+    reg.counter(
+        "exchange_items_round_total",
+        "Items exchanged per round",
+        engine=backend,
+        round=rnd,
+    ).inc(int(outcome.counts_matrix.sum()))

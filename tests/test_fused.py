@@ -83,6 +83,59 @@ class TestScratchArena:
         arena.take(10, np.int64)  # allocates fresh
         assert arena.bytes_reused == 0
 
+    def test_dead_borrow_is_forgotten_not_adopted(self):
+        """Regression: a borrowed block that dies unreleased must leave the
+        owned registry, so an unrelated array reusing its ``id()`` can never
+        be adopted into the free lists."""
+        import gc
+
+        arena = ScratchArena()
+        view = arena.take(2000, np.uint64)
+        block_id = id(view.base)
+        nbytes = view.base.nbytes
+        before = arena.footprint_bytes
+        del view
+        gc.collect()
+        assert block_id not in arena._owned
+        assert arena.footprint_bytes == before - nbytes
+
+    def test_id_reuse_cannot_smuggle_foreign_array_into_pool(self):
+        """Regression: ScratchArena._owned used to store bare ids with no
+        reference; after the borrowed block was collected, a foreign array
+        allocated at the same id could be released into the free lists and
+        handed to a later take() while its real owner still used it."""
+        import gc
+
+        arena = ScratchArena()
+        view = arena.take(2000, np.uint64)
+        del view
+        gc.collect()
+        # Whatever array we allocate now — even at a recycled id — must be
+        # rejected: the weakref registry no longer claims it.
+        foreign = np.zeros(4096, dtype=np.uint64)
+        arena.release(foreign)
+        assert all(foreign is not b for blocks in arena._free.values() for b in blocks)
+        taken = arena.take(2000, np.uint64)
+        assert taken.base is not foreign
+
+    def test_reset_survives_outstanding_borrow_death(self):
+        """A block borrowed across reset() must not double-decrement the
+        footprint when it finally dies."""
+        import gc
+
+        arena = ScratchArena()
+        view = arena.take(2000, np.uint64)
+        held = arena.take(3000, np.int64)
+        arena.release(view)
+        arena.reset()  # drops the pooled uint64 block, held stays borrowed
+        footprint_after_reset = arena.footprint_bytes
+        del held
+        gc.collect()
+        assert arena.footprint_bytes == footprint_after_reset - 4096 * 8
+        del view
+        gc.collect()
+        assert arena.footprint_bytes >= 0
+
     def test_telemetry_counters_are_wall_only(self):
         reg = MetricRegistry()
         with session(reg):

@@ -121,3 +121,156 @@ class TestCheckpointResume:
         other = DistributedCounter(summit_gpu(1), PipelineConfig(k=17))
         other.load(path)
         assert other.total_kmers == 0
+
+
+class TestCheckpointAccounting:
+    """Regression: checkpoint v1 dropped insert_stats and the traffic log,
+    so a resumed run under-reported both.  Version 2 persists them."""
+
+    @pytest.mark.parametrize("fused", [False, None], ids=["staged", "default"])
+    def test_resume_reproduces_full_accounting(self, batches, tmp_path, fused):
+        from repro.core.engine import EngineOptions
+
+        cfg = PipelineConfig(k=17, mode="supermer")
+        cluster = summit_gpu(2)
+        opts = EngineOptions(fused=fused)
+
+        full = DistributedCounter(cluster, cfg, options=opts)
+        for batch in batches:
+            full.add_reads(batch)
+
+        first = DistributedCounter(cluster, cfg, options=opts)
+        first.add_reads(batches[0])
+        ckpt = first.save(tmp_path / "state.npz")
+        resumed = DistributedCounter(cluster, cfg, options=opts)
+        resumed.load(ckpt)
+        for batch in batches[1:]:
+            resumed.add_reads(batch)
+
+        assert resumed.spectrum().equals(full.spectrum())
+        assert resumed.insert_stats == full.insert_stats
+        assert resumed.timing == full.timing
+        assert np.array_equal(resumed.received_kmers, full.received_kmers)
+        assert len(resumed.traffic.records) == len(full.traffic.records)
+        for a, b in zip(resumed.traffic.records, full.traffic.records):
+            assert a.op == b.op and a.label == b.label
+            assert np.array_equal(a.bytes_matrix, b.bytes_matrix)
+            assert (a.items_matrix is None) == (b.items_matrix is None)
+            if a.items_matrix is not None:
+                assert np.array_equal(a.items_matrix, b.items_matrix)
+
+    def test_fused_resume_reproduces_full_accounting(self, batches, tmp_path):
+        from repro.core.engine import EngineOptions
+
+        cfg = PipelineConfig(k=17)
+        cluster = summit_gpu(2)
+        opts = EngineOptions(fused=True)
+        full = DistributedCounter(cluster, cfg, options=opts)
+        for batch in batches:
+            full.add_reads(batch)
+        first = DistributedCounter(cluster, cfg, options=opts)
+        first.add_reads(batches[0])
+        ckpt = first.save(tmp_path / "state.npz")
+        resumed = DistributedCounter(cluster, cfg, options=opts)
+        resumed.load(ckpt)
+        for batch in batches[1:]:
+            resumed.add_reads(batch)
+        assert resumed.spectrum().equals(full.spectrum())
+        assert resumed.insert_stats == full.insert_stats
+        assert len(resumed.traffic.records) == len(full.traffic.records)
+
+    def test_version_1_checkpoint_still_loads(self, batches, tmp_path):
+        counter = DistributedCounter(summit_gpu(2), PipelineConfig(k=17))
+        counter.add_reads(batches[0])
+        path = counter.save(tmp_path / "v2.npz")
+
+        # Rewrite the file as a version-1 checkpoint: the layout that
+        # predates the insert-stats/traffic payload.
+        with np.load(path) as data:
+            payload = {
+                key: data[key]
+                for key in data.files
+                if key != "insert_stats" and not key.startswith("traffic_")
+            }
+        payload["version"] = np.array([1])
+        v1_path = tmp_path / "v1.npz"
+        np.savez_compressed(v1_path, **payload)
+
+        resumed = DistributedCounter(summit_gpu(2), PipelineConfig(k=17))
+        resumed.load(v1_path)
+        assert resumed.spectrum().equals(counter.spectrum())
+        assert resumed.timing == counter.timing
+        # v1 never carried stats: they come back zeroed/empty, not garbage.
+        assert resumed.insert_stats.n_instances == 0
+        assert len(resumed.traffic.records) == 0
+
+    def test_load_resets_stale_accounting(self, batches, tmp_path):
+        """Regression: load() kept the in-object insert_stats/traffic of the
+        current run, splicing one run's accounting onto another's tables."""
+        fresh = DistributedCounter(summit_gpu(2), PipelineConfig(k=17))
+        path = fresh.save(tmp_path / "empty.npz")
+
+        dirty = DistributedCounter(summit_gpu(2), PipelineConfig(k=17))
+        dirty.add_reads(batches[0])
+        assert dirty.insert_stats.n_instances > 0
+        assert len(dirty.traffic.records) > 0
+        dirty.load(path)
+        assert dirty.insert_stats.n_instances == 0
+        assert len(dirty.traffic.records) == 0
+        assert dirty.total_kmers == 0
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        counter = DistributedCounter(summit_gpu(1), PipelineConfig(k=17))
+        path = counter.save(tmp_path / "c.npz")
+        with np.load(path) as data:
+            payload = {key: data[key] for key in data.files}
+        payload["version"] = np.array([99])
+        bad = tmp_path / "bad.npz"
+        np.savez_compressed(bad, **payload)
+        with pytest.raises(ValueError, match="version"):
+            counter.load(bad)
+
+
+class TestBatchPluginOrdering:
+    """Regression: run_batch sharded the reads BEFORE running the plugins'
+    one-time prepare pass, while run() prepares first — a plugin whose
+    ``prepare`` influences partitioning saw different state per surface."""
+
+    @pytest.mark.parametrize("fused", [False, True], ids=["staged", "fused"])
+    def test_prepare_runs_before_shard(self, batches, fused):
+        from repro.core.engine import EngineOptions
+
+        counter = DistributedCounter(
+            summit_gpu(2), PipelineConfig(k=17), options=EngineOptions(fused=fused)
+        )
+        sched = counter._scheduler
+        order: list[str] = []
+        orig_prepare, orig_shard = sched._prepare_plugins, sched._shard
+
+        def record_prepare(reads):
+            order.append("prepare")
+            return orig_prepare(reads)
+
+        def record_shard(reads):
+            order.append("shard")
+            return orig_shard(reads)
+
+        sched._prepare_plugins, sched._shard = record_prepare, record_shard
+        counter.add_reads(batches[0])
+        assert order == ["prepare", "shard"]
+
+    def test_balanced_plugin_sees_first_batch(self, batches):
+        """End to end: the balanced partitioner samples the reads it is
+        given in prepare(); streamed and one-shot counting over the same
+        first batch must route identically."""
+        from repro.core.engine import EngineOptions, run_pipeline
+
+        cfg = PipelineConfig(k=17, mode="supermer")
+        cluster = summit_gpu(2)
+        streamed = DistributedCounter(cluster, cfg, options=EngineOptions(stages=("balanced",)))
+        streamed.add_reads(batches[0])
+        oneshot = run_pipeline(
+            batches[0], cluster, cfg, backend="gpu", options=EngineOptions(stages=("balanced",))
+        )
+        assert np.array_equal(streamed.received_kmers, oneshot.received_kmers)
+        assert streamed.spectrum().equals(oneshot.spectrum)

@@ -1,0 +1,387 @@
+"""Tests for the out-of-core execution tier (spill-to-disk + external merge).
+
+The spill path's contract is bit-identity with the in-memory staged
+scheduler on every deterministic observable — spectrum, timing floats,
+per-rank model times, traffic records, counts matrices, insert
+statistics, round counts, and the model-metric telemetry snapshot.  Only
+``wall=True`` families (the ``spill_*`` counters) may differ.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.engine import EngineOptions, run_pipeline
+from repro.core.incremental import DistributedCounter
+from repro.core.stages.spill import MERGE_BLOCK_KEYS, SpillSpool, external_merge, supports_spill
+from repro.dna.simulate import GenomeSimulator, ReadLengthProfile, ReadSimulator, simulate_dataset
+from repro.kmers.spectrum import count_kmers_exact
+from repro.mpi.topology import summit_cpu, summit_gpu
+from repro.telemetry import MetricRegistry
+
+from .golden_cases import snapshot_digest, summarize_counter, summarize_result
+
+
+def _run_pair(reads, cluster, config, backend, tmp_path, **option_kw):
+    """One in-memory run and one spilled run with identical knobs."""
+    reg_mem, reg_spill = MetricRegistry(), MetricRegistry()
+    mem = run_pipeline(
+        reads, cluster, config, backend=backend, options=EngineOptions(telemetry=reg_mem, **option_kw)
+    )
+    spill_dir = tmp_path / "spool"
+    spilled = run_pipeline(
+        reads,
+        cluster,
+        config,
+        backend=backend,
+        options=EngineOptions(telemetry=reg_spill, spill_dir=spill_dir, **option_kw),
+    )
+    return mem, spilled, reg_mem, reg_spill, spill_dir
+
+
+class TestSpillIdentity:
+    @pytest.mark.parametrize(
+        "mode,canonical,n_rounds",
+        [
+            ("kmer", False, 1),
+            ("kmer", True, 3),
+            ("supermer", False, 2),
+            ("supermer", True, 1),
+        ],
+    )
+    def test_matches_in_memory(self, genome_reads, tmp_path, mode, canonical, n_rounds):
+        config = PipelineConfig(k=17, mode=mode, canonical=canonical, n_rounds=n_rounds)
+        mem, spilled, reg_mem, reg_spill, _ = _run_pair(
+            genome_reads, summit_gpu(2), config, "gpu", tmp_path
+        )
+        expected, actual = summarize_result(mem), summarize_result(spilled)
+        for key in expected:
+            assert actual[key] == expected[key], f"field {key!r} diverged"
+        assert snapshot_digest(reg_spill) == snapshot_digest(reg_mem)
+
+    def test_matches_exact_reference(self, genome_reads, tmp_path):
+        config = PipelineConfig(k=17, mode="supermer", n_rounds=2)
+        spilled = run_pipeline(
+            genome_reads,
+            summit_gpu(2),
+            config,
+            backend="gpu",
+            options=EngineOptions(spill_dir=tmp_path),
+        )
+        assert spilled.spectrum.equals(count_kmers_exact(genome_reads, 17))
+
+    def test_cpu_backend(self, genome_reads, tmp_path):
+        config = PipelineConfig(k=15, mode="kmer")
+        mem, spilled, reg_mem, reg_spill, _ = _run_pair(
+            genome_reads, summit_cpu(2), config, "cpu", tmp_path
+        )
+        assert summarize_result(spilled) == summarize_result(mem)
+        assert snapshot_digest(reg_spill) == snapshot_digest(reg_mem)
+
+    def test_with_plugins(self, genome_reads, tmp_path):
+        config = PipelineConfig(k=17, mode="supermer")
+        mem, spilled, reg_mem, reg_spill, _ = _run_pair(
+            genome_reads, summit_gpu(2), config, "gpu", tmp_path, stages=("bloom", "balanced")
+        )
+        assert summarize_result(spilled) == summarize_result(mem)
+        assert snapshot_digest(reg_spill) == snapshot_digest(reg_mem)
+
+    def test_traffic_records_identical(self, genome_reads, tmp_path):
+        config = PipelineConfig(k=17, mode="supermer", n_rounds=2)
+        mem, spilled, _, _, _ = _run_pair(genome_reads, summit_gpu(2), config, "gpu", tmp_path)
+        assert len(mem.traffic.records) == len(spilled.traffic.records)
+        for a, b in zip(mem.traffic.records, spilled.traffic.records):
+            assert a.op == b.op and a.label == b.label
+            assert np.array_equal(a.bytes_matrix, b.bytes_matrix)
+            assert (a.items_matrix is None) == (b.items_matrix is None)
+            if a.items_matrix is not None:
+                assert np.array_equal(a.items_matrix, b.items_matrix)
+
+    def test_spill_wall_metrics_recorded(self, genome_reads, tmp_path):
+        config = PipelineConfig(k=17, mode="supermer", n_rounds=2)
+        _, _, _, reg_spill, _ = _run_pair(genome_reads, summit_gpu(2), config, "gpu", tmp_path)
+        snap = reg_spill.snapshot()
+        for name in (
+            "spill_bytes_written_total",
+            "spill_bytes_read_total",
+            "spill_partitions_total",
+            "spill_merge_runs_total",
+        ):
+            assert name in snap, name
+            assert snap[name]["wall"] is True
+            assert sum(s["value"] for s in snap[name]["samples"]) > 0
+        # ...and none of them leak into the model snapshot.
+        assert not any(k.startswith("spill_") for k in reg_spill.snapshot(include_wall=False))
+
+    def test_spool_directory_cleaned_up(self, genome_reads, tmp_path):
+        config = PipelineConfig(k=15, mode="kmer")
+        _, _, _, _, spill_dir = _run_pair(genome_reads, summit_gpu(1), config, "gpu", tmp_path)
+        assert spill_dir.exists()  # the user-provided root stays
+        assert list(spill_dir.iterdir()) == []  # per-run spools are removed
+
+    def test_verify_exchange_runs_on_spilled_partitions(self, genome_reads, tmp_path):
+        # verify_exchange checksums the memmapped partition files; a run
+        # with verification on must still succeed and stay identical.
+        config = PipelineConfig(k=17, mode="kmer", n_rounds=2)
+        mem, spilled, _, _, _ = _run_pair(
+            genome_reads, summit_gpu(2), config, "gpu", tmp_path, verify_exchange=True
+        )
+        assert summarize_result(spilled) == summarize_result(mem)
+
+
+class TestHostMemoryBudget:
+    def test_budget_splits_rounds_identically_on_all_paths(self, genome_reads, tmp_path):
+        config = PipelineConfig(k=17, mode="supermer", n_rounds=1)
+        cluster = summit_gpu(2)
+        budget = dict(host_memory_budget=16_000)
+        staged = run_pipeline(
+            genome_reads, cluster, config, backend="gpu", options=EngineOptions(**budget)
+        )
+        spilled = run_pipeline(
+            genome_reads,
+            cluster,
+            config,
+            backend="gpu",
+            options=EngineOptions(spill_dir=tmp_path, **budget),
+        )
+        fused = run_pipeline(
+            genome_reads, cluster, config, backend="gpu", options=EngineOptions(fused=True, **budget)
+        )
+        assert staged.n_rounds_used > 1
+        assert staged.n_rounds_used == spilled.n_rounds_used == fused.n_rounds_used
+        assert summarize_result(spilled) == summarize_result(staged)
+        assert summarize_result(fused) == summarize_result(staged)
+
+    def test_budget_applies_to_cpu_backend(self, genome_reads):
+        config = PipelineConfig(k=15, mode="kmer", n_rounds=1)
+        tight = run_pipeline(
+            genome_reads,
+            summit_cpu(2),
+            config,
+            backend="cpu",
+            options=EngineOptions(host_memory_budget=16_000),
+        )
+        free = run_pipeline(genome_reads, summit_cpu(2), config, backend="cpu", options=EngineOptions())
+        assert tight.n_rounds_used > free.n_rounds_used
+        assert tight.spectrum.equals(free.spectrum)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError, match="host_memory_budget"):
+            EngineOptions(host_memory_budget=0)
+        with pytest.raises(ValueError, match="host_memory_budget"):
+            EngineOptions(host_memory_budget=-1)
+
+
+class TestSpillFallbacks:
+    def test_custom_exchange_falls_back_in_memory(self, caplog, tmp_path):
+        import dataclasses
+
+        from repro.core.stages.registry import resolve
+        from repro.core.stages.scheduler import RoundScheduler
+        from repro.core.stages.standard import AlltoallvExchange
+
+        class CustomExchange(AlltoallvExchange):
+            pass
+
+        config = PipelineConfig(k=15, mode="kmer")
+        opts = EngineOptions(spill_dir=tmp_path)
+        comp = resolve("gpu:kmer", config, opts)
+        custom = dataclasses.replace(comp, exchange=CustomExchange())
+        assert supports_spill(comp)
+        assert not supports_spill(custom)
+
+        reads = simulate_dataset(genome_length=3000, coverage=3, seed=5)
+        cluster = summit_gpu(1)
+        with caplog.at_level(logging.INFO, logger="repro.telemetry"):
+            fallback = RoundScheduler(cluster, config, custom, opts).run(reads)
+        assert any("engine.spill.fallback" in rec.message for rec in caplog.records)
+        mem = run_pipeline(reads, cluster, config, backend="gpu", options=EngineOptions())
+        assert fallback.spectrum.equals(mem.spectrum)
+        assert list(tmp_path.iterdir()) == []  # nothing was spooled
+
+    def test_spill_plus_fused_spills_via_staged_loop(self, caplog, genome_reads, tmp_path):
+        config = PipelineConfig(k=17, mode="supermer", n_rounds=2)
+        cluster = summit_gpu(2)
+        mem = run_pipeline(genome_reads, cluster, config, backend="gpu", options=EngineOptions())
+        with caplog.at_level(logging.INFO, logger="repro.telemetry"):
+            both = run_pipeline(
+                genome_reads,
+                cluster,
+                config,
+                backend="gpu",
+                options=EngineOptions(spill_dir=tmp_path, fused=True),
+            )
+        assert any("engine.spill.fallback" in rec.message for rec in caplog.records)
+        assert not any("engine.fused.fallback" in rec.message for rec in caplog.records)
+        assert summarize_result(both) == summarize_result(mem)
+
+
+class TestSpillBatches:
+    def test_streamed_batches_identical(self, genome_reads, tmp_path):
+        config = PipelineConfig(k=17, mode="supermer")
+        cluster = summit_gpu(2)
+        n = genome_reads.n_reads
+        batches = [
+            genome_reads.select(range(n // 3)),
+            genome_reads.select(range(n // 3, 2 * n // 3)),
+            genome_reads.select(range(2 * n // 3, n)),
+        ]
+        mem = DistributedCounter(cluster, config)
+        spilled = DistributedCounter(cluster, config, options=EngineOptions(spill_dir=tmp_path))
+        for batch in batches:
+            mem.add_reads(batch)
+            spilled.add_reads(batch)
+        assert summarize_counter(spilled) == summarize_counter(mem)
+        assert spilled.insert_stats == mem.insert_stats
+        assert spilled.spectrum().equals(mem.spectrum())
+
+    def test_spilled_checkpoint_resumes_into_in_memory_counter(self, genome_reads, tmp_path):
+        config = PipelineConfig(k=17, mode="kmer")
+        cluster = summit_gpu(2)
+        spilled = DistributedCounter(cluster, config, options=EngineOptions(spill_dir=tmp_path / "s"))
+        spilled.add_reads(genome_reads)
+        ckpt = spilled.save(tmp_path / "ckpt.npz")
+        resumed = DistributedCounter(cluster, config)
+        resumed.load(ckpt)
+        assert resumed.spectrum().equals(spilled.spectrum())
+        assert resumed.insert_stats == spilled.insert_stats
+
+
+class TestExternalMerge:
+    def _reference(self, runs, k):
+        from repro.core.stages.standard import SpectrumMerge
+
+        return SpectrumMerge().merge_items([(k_, c_) for k_, c_ in runs], k)
+
+    def test_empty(self):
+        spec = external_merge([], 15)
+        assert spec.n_distinct == 0 and spec.n_total == 0
+
+    def test_empty_runs(self):
+        runs = [(np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64))] * 3
+        assert external_merge(runs, 15).n_distinct == 0
+
+    @pytest.mark.parametrize("block", [1, 2, 7, MERGE_BLOCK_KEYS])
+    def test_matches_unique_reference(self, block):
+        rng = np.random.default_rng(11)
+        runs = []
+        for _ in range(5):
+            keys = np.unique(rng.integers(0, 500, size=rng.integers(0, 120), dtype=np.uint64))
+            counts = rng.integers(1, 50, size=keys.size, dtype=np.int64)
+            runs.append((keys, counts))
+        merged = external_merge(runs, 15, block=block)
+        ref = self._reference(runs, 15)
+        assert np.array_equal(merged.values, ref.values)
+        assert np.array_equal(merged.counts, ref.counts)
+
+    @pytest.mark.parametrize("block", [1, 3, 64])
+    def test_duplicate_keys_across_runs_aggregate(self, block):
+        # Canonical supermer mode can split one canonical k-mer across two
+        # owners — equal keys across runs must sum.
+        runs = [
+            (np.array([1, 5, 9], dtype=np.uint64), np.array([2, 3, 4], dtype=np.int64)),
+            (np.array([5, 9, 12], dtype=np.uint64), np.array([10, 1, 1], dtype=np.int64)),
+            (np.array([9], dtype=np.uint64), np.array([100], dtype=np.int64)),
+        ]
+        merged = external_merge(runs, 15, block=block)
+        assert merged.values.tolist() == [1, 5, 9, 12]
+        assert merged.counts.tolist() == [2, 13, 105, 1]
+
+    def test_single_run_passthrough(self):
+        keys = np.arange(10, dtype=np.uint64)
+        counts = np.arange(1, 11, dtype=np.int64)
+        merged = external_merge([(keys, counts)], 15, block=4)
+        assert np.array_equal(merged.values, keys)
+        assert np.array_equal(merged.counts, counts)
+
+
+class TestSpillSpool:
+    def test_missing_partition_maps_empty(self, tmp_path):
+        spool = SpillSpool(tmp_path)
+        try:
+            arr = spool.map_partition("x", 0, np.uint64)
+            assert arr.size == 0 and arr.dtype == np.uint64
+        finally:
+            spool.close()
+
+    def test_partition_roundtrip_in_source_order(self, tmp_path):
+        spool = SpillSpool(tmp_path)
+        try:
+            segs = [np.array([1, 2], dtype=np.uint64), np.array([], dtype=np.uint64), np.array([3], dtype=np.uint64)]
+            spool.write_partition("lbl", 1, segs)
+            assert spool.map_partition("lbl", 1, np.uint64).tolist() == [1, 2, 3]
+        finally:
+            spool.close()
+
+    def test_close_removes_spool(self, tmp_path):
+        spool = SpillSpool(tmp_path)
+        spool.write_partition("lbl", 0, [np.array([7], dtype=np.uint64)])
+        assert spool.dir.exists()
+        spool.close()
+        assert not spool.dir.exists()
+        assert tmp_path.exists()
+
+
+# ---------------------------------------------------------------------------
+# randomized differential suite (mirrors tests/test_fused_property.py)
+# ---------------------------------------------------------------------------
+
+N_TRIALS = 6
+
+
+def _random_case(rng: random.Random) -> tuple[dict, dict, str, int]:
+    mode = rng.choice(["kmer", "supermer"])
+    k = rng.choice([13, 15, 17, 21])
+    config: dict = {"k": k, "mode": mode}
+    if mode == "supermer":
+        m = rng.choice([5, 7])
+        config["minimizer_len"] = m
+        config["window"] = min(rng.choice([k - m + 1, 2 * (k - m + 1) - 1]), 33 - k)
+    if rng.random() < 0.4:
+        config["canonical"] = True
+    if rng.random() < 0.4:
+        config["n_rounds"] = rng.choice([2, 3])
+    options: dict = {}
+    if rng.random() < 0.4:
+        options["work_multiplier"] = rng.choice([4.0, 64.0])
+    if rng.random() < 0.5:
+        options["host_memory_budget"] = rng.choice([8_000, 50_000, 1_000_000])
+    backend = rng.choice(["gpu", "gpu", "cpu"])
+    nodes = rng.choice([1, 2, 3])
+    return config, options, backend, nodes
+
+
+def _reads(rng: random.Random):
+    genome = GenomeSimulator(
+        rng.choice([3_000, 8_000]), repeat_fraction=rng.uniform(0.0, 0.3), seed=rng.randrange(1 << 16)
+    ).generate_codes()
+    return ReadSimulator(
+        genome,
+        coverage=rng.choice([3, 5]),
+        length_profile=ReadLengthProfile(kind="lognormal", mean=rng.choice([250, 400]), sigma=0.4, min_len=60),
+        error_rate=rng.choice([0.0, 0.01]),
+        seed=rng.randrange(1 << 16),
+    ).generate()
+
+
+@pytest.mark.parametrize("trial", range(N_TRIALS))
+def test_spill_equals_in_memory_on_random_configuration(trial, tmp_path):
+    rng = random.Random(0x5B111 + trial)
+    config_kw, option_kw, backend, nodes = _random_case(rng)
+    reads = _reads(rng)
+    config = PipelineConfig(**config_kw)
+    cluster = summit_gpu(nodes) if backend == "gpu" else summit_cpu(nodes)
+    label = f"trial {trial}: {backend}x{nodes} {config_kw} {option_kw}"
+
+    mem, spilled, reg_mem, reg_spill, _ = _run_pair(
+        reads, cluster, config, backend, tmp_path, **option_kw
+    )
+    expected, actual = summarize_result(mem), summarize_result(spilled)
+    for key in expected:
+        assert actual[key] == expected[key], f"{label}: field {key!r} diverged"
+    assert snapshot_digest(reg_spill) == snapshot_digest(reg_mem), f"{label}: telemetry diverged"
