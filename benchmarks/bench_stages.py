@@ -30,6 +30,11 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_stages.py [--out BENCH_stages.json]
         [--baseline BENCH_parallel.json] [--workers N] [--nodes 16]
         [--datasets ecoli30x,...] [--repeats 2]
+        [--trace-overhead BENCH_trace_overhead.json]
+
+``--trace-overhead`` adds a span-traced sequential column (paired, timed
+back-to-back with the untraced one) and reports the overhead ratio
+against the ≤3% budget from docs/TELEMETRY.md.
 """
 
 from __future__ import annotations
@@ -79,7 +84,7 @@ def _assert_identical(a, b, label: str) -> None:
         raise AssertionError(f"pooled staged engine diverged from sequential on {label}")
 
 
-def _run_grid(datasets, nodes, workers, repeats, arena, spill_dir=None):
+def _run_grid(datasets, nodes, workers, repeats, arena, spill_dir=None, trace=False):
     """Best-of-``repeats`` wall time per (dataset, variant, execution-path) cell.
 
     The execution paths are timed back-to-back inside every repeat
@@ -104,10 +109,14 @@ def _run_grid(datasets, nodes, workers, repeats, arena, spill_dir=None):
                 paths["spill"] = EngineOptions(
                     work_multiplier=mult, parallel=1, spill_dir=spill_dir
                 )
+            if trace:
+                paths["traced"] = EngineOptions(work_multiplier=mult, parallel=1, trace=True)
             best = dict.fromkeys(paths, float("inf"))
             results = {}
             for _ in range(repeats):
                 for path, options in paths.items():
+                    if path == "traced":
+                        options.trace.clear()  # pay recording, not accumulation
                     t0 = perf_counter()
                     results[path] = run_pipeline(
                         reads, cluster, config, backend=backend, options=options
@@ -134,6 +143,14 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--nodes", type=int, default=16, help="simulated Summit node count")
     ap.add_argument("--datasets", default=",".join(SMALL_DATASETS), help="comma-separated Table I names")
     ap.add_argument("--repeats", type=int, default=2, help="take the best of N runs per cell")
+    ap.add_argument(
+        "--trace-overhead",
+        default="",
+        metavar="JSON",
+        help="also time a span-traced sequential column (EngineOptions(trace=True)) "
+        "paired against the untraced one and write the overhead report here; "
+        "off by default so the committed BENCH files are not touched",
+    )
     args = ap.parse_args(argv)
 
     datasets = [d for d in args.datasets.split(",") if d]
@@ -149,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
             args.repeats,
             ScratchArena(),
             spill_dir=spool if args.spill_out else None,
+            trace=bool(args.trace_overhead),
         )
 
     baseline_cells = {}
@@ -169,6 +187,12 @@ def main(argv: list[str] | None = None) -> int:
             "fused_s": round(fused_s, 4),
             "fused_speedup": round(seq_s / fused_s, 3),
         }
+        trace_note = ""
+        if "traced" in results:
+            _assert_identical(results["sequential"], results["traced"], f"{key} (traced)")
+            row["traced_s"] = round(best["traced"], 4)
+            row["trace_overhead"] = round(best["traced"] / seq_s, 3)
+            trace_note = f"  traced {best['traced']:7.3f}s ({row['trace_overhead']:.3f}x)"
         spill_note = ""
         if "spill" in results:
             _assert_identical(results["sequential"], results["spill"], f"{key} (spill)")
@@ -183,7 +207,7 @@ def main(argv: list[str] | None = None) -> int:
         rows.append(row)
         print(
             f"  {key:45s} seq {seq_s:7.3f}s  par {par_s:7.3f}s  "
-            f"fused {fused_s:7.3f}s ({row['fused_speedup']:.2f}x){spill_note}{note}"
+            f"fused {fused_s:7.3f}s ({row['fused_speedup']:.2f}x){trace_note}{spill_note}{note}"
         )
 
     total_seq = sum(r["sequential_s"] for r in rows)
@@ -260,6 +284,39 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"spill: {total_spill:.3f}s total "
             f"({spill_payload['spill_overhead']:.2f}x of sequential) -> {spill_out}"
+        )
+
+    if args.trace_overhead and any("traced_s" in r for r in rows):
+        total_traced = sum(r["traced_s"] for r in rows if "traced_s" in r)
+        trace_payload = {
+            "workload": "fig6",
+            "engine": "staged+spans",
+            "datasets": datasets,
+            "n_nodes": args.nodes,
+            "repeats": args.repeats,
+            "results_identical": True,
+            "sequential_total_s": round(total_seq, 4),
+            "traced_total_s": round(total_traced, 4),
+            "trace_overhead": round(total_traced / total_seq, 3),
+            "budget": 1.03,
+            "within_budget": total_traced / total_seq <= 1.03,
+            "cells": [
+                {
+                    "cell": r["cell"],
+                    "sequential_s": r["sequential_s"],
+                    "traced_s": r["traced_s"],
+                    "trace_overhead": r["trace_overhead"],
+                }
+                for r in rows
+                if "traced_s" in r
+            ],
+        }
+        trace_out = Path(args.trace_overhead)
+        trace_out.write_text(json.dumps(trace_payload, indent=2))
+        print(
+            f"tracing: {total_traced:.3f}s total "
+            f"({trace_payload['trace_overhead']:.3f}x of sequential, budget 1.03x: "
+            f"{'OK' if trace_payload['within_budget'] else 'OVER'}) -> {trace_out}"
         )
     return 0
 

@@ -22,6 +22,10 @@ counting k-mers in single genome, a microbial community...").  Subcommands:
 ``repro report``
     Render a saved telemetry run report (``repro count --report``) as the
     paper-style breakdown tables.
+``repro analyze``
+    Run anatomy from a ``repro count --trace`` file: per-round critical
+    path, straggler/barrier-wait attribution, wall-vs-model divergence,
+    and the embedded cProfile report (``--profile``).
 
 All subcommands are plain functions over parsed arguments, so the test
 suite drives them through :func:`main` with string argv lists.
@@ -143,7 +147,31 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="profile the run with cProfile and print the top N cumulative hotspots (default 15)",
+        help="profile the run with cProfile and print the top N cumulative hotspots (default 15); "
+        "with --trace the report is embedded in the trace for 'repro analyze --profile' instead",
+    )
+    p_count.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record hierarchical wall-clock spans and write the combined repro-trace/1 JSON "
+        "here (Chrome/Perfetto-loadable; analyze with 'repro analyze')",
+    )
+    p_count.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve live Prometheus metrics plus progress/ETA gauges on this port while the "
+        "run is in flight (0 picks a free port; implies a metric registry)",
+    )
+    p_count.add_argument(
+        "--metrics-hold",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the --metrics-port endpoint up this long after counting finishes "
+        "(lets a scraper catch a short run; used by the CI smoke)",
     )
     p_count.add_argument("--out-db", help="write binary k-mer database here")
     p_count.add_argument("--out-tsv", help="write kmer<TAB>count text here")
@@ -172,6 +200,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rep = sub.add_parser("report", help="render a saved telemetry run report")
     p_rep.add_argument("--report", required=True, help="JSON report from 'repro count --report'")
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="run anatomy from a trace: critical path, stragglers, wall-vs-model divergence",
+    )
+    p_an.add_argument("--trace", required=True, help="repro-trace/1 JSON from 'repro count --trace'")
+    p_an.add_argument("--json", metavar="PATH", default=None, help="also write the analysis as JSON here")
+    p_an.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the cProfile report embedded by 'repro count --trace --profile'",
+    )
 
     return parser
 
@@ -292,33 +332,69 @@ def _cmd_count(args: argparse.Namespace) -> int:
     machine = resolve_machine(args.machine, default=default_preset)
     cluster = cluster_for(machine, args.nodes)
     stages = tuple(s.strip() for s in args.stages.split(",") if s.strip())
-    registry = MetricRegistry() if (args.report or args.metrics_out) else None
-    counter = DistributedCounter(
-        cluster,
-        config,
-        backend=args.backend,
-        options=EngineOptions(
-            machine=machine,
-            telemetry=registry,
-            stages=stages,
-            fused=True if args.fused else None,
-            spill_dir=args.spill,
-            host_memory_budget=args.memory_limit,
-        ),
+    registry = (
+        MetricRegistry()
+        if (args.report or args.metrics_out or args.metrics_port is not None)
+        else None
     )
+    options = EngineOptions(
+        machine=machine,
+        telemetry=registry,
+        stages=stages,
+        fused=True if args.fused else None,
+        spill_dir=args.spill,
+        host_memory_budget=args.memory_limit,
+        trace=True if args.trace else None,
+    )
+    counter = DistributedCounter(cluster, config, backend=args.backend, options=options)
     if args.checkpoint and Path(args.checkpoint).exists():
         counter.load(args.checkpoint)
         print(f"resumed from {args.checkpoint}: {counter.n_batches} batches, {counter.total_kmers:,} k-mers")
 
+    server = None
+    if args.metrics_port is not None:
+        from .telemetry import MetricsServer
+
+        server = MetricsServer(registry, port=args.metrics_port).start()
+        print(f"serving live metrics at {server.url}/metrics", flush=True)
+
     def _count_inputs() -> None:
-        for path in args.input:
+        from time import monotonic, time
+
+        n_inputs = len(args.input)
+        t_start = monotonic()
+        if registry is not None:
+            registry.gauge("progress_inputs_total", "Input files in this run", wall=True).set(
+                n_inputs
+            )
+        for i, path in enumerate(args.input):
             batch_timing = counter.add_reads(_load_one(path, args))
             print(f"{path}: counted in {batch_timing.total:.3f} model seconds")
+            if registry is not None:
+                done = i + 1
+                elapsed = monotonic() - t_start
+                registry.gauge("progress_inputs_done", "Input files counted so far", wall=True).set(done)
+                registry.gauge("progress_fraction", "Fraction of input files counted", wall=True).set(
+                    done / n_inputs
+                )
+                registry.gauge(
+                    "progress_eta_seconds", "Projected wall seconds to finish remaining inputs", wall=True
+                ).set(elapsed / done * (n_inputs - done))
+                registry.gauge(
+                    "heartbeat_timestamp_seconds", "Unix time of the last progress update", wall=True
+                ).set(time())
             if args.checkpoint:
                 counter.save(args.checkpoint)
 
+    profile_text = None
     if args.profile is not None:
-        print(_profile_call(_count_inputs, top=args.profile))
+        profile_text = _profile_call(_count_inputs, top=args.profile)
+        if args.trace:
+            # One report, not two: the rendering rides inside the trace and
+            # `repro analyze --trace ... --profile` prints it with the anatomy.
+            print("profile embedded in trace (render with 'repro analyze --profile')")
+        else:
+            print(profile_text)
     else:
         _count_inputs()
 
@@ -338,11 +414,20 @@ def _cmd_count(args: argparse.Namespace) -> int:
     print(format_table(["metric", "value"], rows, title=f"count of {', '.join(args.input)}"))
 
     if args.report:
-        report_path = RunReport.from_counter(counter, registry=registry).save(args.report)
+        report_path = RunReport.from_counter(
+            counter, registry=registry, recorder=options.trace
+        ).save(args.report)
         print(f"wrote run report to {report_path}")
     if args.metrics_out:
         write_prometheus(registry, args.metrics_out)
         print(f"wrote {len(registry)} metric families to {args.metrics_out}")
+    if args.trace:
+        from .core.tracing import write_run_trace
+
+        trace_path = write_run_trace(
+            args.trace, options.trace, counter=counter, registry=registry, profile_text=profile_text
+        )
+        print(f"wrote {len(options.trace)} work spans to {trace_path} (view: ui.perfetto.dev; analyze: repro analyze)")
 
     spectrum = spectrum_full if args.min_count <= 1 else spectrum_full.frequent(args.min_count)
     if args.out_db:
@@ -351,6 +436,12 @@ def _cmd_count(args: argparse.Namespace) -> int:
     if args.out_tsv:
         write_tsv(args.out_tsv, spectrum)
         print(f"wrote {spectrum.n_distinct:,} k-mers to {args.out_tsv}")
+    if server is not None:
+        from time import sleep
+
+        if args.metrics_hold > 0:
+            sleep(args.metrics_hold)  # window for a post-run scrape (CI smoke)
+        server.stop()
     return 0
 
 
@@ -435,6 +526,98 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.analysis import analyze_spans
+    from .core.tracing import TRACE_SCHEMA
+
+    payload = json.loads(Path(args.trace).read_text())
+    meta = payload.get("metadata") or {}
+    schema = meta.get("schema")
+    if schema != TRACE_SCHEMA:
+        raise ValueError(f"{args.trace}: not a {TRACE_SCHEMA} file (schema={schema!r})")
+    spans = payload.get("spans") or []
+    if not spans:
+        raise ValueError(
+            f"{args.trace}: trace has no spans — produce one with 'repro count --trace PATH'"
+        )
+    phases = meta.get("phases") or None
+    report = analyze_spans(spans, phases)
+
+    run = meta.get("run") or {}
+    if run:
+        head = [[k, run[k]] for k in ("backend", "config", "cluster", "ranks", "batches", "total_kmers") if k in run]
+        print(format_table(["field", "value"], head, title=f"run anatomy of {args.trace}"))
+
+    cp = report["critical_path"]
+    model = report.get("model")
+    rows = [
+        ["wall elapsed", f"{report['elapsed_s'] * 1e3:,.2f} ms"],
+        ["wall critical path", f"{cp['wall_s'] * 1e3:,.2f} ms"],
+        ["barrier wait (all stages)", f"{report['barrier_wait_s'] * 1e3:,.2f} ms"],
+        ["dominant phase (wall)", cp["dominant"] or "-"],
+    ]
+    if model is not None:
+        rows.append(["dominant phase (model)", model["dominant"] or "-"])
+        rows.append(["model total", f"{model['phases']['parse'] + model['phases']['exchange'] + model['phases']['count']:,.4f} s"])
+    print(format_table(["metric", "value"], rows, title="critical path"))
+
+    if cp["rounds"]:
+        rrows = [
+            [
+                entry["name"],
+                f"{entry['wall_s'] * 1e3:,.2f}",
+                entry["dominant"] or "-",
+                ", ".join(f"{s}={t * 1e3:,.2f}ms" for s, t in sorted(entry["stages"].items())),
+            ]
+            for entry in cp["rounds"]
+        ]
+        print(format_table(["round", "wall_ms", "dominant", "stages"], rrows, title="per-round critical path"))
+
+    srows = [
+        [
+            st["path"],
+            st["phase"],
+            st["n"],
+            f"{st['max_s'] * 1e3:,.2f}",
+            f"{st['mean_s'] * 1e3:,.2f}",
+            f"{st['imbalance']:.2f}",
+            st["bottleneck_rank"] if st["bottleneck_rank"] is not None else "-",
+            f"{st['barrier_wait_s'] * 1e3:,.2f}",
+        ]
+        for st in report["stages"]
+    ]
+    print(
+        format_table(
+            ["stage", "phase", "n", "max_ms", "mean_ms", "imbal", "slowest", "wait_ms"],
+            srows,
+            title="stragglers (per-stage wall, max over ranks)",
+        )
+    )
+
+    if "divergence" in report:
+        drows = [
+            [
+                row["phase"],
+                f"{row['model_s']:,.4f}",
+                f"{row['wall_s'] * 1e3:,.2f}",
+                "inf" if row["ratio"] == float("inf") else f"{row['ratio']:,.1f}x",
+            ]
+            for row in report["divergence"]
+        ]
+        print(format_table(["phase", "model_s", "wall_ms", "model/wall"], drows, title="wall vs model divergence"))
+
+    if args.profile:
+        profile = meta.get("profile")
+        print(profile if profile else "no embedded profile (re-run: repro count --trace PATH --profile)")
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, sort_keys=True))
+        print(f"wrote analysis JSON to {args.json}")
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "machines": _cmd_machines,
@@ -444,6 +627,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "distance": _cmd_distance,
     "report": _cmd_report,
+    "analyze": _cmd_analyze,
 }
 
 

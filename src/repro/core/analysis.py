@@ -1,4 +1,4 @@
-"""Analysis tools: Section IV-D communication theory and load-balance metrics.
+"""Analysis tools: communication theory, load balance, and run anatomy.
 
 The paper closes its supermer section with a volume analysis (Section IV-D)
 using: D (input bytes), L (mean read length), k, s (mean supermer length),
@@ -6,6 +6,14 @@ and P (processors).  This module implements those formulas exactly, plus
 the exact closed form of the supermer base-compression ratio the paper
 approximates as "(s - k)x", and helpers that compare theory against a
 pipeline run's measured traffic.
+
+The second half analyzes recorded span trees (``EngineOptions(trace=)`` /
+``repro analyze``): per-stage straggler statistics with barrier-wait
+attribution, the wall critical path per round, and the wall-vs-model
+divergence table.  These functions operate on the plain span dicts of
+:func:`repro.telemetry.spans.span_payload` (also embedded in a
+``repro-trace/1`` file under ``"spans"``), so a saved trace is all they
+need — no live run objects.
 """
 
 from __future__ import annotations
@@ -24,6 +32,12 @@ __all__ = [
     "items_per_supermer",
     "expected_kmers_per_supermer",
     "imbalance_from_result",
+    "PhaseStats",
+    "model_phase_of",
+    "phase_stragglers",
+    "critical_path",
+    "wall_model_divergence",
+    "analyze_spans",
 ]
 
 
@@ -151,4 +165,235 @@ def node_level_loads(result: CountResult) -> np.ndarray:
     nodes = result.cluster.node_map()
     out = np.zeros(result.cluster.n_nodes, dtype=np.int64)
     np.add.at(out, nodes, result.received_kmers)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Run anatomy: span-tree analysis (critical path, stragglers, divergence)
+# ---------------------------------------------------------------------------
+
+#: The model timing's phase buckets, in pipeline order.
+_MODEL_PHASES = ("parse", "exchange", "count", "other")
+
+
+def _normalize_phases(model_phases: dict[str, float]) -> dict[str, float]:
+    """Accept both bare phase keys and the trace metadata's ``*_s`` keys."""
+    return {
+        p: float(model_phases.get(p, model_phases.get(f"{p}_s", 0.0))) for p in _MODEL_PHASES
+    }
+
+
+def model_phase_of(name: str) -> str:
+    """Map a work-span name to the model timing's phase bucket.
+
+    Leaf names vary by execution strategy (``parse`` vs ``fused:parse``,
+    ``exchange-round1`` vs ``spill:spool-round1``); this folds them all
+    onto the :class:`~repro.core.results.PhaseTiming` axes so wall spans
+    and model phases line up in the divergence table.  Merge and run-write
+    work has no model phase and maps to ``"other"``.
+    """
+    base = name.split("-round")[0]
+    if base.endswith("parse"):
+        return "parse"
+    if base in ("exchange", "fused:exchange", "spill:spool"):
+        return "exchange"
+    if base.endswith("count"):
+        return "count"
+    return "other"
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Straggler statistics for one stage group (the spans under one region).
+
+    ``barrier_wait_s`` is the bulk-synchronous idle time the stage's
+    barrier induces: each rank waits ``max - t_r`` for the slowest rank,
+    so the group's total wasted wall is ``sum(max - t_r)``.  Whole-cluster
+    superstep blocks (fused/spill spool) have one span, so their barrier
+    wait is zero by construction — the imbalance is inside the block.
+    """
+
+    path: str  # region path, e.g. "round0/exchange" or "parse"
+    phase: str  # model phase bucket (parse/exchange/count/other)
+    n: int  # spans in the group (ranks, for per-rank stages)
+    max_s: float
+    mean_s: float
+    total_s: float
+    imbalance: float  # max/mean (1.0 = perfectly balanced)
+    bottleneck_rank: int | None  # rank of the slowest span
+    barrier_wait_s: float  # sum over ranks of (max - t_r)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "phase": self.phase,
+            "n": self.n,
+            "max_s": self.max_s,
+            "mean_s": self.mean_s,
+            "total_s": self.total_s,
+            "imbalance": self.imbalance,
+            "bottleneck_rank": self.bottleneck_rank,
+            "barrier_wait_s": self.barrier_wait_s,
+        }
+
+
+def _span_index(spans: list[dict]) -> dict[object, dict]:
+    return {s["id"]: s for s in spans}
+
+
+def _region_path(span: dict, by_id: dict[object, dict]) -> str:
+    """Slash-joined ancestor names, root (the ``run`` region) omitted."""
+    names: list[str] = []
+    cur = span
+    while cur is not None:
+        parent = by_id.get(cur["parent"])
+        if parent is not None:  # drop the root region's name
+            names.append(cur["name"])
+        cur = parent
+    return "/".join(reversed(names))
+
+
+def _work_groups(spans: list[dict]) -> list[tuple[str, list[dict]]]:
+    """Work leaves grouped by enclosing region path, in start-time order.
+
+    Leaves whose parent is missing (a flat :class:`WallClockRecorder`
+    export, or a truncated payload) group under their own base name, so
+    the analysis still works on hierarchy-free span lists.
+    """
+    by_id = _span_index(spans)
+    groups: dict[str, list[dict]] = {}
+    order: dict[str, float] = {}
+    for s in spans:
+        if s["cat"] != "work":
+            continue
+        parent = by_id.get(s["parent"])
+        key = _region_path(parent, by_id) if parent is not None else s["name"].split("-round")[0]
+        groups.setdefault(key, []).append(s)
+        order.setdefault(key, s["start_s"])
+    return sorted(groups.items(), key=lambda kv: order[kv[0]])
+
+
+def phase_stragglers(spans: list[dict]) -> list[PhaseStats]:
+    """Per-stage straggler statistics over a span payload.
+
+    Groups work leaves by their enclosing region path (``round0/exchange``,
+    ``parse``, ...) and reduces each group across ranks.  Output order is
+    execution order (first span start per group).
+    """
+    out: list[PhaseStats] = []
+    for path, group in _work_groups(spans):
+        durs = [max(s["end_s"] - s["start_s"], 0.0) for s in group]
+        mx = max(durs)
+        mean = sum(durs) / len(durs)
+        slowest = group[durs.index(mx)]
+        out.append(
+            PhaseStats(
+                path=path,
+                phase=model_phase_of(group[0]["name"]),
+                n=len(group),
+                max_s=mx,
+                mean_s=mean,
+                total_s=sum(durs),
+                imbalance=(mx / mean) if mean > 0 else 1.0,
+                bottleneck_rank=slowest.get("rank"),
+                barrier_wait_s=sum(mx - d for d in durs),
+            )
+        )
+    return out
+
+
+def critical_path(spans: list[dict]) -> dict[str, object]:
+    """Wall critical path of a bulk-synchronous run, from its span tree.
+
+    Under the BSP execution model every stage ends at a barrier, so the
+    run's critical path is the sum over stage groups of the slowest rank's
+    time, and each round's dominant stage is the one whose max is largest.
+    Returns ``{"wall_s", "phases", "dominant", "rounds"}`` where ``phases``
+    folds the stage maxima onto the model phase buckets.
+    """
+    stats = phase_stragglers(spans)
+    phases = {p: 0.0 for p in _MODEL_PHASES}
+    for st in stats:
+        phases[st.phase] += st.max_s
+    rounds: dict[str, dict[str, object]] = {}
+    for st in stats:
+        head, _, tail = st.path.partition("/")
+        if not tail:
+            continue  # top-level stage (parse/merge), not inside a round
+        entry = rounds.setdefault(head, {"name": head, "stages": {}, "wall_s": 0.0})
+        entry["stages"][tail] = entry["stages"].get(tail, 0.0) + st.max_s
+        entry["wall_s"] += st.max_s
+    for entry in rounds.values():
+        entry["dominant"] = max(entry["stages"], key=entry["stages"].get) if entry["stages"] else None
+    timed = {p: t for p, t in phases.items() if t > 0}
+    return {
+        "wall_s": sum(st.max_s for st in stats),
+        "phases": phases,
+        "dominant": max(timed, key=timed.get) if timed else None,
+        "rounds": [rounds[k] for k in sorted(rounds)],
+    }
+
+
+def wall_model_divergence(
+    spans: list[dict], model_phases: dict[str, float]
+) -> list[dict[str, object]]:
+    """Wall-vs-model table: one row per model phase, with the ratio.
+
+    ``model_phases`` is the run's modeled phase timing (the trace file's
+    ``metadata.phases``, or ``result.timing.as_dict()``).  Wall seconds
+    are the critical-path contributions (per-stage max over ranks), the
+    like-for-like counterpart of the model's bulk-synchronous phase times.
+    A large ratio means the machine model charges far more (or less) for
+    the phase than this host's actual execution — expected for network
+    phases simulated on one node, interesting for compute phases.
+    """
+    wall = critical_path(spans)["phases"]
+    model = _normalize_phases(model_phases)
+    rows = []
+    for phase in _MODEL_PHASES:
+        model_s = model[phase]
+        wall_s = float(wall.get(phase, 0.0))
+        if model_s == 0.0 and wall_s == 0.0:
+            continue
+        rows.append(
+            {
+                "phase": phase,
+                "model_s": model_s,
+                "wall_s": wall_s,
+                "ratio": (model_s / wall_s) if wall_s > 0 else float("inf"),
+            }
+        )
+    return rows
+
+
+def analyze_spans(
+    spans: list[dict], model_phases: dict[str, float] | None = None
+) -> dict[str, object]:
+    """Full run-anatomy report over a span payload (the ``repro analyze`` core).
+
+    Returns a plain-JSON dict: span counts and wall elapsed, per-stage
+    straggler statistics, the wall critical path per round, and — when the
+    model phase timing is supplied — the model-side critical path (whose
+    ``dominant`` names the same phase the RunReport totals imply) plus the
+    wall-vs-model divergence table.
+    """
+    stats = phase_stragglers(spans)
+    out: dict[str, object] = {
+        "n_spans": len(spans),
+        "n_work_spans": sum(1 for s in spans if s["cat"] == "work"),
+        "elapsed_s": (
+            max(s["end_s"] for s in spans) - min(s["start_s"] for s in spans) if spans else 0.0
+        ),
+        "stages": [st.as_dict() for st in stats],
+        "critical_path": critical_path(spans),
+        "barrier_wait_s": sum(st.barrier_wait_s for st in stats),
+    }
+    if model_phases is not None:
+        model = _normalize_phases(model_phases)
+        timed = {p: v for p, v in model.items() if v > 0}
+        out["model"] = {
+            "phases": model,
+            "dominant": max(timed, key=timed.get) if timed else None,
+        }
+        out["divergence"] = wall_model_divergence(spans, model_phases)
     return out

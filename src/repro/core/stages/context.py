@@ -21,6 +21,7 @@ from ...mpi.costmodel import CommCostModel
 from ...mpi.stats import TrafficStats
 from ...mpi.topology import ClusterSpec
 from ...telemetry import MetricRegistry
+from ...telemetry.spans import SpanRecorder
 from ..config import PipelineConfig
 from ..memory import ScratchArena
 from ..parallel import ParallelSetting, RankPool
@@ -54,7 +55,14 @@ class EngineOptions:
     # Worker count for per-rank phase execution: None defers to the
     # REPRO_PARALLEL environment variable; see repro.core.parallel.
     parallel: ParallelSetting = None
-    span_recorder: WallClockRecorder | None = None  # host wall-clock spans per (phase, rank)
+    span_recorder: WallClockRecorder | SpanRecorder | None = None  # host wall-clock spans per (phase, rank)
+    # Opt-in hierarchical tracing (run → batch → round → stage → rank work):
+    # ``True`` creates a fresh repro.telemetry.spans.SpanRecorder (retrieve
+    # it from ``opts.trace`` after construction), or pass one explicitly.
+    # The trace recorder doubles as the span_recorder, so every wall-metric
+    # consumer sees the same leaf spans; deterministic observables are
+    # untouched (host timestamps only).
+    trace: SpanRecorder | bool | None = None
     # Metrics sink for this run: installed as the telemetry session so every
     # layer (collectives, hash table, kernels, pools) feeds it.  None = off.
     telemetry: MetricRegistry | None = None
@@ -101,6 +109,15 @@ class EngineOptions:
         if self.spill_dir is not None:
             object.__setattr__(self, "spill_dir", Path(self.spill_dir))
         object.__setattr__(self, "stages", tuple(self.stages))
+        if self.trace is not None and not isinstance(self.trace, SpanRecorder):
+            object.__setattr__(self, "trace", SpanRecorder() if self.trace else None)
+        if self.trace is not None:
+            if self.span_recorder is not None and self.span_recorder is not self.trace:
+                raise ValueError(
+                    "pass either trace= or span_recorder=, not both "
+                    "(the trace recorder subsumes the wall-span recorder)"
+                )
+            object.__setattr__(self, "span_recorder", self.trace)
 
 
 @dataclass
@@ -114,7 +131,7 @@ class StageContext:
     pool: RankPool
     comm_model: CommCostModel
     stats: TrafficStats
-    recorder: WallClockRecorder | None = None
+    recorder: WallClockRecorder | SpanRecorder | None = None
     registry: MetricRegistry | None = None
     # None defers to opts.verify_exchange; the batch scheduler path sets
     # False (streamed batches never checksummed, matching the original

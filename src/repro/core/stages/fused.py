@@ -57,6 +57,7 @@ from ...mpi.stats import TrafficStats
 from ...telemetry import active
 from ..memory import ScratchArena
 from ..results import CountResult, PhaseTiming
+from ..tracing import recording_region
 from .registry import StageComposition
 from .standard import (
     AlltoallvExchange,
@@ -526,10 +527,15 @@ class FusedPipeline:
 
         shards = sched._shard(reads)
 
-        t0 = perf_counter()
-        fp = self._parse(shards, sctx)
-        if recorder is not None:
-            recorder.record("parse", 0, t0, perf_counter())
+        # The fused path executes each superstep as one whole-cluster block
+        # on the driving thread, so wall rows are rank-0 spans named
+        # ``fused:*`` — distinct from the staged path's per-rank rows, which
+        # these blocks are *not* (one block covers all ranks' work at once).
+        with recording_region(recorder, "parse", cat="stage"):
+            t0 = perf_counter()
+            fp = self._parse(shards, sctx)
+            if recorder is not None:
+                recorder.record("fused:parse", 0, t0, perf_counter())
         t_parse = float(fp.times.max()) if p else 0.0
         total_parsed_kmers = fp.total_kmers
 
@@ -553,59 +559,76 @@ class FusedPipeline:
         insert_total = InsertStats.zero()
 
         for rnd in range(n_rounds):
-            send_flat, send_lengths, round_counts, round_owned = self._round_gather(
-                fp, rnd, n_rounds
-            )
-            label = f"{config.mode}-exchange" + (f"-round{rnd}" if n_rounds > 1 else "")
-            shuffled, shuffled_lengths, dst_offsets, seconds, t_a2av, t_stage = self._exchange(
-                send_flat, send_lengths, round_counts, label, sctx
-            )
-            if round_owned:
-                self.arena.release(send_flat, send_lengths)
-            counts_matrix_total += round_counts
-            t_exchange += seconds
-            t_alltoallv += t_a2av
-            staging_total += t_stage
-            if reg is not None:
-                backend = comp.backend
-                reg.counter("exchange_rounds_total", "Exchange/count rounds executed", engine=backend).inc()
-                reg.counter(
-                    "exchange_model_seconds_total",
-                    "Modeled exchange seconds (overhead + network + staging)",
-                    engine=backend,
-                    round=rnd,
-                ).inc(seconds)
-                reg.counter(
-                    "alltoallv_model_seconds_total",
-                    "Modeled MPI_Alltoallv routine seconds",
-                    engine=backend,
-                    round=rnd,
-                ).inc(t_a2av)
-                reg.counter(
-                    "staging_model_seconds_total",
-                    "Modeled host<->device staging seconds",
-                    engine=backend,
-                    round=rnd,
-                ).inc(t_stage)
-                reg.counter(
-                    "exchange_items_round_total",
-                    "Items exchanged per round",
-                    engine=backend,
-                    round=rnd,
-                ).inc(int(round_counts.sum()))
+            with recording_region(recorder, f"round{rnd}", cat="round", round=rnd):
+                send_flat, send_lengths, round_counts, round_owned = self._round_gather(
+                    fp, rnd, n_rounds
+                )
+                label = f"{config.mode}-exchange" + (f"-round{rnd}" if n_rounds > 1 else "")
+                exch_name = "fused:exchange" + (f"-round{rnd}" if n_rounds > 1 else "")
+                n_traffic_before = len(stats.records)
+                with recording_region(recorder, "exchange", cat="stage", round=rnd) as ereg:
+                    t0 = perf_counter()
+                    shuffled, shuffled_lengths, dst_offsets, seconds, t_a2av, t_stage = (
+                        self._exchange(send_flat, send_lengths, round_counts, label, sctx)
+                    )
+                    if recorder is not None:
+                        recorder.record(exch_name, 0, t0, perf_counter())
+                    if ereg is not None:
+                        ereg.note(
+                            label=label,
+                            traffic_records=[n_traffic_before, len(stats.records)],
+                            items=int(round_counts.sum()),
+                            model_seconds=seconds,
+                        )
+                if round_owned:
+                    self.arena.release(send_flat, send_lengths)
+                counts_matrix_total += round_counts
+                t_exchange += seconds
+                t_alltoallv += t_a2av
+                staging_total += t_stage
+                if reg is not None:
+                    backend = comp.backend
+                    reg.counter(
+                        "exchange_rounds_total", "Exchange/count rounds executed", engine=backend
+                    ).inc()
+                    reg.counter(
+                        "exchange_model_seconds_total",
+                        "Modeled exchange seconds (overhead + network + staging)",
+                        engine=backend,
+                        round=rnd,
+                    ).inc(seconds)
+                    reg.counter(
+                        "alltoallv_model_seconds_total",
+                        "Modeled MPI_Alltoallv routine seconds",
+                        engine=backend,
+                        round=rnd,
+                    ).inc(t_a2av)
+                    reg.counter(
+                        "staging_model_seconds_total",
+                        "Modeled host<->device staging seconds",
+                        engine=backend,
+                        round=rnd,
+                    ).inc(t_stage)
+                    reg.counter(
+                        "exchange_items_round_total",
+                        "Items exchanged per round",
+                        engine=backend,
+                        round=rnd,
+                    ).inc(int(round_counts.sum()))
 
-            count_label = "count" + (f"-round{rnd}" if n_rounds > 1 else "")
-            t0 = perf_counter()
-            times, n_seen, ins_list = self._count(
-                table, shuffled, shuffled_lengths, dst_offsets, sctx
-            )
-            if recorder is not None:
-                recorder.record(count_label, 0, t0, perf_counter())
-            self.arena.release(shuffled, shuffled_lengths)
-            per_rank_count += times
-            received_kmers += n_seen
-            for ins in ins_list:
-                insert_total = insert_total.combined(ins)
+                count_label = "fused:count" + (f"-round{rnd}" if n_rounds > 1 else "")
+                with recording_region(recorder, "count", cat="stage", round=rnd):
+                    t0 = perf_counter()
+                    times, n_seen, ins_list = self._count(
+                        table, shuffled, shuffled_lengths, dst_offsets, sctx
+                    )
+                    if recorder is not None:
+                        recorder.record(count_label, 0, t0, perf_counter())
+                self.arena.release(shuffled, shuffled_lengths)
+                per_rank_count += times
+                received_kmers += n_seen
+                for ins in ins_list:
+                    insert_total = insert_total.combined(ins)
 
         self.arena.release(fp.data, fp.lengths)
         t_count = float(per_rank_count.max()) if p else 0.0
@@ -615,10 +638,14 @@ class FusedPipeline:
         # merge is one global np.unique over the concatenation, which is
         # order-insensitive (integer count sums are exact in float64), so
         # a single whole-table extraction replaces p masked key sorts.
-        if comp.merge.plugins:
-            spectrum = comp.merge.merge_items([table.items_of(r) for r in range(p)], config.k)
-        else:
-            spectrum = comp.merge.merge_items([table.items_flat()], config.k)
+        with recording_region(recorder, "merge", cat="stage"):
+            t0 = perf_counter()
+            if comp.merge.plugins:
+                spectrum = comp.merge.merge_items([table.items_of(r) for r in range(p)], config.k)
+            else:
+                spectrum = comp.merge.merge_items([table.items_flat()], config.k)
+            if recorder is not None:
+                recorder.record("fused:merge", 0, t0, perf_counter())
         if comp.conserves_kmers and spectrum.n_total != total_parsed_kmers:
             raise AssertionError(
                 f"pipeline lost k-mers: parsed {total_parsed_kmers}, counted {spectrum.n_total}"
@@ -671,18 +698,35 @@ class FusedPipeline:
         sched = self.sched
         config = sched.config
         p = sched.cluster.n_ranks
-        sctx = sched._context(None, state.traffic, None, None, verify=False)
+        recorder = sched.opts.span_recorder
+        sctx = sched._context(None, state.traffic, recorder, None, verify=False)
 
         # Prepare before sharding, matching the one-shot and staged paths.
         sched._prepare_plugins(reads)
         shards = sched._shard(reads)
-        fp = self._parse(shards, sctx)
+        with recording_region(recorder, "parse", cat="stage"):
+            t0 = perf_counter()
+            fp = self._parse(shards, sctx)
+            if recorder is not None:
+                recorder.record("fused:parse", 0, t0, perf_counter())
         t_parse = float(fp.times.max()) if p else 0.0
 
         label = f"{config.mode}-batch{state.n_batches}"
-        shuffled, shuffled_lengths, dst_offsets, seconds, _t_a2av, _t_stage = self._exchange(
-            fp.data, fp.lengths, fp.counts_matrix, label, sctx
-        )
+        n_traffic_before = len(state.traffic.records)
+        with recording_region(recorder, "exchange", cat="stage") as ereg:
+            t0 = perf_counter()
+            shuffled, shuffled_lengths, dst_offsets, seconds, _t_a2av, _t_stage = self._exchange(
+                fp.data, fp.lengths, fp.counts_matrix, label, sctx
+            )
+            if recorder is not None:
+                recorder.record("fused:exchange", 0, t0, perf_counter())
+            if ereg is not None:
+                ereg.note(
+                    label=label,
+                    traffic_records=[n_traffic_before, len(state.traffic.records)],
+                    items=int(fp.counts_matrix.sum()),
+                    model_seconds=seconds,
+                )
 
         table = state.fused_table
         if table is None:
@@ -692,7 +736,13 @@ class FusedPipeline:
             state.fused_table = table
             state.tables = table.views()
 
-        times, n_seen, ins_list = self._count(table, shuffled, shuffled_lengths, dst_offsets, sctx)
+        with recording_region(recorder, "count", cat="stage"):
+            t0 = perf_counter()
+            times, n_seen, ins_list = self._count(
+                table, shuffled, shuffled_lengths, dst_offsets, sctx
+            )
+            if recorder is not None:
+                recorder.record("fused:count", 0, t0, perf_counter())
         self.arena.release(shuffled, shuffled_lengths, fp.data, fp.lengths)
         for r in range(p):
             state.received_kmers[r] += int(n_seen[r])

@@ -44,7 +44,7 @@ from ...telemetry import MetricRegistry, event, session
 from ..config import PipelineConfig
 from ..parallel import get_pool
 from ..results import CountResult, PhaseTiming
-from ..tracing import WallClockRecorder
+from ..tracing import WallClockRecorder, recording_region
 from .buffers import RankParse
 from .context import EngineOptions, StageContext
 from .registry import StageComposition
@@ -337,8 +337,17 @@ class RoundScheduler:
             ranks=self.cluster.n_ranks,
             reads=reads.n_reads,
         )
+        strategy = "spill" if self._spill() is not None else ("fused" if self._fused() is not None else "staged")
         ctx = session(reg) if reg is not None else nullcontext()
-        with ctx:
+        with ctx, recording_region(
+            recorder,
+            "run",
+            cat="run",
+            strategy=strategy,
+            backend=self.comp.backend,
+            mode=self.config.mode,
+            ranks=self.cluster.n_ranks,
+        ):
             result = self._run_once(reads, recorder, reg)
         if reg is not None:
             _record_run_metrics(reg, result, recorder)
@@ -385,7 +394,8 @@ class RoundScheduler:
                 recorder.record("parse", r, t0, perf_counter())
             return out
 
-        parsed: list[RankParse] = pool.map(_parse_one, range(p))
+        with recording_region(recorder, "parse", cat="stage"):
+            parsed: list[RankParse] = pool.map(_parse_one, range(p))
         t_parse = max(pr.time_s for pr in parsed)
         total_parsed_kmers = sum(pr.n_kmers_parsed for pr in parsed)
 
@@ -408,69 +418,90 @@ class RoundScheduler:
         insert_total = InsertStats.zero()
 
         for rnd in range(n_rounds):
-            round_send = [_round_slice(pr, rnd, n_rounds) for pr in parsed]
-            send_data = [rs[0] for rs in round_send]
-            send_lengths = [rs[1] for rs in round_send] if supermer_mode else None
-            send_counts = [rs[2] for rs in round_send]
-            label = f"{config.mode}-exchange" + (f"-round{rnd}" if n_rounds > 1 else "")
-            outcome = comp.exchange.exchange(send_data, send_lengths, send_counts, label, sctx)
-            counts_matrix_total += outcome.counts_matrix
-            t_exchange += outcome.seconds
-            t_alltoallv += outcome.alltoallv_seconds
-            staging_total += outcome.staging_seconds
-            if reg is not None:
-                backend = comp.backend
-                reg.counter("exchange_rounds_total", "Exchange/count rounds executed", engine=backend).inc()
-                reg.counter(
-                    "exchange_model_seconds_total",
-                    "Modeled exchange seconds (overhead + network + staging)",
-                    engine=backend,
-                    round=rnd,
-                ).inc(outcome.seconds)
-                reg.counter(
-                    "alltoallv_model_seconds_total",
-                    "Modeled MPI_Alltoallv routine seconds",
-                    engine=backend,
-                    round=rnd,
-                ).inc(outcome.alltoallv_seconds)
-                reg.counter(
-                    "staging_model_seconds_total",
-                    "Modeled host<->device staging seconds",
-                    engine=backend,
-                    round=rnd,
-                ).inc(outcome.staging_seconds)
-                reg.counter(
-                    "exchange_items_round_total",
-                    "Items exchanged per round",
-                    engine=backend,
-                    round=rnd,
-                ).inc(int(outcome.counts_matrix.sum()))
+            with recording_region(recorder, f"round{rnd}", cat="round", round=rnd):
+                round_send = [_round_slice(pr, rnd, n_rounds) for pr in parsed]
+                send_data = [rs[0] for rs in round_send]
+                send_lengths = [rs[1] for rs in round_send] if supermer_mode else None
+                send_counts = [rs[2] for rs in round_send]
+                label = f"{config.mode}-exchange" + (f"-round{rnd}" if n_rounds > 1 else "")
+                exch_name = "exchange" + (f"-round{rnd}" if n_rounds > 1 else "")
+                n_traffic_before = len(stats.records)
+                with recording_region(recorder, "exchange", cat="stage", round=rnd) as ereg:
+                    t0x = perf_counter()
+                    outcome = comp.exchange.exchange(send_data, send_lengths, send_counts, label, sctx)
+                    if recorder is not None:
+                        recorder.record(exch_name, 0, t0x, perf_counter())
+                    if ereg is not None:
+                        # Causal link: the traffic records this collective appended.
+                        ereg.note(
+                            label=label,
+                            traffic_records=[n_traffic_before, len(stats.records)],
+                            items=int(outcome.counts_matrix.sum()),
+                            model_seconds=outcome.seconds,
+                        )
+                counts_matrix_total += outcome.counts_matrix
+                t_exchange += outcome.seconds
+                t_alltoallv += outcome.alltoallv_seconds
+                staging_total += outcome.staging_seconds
+                if reg is not None:
+                    backend = comp.backend
+                    reg.counter("exchange_rounds_total", "Exchange/count rounds executed", engine=backend).inc()
+                    reg.counter(
+                        "exchange_model_seconds_total",
+                        "Modeled exchange seconds (overhead + network + staging)",
+                        engine=backend,
+                        round=rnd,
+                    ).inc(outcome.seconds)
+                    reg.counter(
+                        "alltoallv_model_seconds_total",
+                        "Modeled MPI_Alltoallv routine seconds",
+                        engine=backend,
+                        round=rnd,
+                    ).inc(outcome.alltoallv_seconds)
+                    reg.counter(
+                        "staging_model_seconds_total",
+                        "Modeled host<->device staging seconds",
+                        engine=backend,
+                        round=rnd,
+                    ).inc(outcome.staging_seconds)
+                    reg.counter(
+                        "exchange_items_round_total",
+                        "Items exchanged per round",
+                        engine=backend,
+                        round=rnd,
+                    ).inc(int(outcome.counts_matrix.sum()))
 
-            # ---- count phase ----
-            # Rank r's count touches only recv_data[r] and its own table
-            # partition, so ranks run concurrently; the stats reduction below
-            # stays in rank order (pool.map returns results in input order) so
-            # the combined InsertStats is identical to the sequential engine's.
-            count_label = "count" + (f"-round{rnd}" if n_rounds > 1 else "")
-            recv_data, recv_lengths = outcome.recv_data, outcome.recv_lengths
+                # ---- count phase ----
+                # Rank r's count touches only recv_data[r] and its own table
+                # partition, so ranks run concurrently; the stats reduction below
+                # stays in rank order (pool.map returns results in input order) so
+                # the combined InsertStats is identical to the sequential engine's.
+                count_label = "count" + (f"-round{rnd}" if n_rounds > 1 else "")
+                recv_data, recv_lengths = outcome.recv_data, outcome.recv_lengths
 
-            def _count_one(r: int):
-                lengths_r = recv_lengths[r] if recv_lengths is not None else None
-                t0 = perf_counter()
-                out = comp.substrate.count_rank(r, recv_data[r], lengths_r, tables[r], comp.count, sctx)
-                if recorder is not None:
-                    recorder.record(count_label, r, t0, perf_counter())
-                return out
+                def _count_one(r: int):
+                    lengths_r = recv_lengths[r] if recv_lengths is not None else None
+                    t0 = perf_counter()
+                    out = comp.substrate.count_rank(r, recv_data[r], lengths_r, tables[r], comp.count, sctx)
+                    if recorder is not None:
+                        recorder.record(count_label, r, t0, perf_counter())
+                    return out
 
-            for r, co in enumerate(pool.map(_count_one, range(p))):
-                per_rank_count[r] += co.time_s
-                received_kmers[r] += co.n_instances
-                insert_total = insert_total.combined(co.insert_stats)
+                with recording_region(recorder, "count", cat="stage", round=rnd):
+                    counted = pool.map(_count_one, range(p))
+                for r, co in enumerate(counted):
+                    per_rank_count[r] += co.time_s
+                    received_kmers[r] += co.n_instances
+                    insert_total = insert_total.combined(co.insert_stats)
 
         t_count = float(per_rank_count.max()) if p else 0.0
 
         # ---- merge the partitioned global table into one spectrum ----
-        spectrum = comp.merge.merge_tables(tables, config.k)
+        with recording_region(recorder, "merge", cat="stage"):
+            t0m = perf_counter()
+            spectrum = comp.merge.merge_tables(tables, config.k)
+            if recorder is not None:
+                recorder.record("merge", 0, t0m, perf_counter())
         if comp.conserves_kmers and spectrum.n_total != total_parsed_kmers:
             raise AssertionError(
                 f"pipeline lost k-mers: parsed {total_parsed_kmers}, counted {spectrum.n_total}"
@@ -526,49 +557,86 @@ class RoundScheduler:
 
         Single-round by construction (streamed batches are already small);
         the exchange skips the checksum verification pass, matching the
-        original incremental counter exactly.
+        original incremental counter exactly.  When ``opts.span_recorder``
+        is set (``trace=`` / ``--trace``), the batch records a ``batch{n}``
+        region with the same stage/work structure as the one-shot run.
         """
-        spill = self._spill()
-        if spill is not None:
-            return spill.run_batch(reads, state)
-        fused = self._fused()
-        if fused is not None:
-            return fused.run_batch(reads, state)
+        recorder = self.opts.span_recorder
+        with recording_region(
+            recorder, f"batch{state.n_batches}", cat="batch", batch=state.n_batches
+        ):
+            spill = self._spill()
+            if spill is not None:
+                return spill.run_batch(reads, state)
+            fused = self._fused()
+            if fused is not None:
+                return fused.run_batch(reads, state)
+            return self._run_batch_staged(reads, state, recorder)
+
+    def _run_batch_staged(
+        self, reads: ReadSet, state: PipelineState, recorder: WallClockRecorder | None
+    ) -> PhaseTiming:
         comp = self.comp
         config = self.config
         p = self.cluster.n_ranks
         pool = get_pool(self.opts.parallel)
-        sctx = self._context(pool, state.traffic, None, None, verify=False)
+        sctx = self._context(pool, state.traffic, recorder, None, verify=False)
 
         # Plugins prepare before sharding, exactly as `run` does: a plugin
         # whose `prepare` influences partitioning must see the same state on
         # the streamed path as on the one-shot path.
         self._prepare_plugins(reads)
         shards = self._shard(reads)
+
         # Same parallel rank-execution contract as the one-shot run: pool.map
         # keeps rank order, each closure touches rank-private state only,
         # so batches fold in bit-identically to the sequential loop.
-        parsed = pool.map(
-            lambda shard: comp.substrate.parse_rank(shard, comp.parse, comp.partition, sctx), shards
-        )
+        def _parse_one(r: int) -> RankParse:
+            t0 = perf_counter()
+            out = comp.substrate.parse_rank(shards[r], comp.parse, comp.partition, sctx)
+            if recorder is not None:
+                recorder.record("parse", r, t0, perf_counter())
+            return out
+
+        with recording_region(recorder, "parse", cat="stage"):
+            parsed = pool.map(_parse_one, range(p))
         t_parse = max(pr.time_s for pr in parsed)
 
         supermer_mode = sctx.supermer_mode
-        outcome = comp.exchange.exchange(
-            [pr.data for pr in parsed],
-            [pr.lengths for pr in parsed] if supermer_mode else None,
-            [pr.counts for pr in parsed],
-            f"{config.mode}-batch{state.n_batches}",
-            sctx,
-        )
+        label = f"{config.mode}-batch{state.n_batches}"
+        n_traffic_before = len(state.traffic.records)
+        with recording_region(recorder, "exchange", cat="stage") as ereg:
+            t0x = perf_counter()
+            outcome = comp.exchange.exchange(
+                [pr.data for pr in parsed],
+                [pr.lengths for pr in parsed] if supermer_mode else None,
+                [pr.counts for pr in parsed],
+                label,
+                sctx,
+            )
+            if recorder is not None:
+                recorder.record("exchange", 0, t0x, perf_counter())
+            if ereg is not None:
+                ereg.note(
+                    label=label,
+                    traffic_records=[n_traffic_before, len(state.traffic.records)],
+                    items=int(outcome.counts_matrix.sum()),
+                    model_seconds=outcome.seconds,
+                )
         recv_data, recv_lengths = outcome.recv_data, outcome.recv_lengths
 
         def _count_one(r: int):
             lengths_r = recv_lengths[r] if recv_lengths is not None else None
-            return comp.substrate.count_rank(r, recv_data[r], lengths_r, state.tables[r], comp.count, sctx)
+            t0 = perf_counter()
+            out = comp.substrate.count_rank(r, recv_data[r], lengths_r, state.tables[r], comp.count, sctx)
+            if recorder is not None:
+                recorder.record("count", r, t0, perf_counter())
+            return out
 
         per_rank_count = np.zeros(p, dtype=np.float64)
-        for r, co in enumerate(pool.map(_count_one, range(p))):
+        with recording_region(recorder, "count", cat="stage"):
+            counted = pool.map(_count_one, range(p))
+        for r, co in enumerate(counted):
             per_rank_count[r] = co.time_s
             state.received_kmers[r] += co.n_instances
             state.insert_stats = state.insert_stats.combined(co.insert_stats)

@@ -55,6 +55,7 @@ from ...kmers.spectrum import KmerSpectrum
 from ...mpi.stats import TrafficStats
 from ...telemetry import active
 from ..results import CountResult, PhaseTiming
+from ..tracing import recording_region
 from .buffers import ExchangeOutcome, RankParse
 from .registry import StageComposition
 from .standard import AlltoallvExchange, SpectrumMerge, exchange_time_model, verify_exchange
@@ -400,7 +401,8 @@ class SpillPipeline:
                     recorder.record("parse", r, t0, perf_counter())
                 return out
 
-            parsed: list[RankParse] = pool.map(_parse_one, range(p))
+            with recording_region(recorder, "parse", cat="stage"):
+                parsed: list[RankParse] = pool.map(_parse_one, range(p))
             t_parse = max(pr.time_s for pr in parsed)
             total_parsed_kmers = sum(pr.n_kmers_parsed for pr in parsed)
 
@@ -417,20 +419,37 @@ class SpillPipeline:
             staging_total = 0.0
             labels: list[str] = []
             for rnd in range(n_rounds):
-                round_send = [_round_slice(pr, rnd, n_rounds) for pr in parsed]
-                send_data = [rs[0] for rs in round_send]
-                send_lengths = [rs[1] for rs in round_send] if supermer_mode else None
-                send_counts = [rs[2] for rs in round_send]
-                label = f"{config.mode}-exchange" + (f"-round{rnd}" if n_rounds > 1 else "")
-                labels.append(label)
-                outcome = exchange.exchange(send_data, send_lengths, send_counts, label, sctx)
-                # outcome's receive views exist only for the checksum pass;
-                # the streamed count phase re-maps each rank's partition.
-                counts_matrix_total += outcome.counts_matrix
-                t_exchange += outcome.seconds
-                t_alltoallv += outcome.alltoallv_seconds
-                staging_total += outcome.staging_seconds
-                _round_metrics(reg, comp.backend, rnd, outcome)
+                with recording_region(recorder, f"round{rnd}", cat="round", round=rnd):
+                    round_send = [_round_slice(pr, rnd, n_rounds) for pr in parsed]
+                    send_data = [rs[0] for rs in round_send]
+                    send_lengths = [rs[1] for rs in round_send] if supermer_mode else None
+                    send_counts = [rs[2] for rs in round_send]
+                    label = f"{config.mode}-exchange" + (f"-round{rnd}" if n_rounds > 1 else "")
+                    labels.append(label)
+                    # The spool write is the spill path's exchange superstep:
+                    # one whole-cluster block on the driving thread (rank 0
+                    # wall row), like the fused path's supersteps.
+                    spool_name = "spill:spool" + (f"-round{rnd}" if n_rounds > 1 else "")
+                    n_traffic_before = len(stats.records)
+                    with recording_region(recorder, "exchange", cat="stage", round=rnd) as ereg:
+                        t0 = perf_counter()
+                        outcome = exchange.exchange(send_data, send_lengths, send_counts, label, sctx)
+                        if recorder is not None:
+                            recorder.record(spool_name, 0, t0, perf_counter())
+                        if ereg is not None:
+                            ereg.note(
+                                label=label,
+                                traffic_records=[n_traffic_before, len(stats.records)],
+                                items=int(outcome.counts_matrix.sum()),
+                                model_seconds=outcome.seconds,
+                            )
+                    # outcome's receive views exist only for the checksum pass;
+                    # the streamed count phase re-maps each rank's partition.
+                    counts_matrix_total += outcome.counts_matrix
+                    t_exchange += outcome.seconds
+                    t_alltoallv += outcome.alltoallv_seconds
+                    staging_total += outcome.staging_seconds
+                    _round_metrics(reg, comp.backend, rnd, outcome)
 
             # The big destination-ordered send buffers are now on disk;
             # free them before the count phase so peak residency is one
@@ -447,39 +466,49 @@ class SpillPipeline:
             insert_total = InsertStats.zero()
             table_entries = np.zeros(p, dtype=np.int64)
             table_load = np.zeros(p, dtype=np.float64)
-            for r in range(p):
-                table = DeviceHashTable(capacity_hint=capacity_hints[r], seed=config.table_seed)
-                for rnd, label in enumerate(labels):
-                    recv = spool.map_partition(label, r, np.uint64)
-                    lengths_r = (
-                        spool.map_partition(label, r, np.uint8, lens=True) if supermer_mode else None
-                    )
-                    count_label = "count" + (f"-round{rnd}" if n_rounds > 1 else "")
+            with recording_region(recorder, "count", cat="stage"):
+                for r in range(p):
+                    table = DeviceHashTable(capacity_hint=capacity_hints[r], seed=config.table_seed)
+                    for rnd, label in enumerate(labels):
+                        recv = spool.map_partition(label, r, np.uint64)
+                        lengths_r = (
+                            spool.map_partition(label, r, np.uint8, lens=True)
+                            if supermer_mode
+                            else None
+                        )
+                        count_label = "count" + (f"-round{rnd}" if n_rounds > 1 else "")
+                        t0 = perf_counter()
+                        co = comp.substrate.count_rank(r, recv, lengths_r, table, comp.count, sctx)
+                        if recorder is not None:
+                            recorder.record(count_label, r, t0, perf_counter())
+                        per_rank_count[r] += co.time_s
+                        received_kmers[r] += co.n_instances
+                        insert_total = insert_total.combined(co.insert_stats)
+                        del recv, lengths_r
+                    for label in labels:
+                        spool.drop_partitions(label, r)
+                    table_entries[r] = table.n_entries
+                    table_load[r] = table.load_factor
                     t0 = perf_counter()
-                    co = comp.substrate.count_rank(r, recv, lengths_r, table, comp.count, sctx)
+                    values, counts = table.items()
+                    for plugin in comp.merge.plugins:
+                        values, counts = plugin.adjust_merge_items(values, counts)
+                    if values.size > 1 and not np.all(values[1:] > values[:-1]):
+                        order = np.argsort(values, kind="stable")
+                        values, counts = values[order], counts[order]
+                    spool.write_run(r, values, counts)
                     if recorder is not None:
-                        recorder.record(count_label, r, t0, perf_counter())
-                    per_rank_count[r] += co.time_s
-                    received_kmers[r] += co.n_instances
-                    insert_total = insert_total.combined(co.insert_stats)
-                    del recv, lengths_r
-                for label in labels:
-                    spool.drop_partitions(label, r)
-                table_entries[r] = table.n_entries
-                table_load[r] = table.load_factor
-                values, counts = table.items()
-                for plugin in comp.merge.plugins:
-                    values, counts = plugin.adjust_merge_items(values, counts)
-                if values.size > 1 and not np.all(values[1:] > values[:-1]):
-                    order = np.argsort(values, kind="stable")
-                    values, counts = values[order], counts[order]
-                spool.write_run(r, values, counts)
-                del table, values, counts
+                        recorder.record("spill:run-write", r, t0, perf_counter())
+                    del table, values, counts
 
             t_count = float(per_rank_count.max()) if p else 0.0
 
             # ---- phase 4: external merge of the sorted runs ----
-            spectrum = external_merge([spool.map_run(r) for r in range(p)], config.k)
+            with recording_region(recorder, "merge", cat="stage"):
+                t0 = perf_counter()
+                spectrum = external_merge([spool.map_run(r) for r in range(p)], config.k)
+                if recorder is not None:
+                    recorder.record("spill:merge", 0, t0, perf_counter())
             if comp.conserves_kmers and spectrum.n_total != total_parsed_kmers:
                 raise AssertionError(
                     f"pipeline lost k-mers: parsed {total_parsed_kmers}, counted {spectrum.n_total}"
@@ -544,27 +573,46 @@ class SpillPipeline:
         from ..parallel import get_pool
 
         pool = get_pool(sched.opts.parallel)
-        sctx = sched._context(pool, state.traffic, None, None, verify=False)
+        recorder = sched.opts.span_recorder
+        sctx = sched._context(pool, state.traffic, recorder, None, verify=False)
         spool = self._spool()
         try:
             exchange = SpillExchange(spool, account_reads=False)
             sched._prepare_plugins(reads)
             shards = sched._shard(reads)
-            parsed = pool.map(
-                lambda shard: comp.substrate.parse_rank(shard, comp.parse, comp.partition, sctx),
-                shards,
-            )
+
+            def _parse_one(r: int):
+                t0 = perf_counter()
+                out = comp.substrate.parse_rank(shards[r], comp.parse, comp.partition, sctx)
+                if recorder is not None:
+                    recorder.record("parse", r, t0, perf_counter())
+                return out
+
+            with recording_region(recorder, "parse", cat="stage"):
+                parsed = pool.map(_parse_one, range(p))
             t_parse = max(pr.time_s for pr in parsed)
 
             supermer_mode = sctx.supermer_mode
             label = f"{config.mode}-batch{state.n_batches}"
-            outcome = exchange.exchange(
-                [pr.data for pr in parsed],
-                [pr.lengths for pr in parsed] if supermer_mode else None,
-                [pr.counts for pr in parsed],
-                label,
-                sctx,
-            )
+            n_traffic_before = len(state.traffic.records)
+            with recording_region(recorder, "exchange", cat="stage") as ereg:
+                t0 = perf_counter()
+                outcome = exchange.exchange(
+                    [pr.data for pr in parsed],
+                    [pr.lengths for pr in parsed] if supermer_mode else None,
+                    [pr.counts for pr in parsed],
+                    label,
+                    sctx,
+                )
+                if recorder is not None:
+                    recorder.record("spill:spool", 0, t0, perf_counter())
+                if ereg is not None:
+                    ereg.note(
+                        label=label,
+                        traffic_records=[n_traffic_before, len(state.traffic.records)],
+                        items=int(outcome.counts_matrix.sum()),
+                        model_seconds=outcome.seconds,
+                    )
             counts_matrix = outcome.counts_matrix
             exch_seconds = outcome.seconds
             # The batch's send buffers are on disk now: free them (and the
@@ -572,17 +620,23 @@ class SpillPipeline:
             del parsed, outcome
 
             per_rank_count = np.zeros(p, dtype=np.float64)
-            for r in range(p):
-                recv = spool.map_partition(label, r, np.uint64)
-                lengths_r = (
-                    spool.map_partition(label, r, np.uint8, lens=True) if supermer_mode else None
-                )
-                co = comp.substrate.count_rank(r, recv, lengths_r, state.tables[r], comp.count, sctx)
-                per_rank_count[r] = co.time_s
-                state.received_kmers[r] += co.n_instances
-                state.insert_stats = state.insert_stats.combined(co.insert_stats)
-                del recv, lengths_r
-                spool.drop_partitions(label, r)
+            with recording_region(recorder, "count", cat="stage"):
+                for r in range(p):
+                    recv = spool.map_partition(label, r, np.uint64)
+                    lengths_r = (
+                        spool.map_partition(label, r, np.uint8, lens=True) if supermer_mode else None
+                    )
+                    t0 = perf_counter()
+                    co = comp.substrate.count_rank(
+                        r, recv, lengths_r, state.tables[r], comp.count, sctx
+                    )
+                    if recorder is not None:
+                        recorder.record("count", r, t0, perf_counter())
+                    per_rank_count[r] = co.time_s
+                    state.received_kmers[r] += co.n_instances
+                    state.insert_stats = state.insert_stats.combined(co.insert_stats)
+                    del recv, lengths_r
+                    spool.drop_partitions(label, r)
 
             batch_timing = PhaseTiming(
                 parse=t_parse, exchange=exch_seconds, count=float(per_rank_count.max()) if p else 0.0

@@ -16,17 +16,33 @@ rank after another); under the parallel engine (``REPRO_PARALLEL``) they
 overlap, and :meth:`WallClockRecorder.overlap_factor` quantifies by how
 much.  Model time and wall time are deliberately separate timelines —
 parallel execution changes only the second.
+
+A third timeline arrived with hierarchical tracing
+(:class:`repro.telemetry.spans.SpanRecorder`): the scheduler's region tree
+(run → batch → round → stage) with the per-rank wall spans as its leaves.
+:func:`run_trace_payload` / :func:`write_run_trace` assemble all three
+into one trace file (schema ``repro-trace/1``) consumed by
+``chrome://tracing`` / Perfetto *and* by ``repro analyze``
+(:mod:`repro.core.analysis`).  :func:`recording_region` is the engine-side
+glue: a no-op on ``None`` or a plain :class:`WallClockRecorder`, a real
+nested region on a :class:`~repro.telemetry.spans.SpanRecorder` — so the
+scheduler instruments one way and tracing stays strictly opt-in.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
+from ..telemetry.spans import SpanRecorder, span_payload, span_tree_events
 from .results import CountResult
+
+if TYPE_CHECKING:  # typing only — no runtime import cycle
+    from .incremental import DistributedCounter
 
 __all__ = [
     "trace_events",
@@ -35,9 +51,16 @@ __all__ = [
     "WallClockRecorder",
     "wall_trace_events",
     "write_wall_trace",
+    "recording_region",
+    "TRACE_SCHEMA",
+    "run_trace_payload",
+    "write_run_trace",
 ]
 
 _US = 1e6  # trace timestamps are microseconds
+
+#: Schema tag of the run-trace JSON file (validated by tools/check_trace.py).
+TRACE_SCHEMA = "repro-trace/1"
 
 
 def trace_events(result: CountResult, *, max_ranks: int | None = 64) -> list[dict[str, Any]]:
@@ -180,6 +203,26 @@ class WallClockRecorder:
         with self._lock:
             return len(self._spans)
 
+    def region(self, name: str, *, cat: str = "stage", rank: int | None = None, **meta: Any):
+        """No-op region: hierarchy needs a :class:`SpanRecorder` (same API)."""
+        del name, cat, rank, meta
+        return nullcontext(None)
+
+
+def recording_region(recorder: Any, name: str, *, cat: str = "stage", **meta: Any):
+    """A region context on whatever recorder the run carries.
+
+    ``None`` (tracing off) and :class:`WallClockRecorder` (flat wall spans
+    only) yield ``None``; a :class:`~repro.telemetry.spans.SpanRecorder`
+    opens a real nested region and yields its handle (``.note(**kv)``
+    attaches late metadata).  Engine code wraps phases with this
+    unconditionally — the overhead when tracing is off is one ``is None``
+    check and a ``nullcontext``.
+    """
+    if recorder is None:
+        return nullcontext(None)
+    return recorder.region(name, cat=cat, **meta)
+
 
 def wall_trace_events(recorder: WallClockRecorder) -> list[dict[str, Any]]:
     """Chrome trace events of the recorded wall-clock spans.
@@ -259,5 +302,122 @@ def write_chrome_trace(
             "total_model_seconds": result.timing.total,
         },
     }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# The combined run trace (schema repro-trace/1)
+# ---------------------------------------------------------------------------
+
+
+def run_trace_payload(
+    recorder: "WallClockRecorder | SpanRecorder | None",
+    *,
+    result: CountResult | None = None,
+    counter: "DistributedCounter | None" = None,
+    registry: Any | None = None,
+    profile_text: str | None = None,
+    max_ranks: int | None = 64,
+) -> dict[str, Any]:
+    """Assemble every timeline of one run into the ``repro-trace/1`` payload.
+
+    Tracks, by Chrome-trace ``pid``:
+
+    * ``pid 0`` — the *model* timeline (per-rank parse/exchange/count in
+      modeled seconds; requires ``result``);
+    * ``pid 1`` — the *wall* timeline (per-rank work spans as the host
+      executed them; any recorder);
+    * ``pid 2`` — the scheduler's nested region tree (run → batch → round
+      → stage; :class:`~repro.telemetry.spans.SpanRecorder` only);
+    * counter tracks from ``registry`` (``ph: "C"``), when given.
+
+    Beyond ``traceEvents`` the payload carries the raw ``"spans"`` array
+    (the analysis input; see :func:`repro.core.analysis.analyze_spans`)
+    and a ``"metadata"`` section with the deterministic model phase
+    seconds, run identity, wall summary, and — when ``repro count
+    --profile --trace`` ran — the embedded cProfile rendering that
+    ``repro analyze --profile`` prints.
+    """
+    if result is None and counter is None and recorder is None:
+        raise ValueError("run_trace_payload needs a recorder, a result, or a counter")
+
+    events: list[dict[str, Any]] = []
+    if result is not None:
+        events.extend(trace_events(result, max_ranks=max_ranks))
+    if recorder is not None:
+        events.extend(wall_trace_events(recorder))
+        if isinstance(recorder, SpanRecorder):
+            events.extend(span_tree_events(recorder))
+    if registry is not None:
+        from ..telemetry import metric_trace_events
+
+        events.extend(metric_trace_events(registry, result=result))
+
+    run_meta: dict[str, Any] = {}
+    phases: dict[str, float] = {}
+    source = result if result is not None else counter
+    if source is not None:
+        t = source.timing
+        phases = {
+            "parse_s": t.parse,
+            "exchange_s": t.exchange,
+            "count_s": t.count,
+            "total_s": t.total,
+        }
+        run_meta = {
+            "backend": source.backend,
+            "config": source.config.describe(),
+            "mode": source.config.mode,
+            "k": source.config.k,
+            "cluster": source.cluster.name,
+            "ranks": source.cluster.n_ranks,
+        }
+        if counter is not None:
+            run_meta["batches"] = counter.n_batches
+            run_meta["total_kmers"] = counter.total_kmers
+
+    wall: dict[str, Any] = {}
+    if recorder is not None and len(recorder):
+        wall = {
+            "busy_seconds": recorder.busy_seconds(),
+            "elapsed_seconds": recorder.elapsed_seconds(),
+            "overlap_factor": recorder.overlap_factor(),
+        }
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "spans": span_payload(recorder) if isinstance(recorder, SpanRecorder) else [],
+        "metadata": {
+            "schema": TRACE_SCHEMA,
+            "run": run_meta,
+            "phases": phases,
+            "wall": wall,
+            "profile": profile_text,
+        },
+    }
+
+
+def write_run_trace(
+    path: str | Path,
+    recorder: "WallClockRecorder | SpanRecorder | None",
+    *,
+    result: CountResult | None = None,
+    counter: "DistributedCounter | None" = None,
+    registry: Any | None = None,
+    profile_text: str | None = None,
+    max_ranks: int | None = 64,
+) -> Path:
+    """Write :func:`run_trace_payload` as JSON (the ``--trace`` output)."""
+    path = Path(path)
+    payload = run_trace_payload(
+        recorder,
+        result=result,
+        counter=counter,
+        registry=registry,
+        profile_text=profile_text,
+        max_ranks=max_ranks,
+    )
     path.write_text(json.dumps(payload))
     return path

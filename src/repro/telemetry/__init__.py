@@ -12,6 +12,11 @@ Everything observable about a run flows through here:
   (:mod:`repro.telemetry.report`);
 * exporters — JSON snapshot, Prometheus text format, Chrome-trace counter
   tracks (:mod:`repro.telemetry.export`);
+* :class:`SpanRecorder` — the hierarchical wall-clock span log behind
+  ``EngineOptions(trace=)`` / ``repro analyze``
+  (:mod:`repro.telemetry.spans`);
+* :class:`MetricsServer` — the live ``/metrics`` HTTP endpoint behind
+  ``repro count --metrics-port`` (:mod:`repro.telemetry.server`);
 * the structured event log with the ``REPRO_LOG``/``--log-level`` switch
   (:mod:`repro.telemetry.log`).
 
@@ -27,6 +32,8 @@ from .log import configure_from_env, event, get_logger
 from .registry import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricRegistry
 from .report import RunReport
 from .runtime import active, session
+from .server import MetricsServer
+from .spans import SPAN_CATEGORIES, Span, SpanRecorder, span_payload, span_tree_events
 from .textfmt import format_series, format_table
 
 __all__ = [
@@ -36,6 +43,12 @@ __all__ = [
     "Histogram",
     "DEFAULT_BUCKETS",
     "RunReport",
+    "Span",
+    "SpanRecorder",
+    "SPAN_CATEGORIES",
+    "span_payload",
+    "span_tree_events",
+    "MetricsServer",
     "active",
     "session",
     "json_snapshot",

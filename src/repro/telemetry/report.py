@@ -155,6 +155,7 @@ class RunReport:
         counter: "DistributedCounter",
         *,
         registry: MetricRegistry | None = None,
+        recorder: "WallClockRecorder | None" = None,
     ) -> "RunReport":
         """Aggregate a :class:`DistributedCounter`'s cumulative state."""
         loads = counter.load_stats()
@@ -196,6 +197,8 @@ class RunReport:
             },
             gpu=_insert_section(counter.insert_stats),
         )
+        if recorder is not None and len(recorder):
+            report.wall = _wall_section(recorder)
         if registry is not None:
             report.metrics = registry.snapshot()
         return report

@@ -223,3 +223,42 @@ class TestSpmdGolden:
         case = SPMD_CASES[name]
         spectrum = count_spmd(reads, case["n_ranks"], PipelineConfig(**case["config"]))
         assert spectrum_digest(spectrum) == golden["spmd"][name], f"spmd[{name}] diverged"
+
+
+class TestTracedGolden:
+    """Tracing on (``EngineOptions(trace=True)``) must not move a single bit.
+
+    Same golden records, same case matrix, with the hierarchical span
+    recorder threaded through the run — spans carry host timestamps only,
+    so every deterministic observable must still match the pre-refactor
+    engine exactly.
+    """
+
+    @pytest.mark.parametrize("name", sorted(ENGINE_CASES))
+    def test_engine_case_bit_identical(self, golden, reads, name):
+        case = ENGINE_CASES[name]
+        options = EngineOptions(trace=True, **case["options"])
+        result = run_pipeline(
+            reads,
+            build_cluster(*case["cluster"]),
+            PipelineConfig(**case["config"]),
+            backend=case["backend"],
+            options=options,
+        )
+        _assert_same(golden["engine"][name], summarize_result(result), f"traced-engine[{name}]")
+        assert len(options.trace) > 0  # the run actually recorded spans
+
+    @pytest.mark.parametrize("name", TELEMETRY_CASES)
+    def test_telemetry_model_metrics_bit_identical(self, golden, reads, name):
+        case = ENGINE_CASES[name]
+        registry = MetricRegistry()
+        run_pipeline(
+            reads,
+            build_cluster(*case["cluster"]),
+            PipelineConfig(**case["config"]),
+            backend=case["backend"],
+            options=EngineOptions(telemetry=registry, trace=True, **case["options"]),
+        )
+        assert snapshot_digest(registry) == golden["telemetry"][name], (
+            f"traced-telemetry[{name}] diverged"
+        )
