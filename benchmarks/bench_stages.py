@@ -35,6 +35,12 @@ Usage::
 ``--trace-overhead`` adds a span-traced sequential column (paired, timed
 back-to-back with the untraced one) and reports the overhead ratio
 against the ≤3% budget from docs/TELEMETRY.md.
+
+``--substrates thread:2,process:2 --parallel-out BENCH_parallel.json``
+times the same cells under explicit execution-substrate settings
+(docs/EXECUTION.md) — identity asserted per cell — and writes one row
+per cell x substrate with the host ``cpu_count``, so thread-vs-process
+overhead is recorded next to the machine that measured it.
 """
 
 from __future__ import annotations
@@ -84,7 +90,7 @@ def _assert_identical(a, b, label: str) -> None:
         raise AssertionError(f"pooled staged engine diverged from sequential on {label}")
 
 
-def _run_grid(datasets, nodes, workers, repeats, arena, spill_dir=None, trace=False):
+def _run_grid(datasets, nodes, workers, repeats, arena, spill_dir=None, trace=False, substrates=()):
     """Best-of-``repeats`` wall time per (dataset, variant, execution-path) cell.
 
     The execution paths are timed back-to-back inside every repeat
@@ -92,7 +98,10 @@ def _run_grid(datasets, nodes, workers, repeats, arena, spill_dir=None, trace=Fa
     drift in machine state (clock throttling, allocator growth) land
     entirely on whichever path happens to run last.  When ``spill_dir``
     is given, a fourth out-of-core path spools exchange partitions there
-    and is timed alongside the in-memory ones.
+    and is timed alongside the in-memory ones.  ``substrates`` adds one
+    path per explicit execution-substrate setting (``"thread:2"``,
+    ``"process:2"``, ...) keyed ``substrate:<setting>`` so substrate
+    overhead is measured under the same pairing.
     """
     cells = {}
     for name in datasets:
@@ -105,6 +114,10 @@ def _run_grid(datasets, nodes, workers, repeats, arena, spill_dir=None, trace=Fa
                 "parallel": EngineOptions(work_multiplier=mult, parallel=workers),
                 "fused": EngineOptions(work_multiplier=mult, parallel=1, fused=True, arena=arena),
             }
+            for setting in substrates:
+                paths[f"substrate:{setting}"] = EngineOptions(
+                    work_multiplier=mult, parallel=setting
+                )
             if spill_dir is not None:
                 paths["spill"] = EngineOptions(
                     work_multiplier=mult, parallel=1, spill_dir=spill_dir
@@ -151,11 +164,27 @@ def main(argv: list[str] | None = None) -> int:
         "paired against the untraced one and write the overhead report here; "
         "off by default so the committed BENCH files are not touched",
     )
+    ap.add_argument(
+        "--substrates",
+        default="",
+        metavar="SETTINGS",
+        help="comma-separated execution-substrate settings (e.g. thread:2,process:2) "
+        "to time as extra paired columns; empty disables the substrate grid",
+    )
+    ap.add_argument(
+        "--parallel-out",
+        default="",
+        metavar="JSON",
+        help="write the substrate comparison (one row per cell x substrate, with "
+        "cpu_count) here; off by default so the committed BENCH_parallel.json "
+        "is not clobbered",
+    )
     args = ap.parse_args(argv)
 
     datasets = [d for d in args.datasets.split(",") if d]
     workers = args.workers if args.workers > 0 else resolve_workers("auto")
     world = summit_gpu(args.nodes).n_ranks
+    substrates = [s for s in args.substrates.split(",") if s]
 
     print(f"staged-core fig6 workload: {datasets} on {args.nodes} nodes ({world} GPU ranks)")
     with tempfile.TemporaryDirectory(prefix="bench-spool-") as spool:
@@ -167,6 +196,7 @@ def main(argv: list[str] | None = None) -> int:
             ScratchArena(),
             spill_dir=spool if args.spill_out else None,
             trace=bool(args.trace_overhead),
+            substrates=substrates,
         )
 
     baseline_cells = {}
@@ -199,6 +229,16 @@ def main(argv: list[str] | None = None) -> int:
             row["spill_s"] = round(best["spill"], 4)
             row["spill_overhead"] = round(best["spill"] / seq_s, 3)
             spill_note = f"  spill {best['spill']:7.3f}s ({row['spill_overhead']:.2f}x)"
+        substrate_note = ""
+        for setting in substrates:
+            path = f"substrate:{setting}"
+            _assert_identical(results["sequential"], results[path], f"{key} ({setting})")
+            row.setdefault("substrates", {})[setting] = {
+                "wall_s": round(best[path], 4),
+                "speedup": round(seq_s / best[path], 3),
+                "cpu_count": os.cpu_count(),
+            }
+            substrate_note += f"  {setting} {best[path]:7.3f}s ({seq_s / best[path]:.2f}x)"
         note = ""
         if key in baseline_cells:
             row["baseline_sequential_s"] = baseline_cells[key]
@@ -207,7 +247,8 @@ def main(argv: list[str] | None = None) -> int:
         rows.append(row)
         print(
             f"  {key:45s} seq {seq_s:7.3f}s  par {par_s:7.3f}s  "
-            f"fused {fused_s:7.3f}s ({row['fused_speedup']:.2f}x){trace_note}{spill_note}{note}"
+            f"fused {fused_s:7.3f}s ({row['fused_speedup']:.2f}x)"
+            f"{trace_note}{spill_note}{substrate_note}{note}"
         )
 
     total_seq = sum(r["sequential_s"] for r in rows)
@@ -285,6 +326,52 @@ def main(argv: list[str] | None = None) -> int:
             f"spill: {total_spill:.3f}s total "
             f"({spill_payload['spill_overhead']:.2f}x of sequential) -> {spill_out}"
         )
+
+    if args.parallel_out and substrates:
+        sub_rows = [
+            {
+                "cell": r["cell"],
+                "substrate": setting,
+                "cpu_count": cell_stats["cpu_count"],
+                "sequential_s": r["sequential_s"],
+                "parallel_s": cell_stats["wall_s"],
+                "speedup": cell_stats["speedup"],
+            }
+            for r in rows
+            for setting, cell_stats in r.get("substrates", {}).items()
+        ]
+        sub_totals = {
+            setting: round(
+                sum(row["parallel_s"] for row in sub_rows if row["substrate"] == setting), 4
+            )
+            for setting in substrates
+        }
+        parallel_payload = {
+            "workload": "fig6",
+            "engine": "staged+substrates",
+            "datasets": datasets,
+            "n_nodes": args.nodes,
+            "world_size_gpu": world,
+            "substrates": substrates,
+            "cpu_count": os.cpu_count(),
+            "repeats": args.repeats,
+            "results_identical": True,
+            "sequential_total_s": round(total_seq, 4),
+            "substrate_totals_s": sub_totals,
+            "speedups": {
+                setting: round(total_seq / sub_totals[setting], 3) if sub_totals[setting] else None
+                for setting in substrates
+            },
+            "cells": sub_rows,
+        }
+        parallel_out = Path(args.parallel_out)
+        parallel_out.write_text(json.dumps(parallel_payload, indent=2))
+        for setting in substrates:
+            print(
+                f"substrate {setting}: {sub_totals[setting]:.3f}s total "
+                f"({parallel_payload['speedups'][setting]:.2f}x of sequential, "
+                f"cpu_count={os.cpu_count()}) -> {parallel_out}"
+            )
 
     if args.trace_overhead and any("traced_s" in r for r in rows):
         total_traced = sum(r["traced_s"] for r in rows if "traced_s" in r)

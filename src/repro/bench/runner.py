@@ -45,10 +45,10 @@ def dataset_with_multiplier(name: str, scale: float = 1.0) -> tuple[ReadSet, flo
 class ExperimentCache:
     """Memoizes pipeline runs across benchmark files in one session.
 
-    ``parallel`` selects the engine's per-rank worker count for every run
-    (``None`` defers to ``REPRO_PARALLEL``); because the parallel engine is
-    bit-identical to the sequential one, cached results are valid across
-    settings.  ``wall_seconds`` records each *executed* (non-cached) run's
+    ``parallel`` selects the engine's execution substrate for every run
+    (``"thread[:N]"``, ``"process[:N]"``, a bare count, or ``None`` to
+    defer to ``REPRO_PARALLEL``); because every substrate is bit-identical
+    to the sequential engine, cached results are valid across settings.  ``wall_seconds`` records each *executed* (non-cached) run's
     host wall-clock so benchmarks can report sequential-vs-parallel
     speedup.
     """

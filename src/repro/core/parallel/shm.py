@@ -1,0 +1,137 @@
+"""Shared-memory result transport for the process substrate.
+
+A process-pool worker's return values are numpy-heavy (parse buffers,
+count outcomes, table partitions).  Pickling those arrays through a pipe
+would copy each one twice (serialize + deserialize) and squeeze the bulk
+payload through the pipe buffer; instead, :func:`pack` diverts every
+large ndarray into one POSIX shared-memory segment per worker and
+replaces it in the pickle stream with a persistent id.  What crosses the
+pipe is a small control pickle plus the segment's *descriptor table* —
+``(offset, dtype, shape)`` triples against the named segment — and
+:func:`unpack` reassembles the exact objects on the parent side with one
+``memcpy`` per array.
+
+The parent copies arrays out of the segment and unlinks it immediately,
+so no shared-memory lifetime extends past the ``map`` call that created
+it.  Arrays below :data:`SHM_THRESHOLD_BYTES` (and object-dtype arrays)
+ride in the control pickle; the descriptor detour only pays off once an
+array clears the pipe-chunking and page-granularity overheads.
+
+Fork discipline: the parent must call
+``multiprocessing.resource_tracker.ensure_running()`` *before* forking
+workers, so a worker's segment registration lands in the tracker process
+the parent shares.  A worker that lazily spawned its own tracker would
+have that tracker unlink the segment as soon as the worker exits — a
+race against the parent's read.  :class:`~.process.ProcessPool` does
+this on every map.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+__all__ = ["SHM_THRESHOLD_BYTES", "ShmDescriptor", "pack", "unpack"]
+
+#: Arrays at least this many bytes ride in shared memory; smaller ones
+#: stay in the control pickle (a descriptor costs a page at minimum).
+SHM_THRESHOLD_BYTES = 1 << 12
+
+#: Segment offsets are cache-line aligned so reassembled views start on
+#: natural boundaries for every dtype.
+_ALIGN = 64
+
+_PID_TAG = "repro-shm-ndarray"
+
+#: (offset, dtype string, shape) against the named segment.
+ShmDescriptor = tuple[int, str, tuple[int, ...]]
+
+
+class _Packer(pickle.Pickler):
+    """Pickler that collects large ndarrays instead of serializing them."""
+
+    def __init__(self, buf: io.BytesIO) -> None:
+        super().__init__(buf, protocol=pickle.HIGHEST_PROTOCOL)
+        self.arrays: list[np.ndarray] = []
+
+    def persistent_id(self, obj: Any):
+        if (
+            isinstance(obj, np.ndarray)
+            and obj.dtype != object
+            and obj.nbytes >= SHM_THRESHOLD_BYTES
+        ):
+            self.arrays.append(obj)
+            return (_PID_TAG, len(self.arrays) - 1)
+        return None
+
+
+class _Unpacker(pickle.Unpickler):
+    """Unpickler that resolves persistent ids against a shared segment."""
+
+    def __init__(
+        self,
+        buf: io.BytesIO,
+        segment: shared_memory.SharedMemory,
+        descriptors: list[ShmDescriptor],
+    ) -> None:
+        super().__init__(buf)
+        self._segment = segment
+        self._descriptors = descriptors
+
+    def persistent_load(self, pid: Any) -> np.ndarray:
+        tag, index = pid
+        if tag != _PID_TAG:
+            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+        offset, dtype, shape = self._descriptors[index]
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=self._segment.buf, offset=offset)
+        # One memcpy detaches the result from the segment, so the caller
+        # can unlink it immediately and owns ordinary heap arrays.
+        return view.copy()
+
+
+def pack(payload: Any) -> tuple[bytes, str | None, list[ShmDescriptor]]:
+    """Pickle ``payload`` with large arrays diverted into one shared segment.
+
+    Returns ``(control, segment_name, descriptors)``.  ``segment_name`` is
+    ``None`` when nothing cleared the threshold (the control pickle is then
+    self-contained).  The created segment is closed but *not* unlinked —
+    the reader unlinks it via :func:`unpack`.
+    """
+    buf = io.BytesIO()
+    packer = _Packer(buf)
+    packer.dump(payload)
+    arrays = packer.arrays
+    if not arrays:
+        return buf.getvalue(), None, []
+    offsets: list[int] = []
+    total = 0
+    for arr in arrays:
+        total = -(-total // _ALIGN) * _ALIGN
+        offsets.append(total)
+        total += arr.nbytes
+    segment = shared_memory.SharedMemory(create=True, size=total)
+    descriptors: list[ShmDescriptor] = []
+    for arr, offset in zip(arrays, offsets):
+        contiguous = np.ascontiguousarray(arr)
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=segment.buf, offset=offset)
+        view[...] = contiguous
+        descriptors.append((offset, contiguous.dtype.str, tuple(arr.shape)))
+    name = segment.name
+    segment.close()
+    return buf.getvalue(), name, descriptors
+
+
+def unpack(control: bytes, segment_name: str | None, descriptors: list[ShmDescriptor]) -> Any:
+    """Rebuild a :func:`pack` payload; unlinks the segment when done."""
+    if segment_name is None:
+        return pickle.loads(control)
+    segment = shared_memory.SharedMemory(name=segment_name)
+    try:
+        return _Unpacker(io.BytesIO(control), segment, descriptors).load()
+    finally:
+        segment.close()
+        segment.unlink()

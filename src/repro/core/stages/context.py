@@ -52,8 +52,9 @@ class EngineOptions:
     auto_rounds: bool = False  # split exchange+count by device memory (Sec. III-A)
     memory_budget_fraction: float = 0.5  # usable share of device HBM per round
     verify_exchange: bool = True  # end-to-end checksums over the alltoallv
-    # Worker count for per-rank phase execution: None defers to the
-    # REPRO_PARALLEL environment variable; see repro.core.parallel.
+    # Execution substrate for per-rank phase work: None defers to the
+    # REPRO_PARALLEL environment variable. Accepts "thread[:N]",
+    # "process[:N]", a bare worker count, or "off"; see repro.core.parallel.
     parallel: ParallelSetting = None
     span_recorder: WallClockRecorder | SpanRecorder | None = None  # host wall-clock spans per (phase, rank)
     # Opt-in hierarchical tracing (run → batch → round → stage → rank work):

@@ -56,6 +56,7 @@ from ...mpi.collectives import alltoallv_flat
 from ...mpi.stats import TrafficStats
 from ...telemetry import active
 from ..memory import ScratchArena
+from ..parallel import get_pool
 from ..results import CountResult, PhaseTiming
 from ..tracing import recording_region
 from .registry import StageComposition
@@ -193,22 +194,29 @@ class FusedPipeline:
         # Extraction runs block-by-block over whole shards (cache-sized
         # working sets, see PARSE_BLOCK_BASES); block outputs concatenate
         # to exactly the whole-array result because block boundaries fall
-        # on shard boundaries.
+        # on shard boundaries.  Blocks are this path's pool work units —
+        # the fused×parallel composition: each block closure reads only
+        # its slice of the flat code array and returns fresh arrays, so
+        # any substrate may run blocks concurrently and the in-order
+        # concatenation below is bit-identical to the serial loop.
         blocks = _shard_blocks(code_base, PARSE_BLOCK_BASES)
+        pool = get_pool(self.sched.opts.parallel)
         supermer = sctx.supermer_mode
         if not supermer:
-            pos_parts: list[np.ndarray] = []
-            val_parts: list[np.ndarray] = []
-            for s0, s1 in blocks:
+
+            def _extract_block(block: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+                s0, s1 = block
                 lo, hi = int(code_base[s0]), int(code_base[s1])
                 win = window_values(codes[lo:hi], config.k)
                 bpos = np.flatnonzero(win.valid)
-                val_parts.append(win.values[bpos])
+                vals = win.values[bpos]
                 if lo:
                     bpos += lo
-                pos_parts.append(bpos)
-            pos = _concat(pos_parts, np.int64)
-            kmers = _concat(val_parts, np.uint64)
+                return bpos, vals
+
+            parts = pool.map(_extract_block, blocks)
+            pos = _concat([bp for bp, _ in parts], np.int64)
+            kmers = _concat([vals for _, vals in parts], np.uint64)
             if config.canonical:
                 kmers = canonical_batch(kmers, config.k)
             shard_of = np.searchsorted(code_base, pos, side="right") - 1
@@ -227,11 +235,8 @@ class FusedPipeline:
             for s, shard in enumerate(shards):
                 offsets[read_base[s] : read_base[s + 1]] = shard.offsets + code_base[s]
                 lengths[read_base[s] : read_base[s + 1]] = shard.lengths
-            pos_parts = []
-            packed_parts: list[np.ndarray] = []
-            nk_parts: list[np.ndarray] = []
-            min_parts: list[np.ndarray] = []
-            for s0, s1 in blocks:
+            def _build_block(block: tuple[int, int]):
+                s0, s1 = block
                 lo, hi = int(code_base[s0]), int(code_base[s1])
                 block_reads = ReadSet(
                     codes=codes[lo:hi],
@@ -248,15 +253,14 @@ class FusedPipeline:
                 )
                 if lo:
                     spos += lo
-                pos_parts.append(spos)
-                packed_parts.append(batch.packed)
-                nk_parts.append(batch.n_kmers)
-                min_parts.append(batch.minimizers)
-            start_pos = _concat(pos_parts, np.int64)
-            sm_kmers = _concat(nk_parts, np.int32)
+                return spos, batch.packed, batch.n_kmers, batch.minimizers
+
+            parts = pool.map(_build_block, blocks)
+            start_pos = _concat([part[0] for part in parts], np.int64)
+            sm_kmers = _concat([part[2] for part in parts], np.int32)
             shard_of = np.searchsorted(code_base, start_pos, side="right") - 1
-            route_keys = _concat(min_parts, np.uint64)
-            items_data = _concat(packed_parts, np.uint64)
+            route_keys = _concat([part[3] for part in parts], np.uint64)
+            items_data = _concat([part[1] for part in parts], np.uint64)
             items_lengths = sm_kmers.astype(np.uint8)
             n_kmers = np.bincount(shard_of, weights=sm_kmers, minlength=p).astype(np.int64)
             n_supermers = np.bincount(shard_of, minlength=p)

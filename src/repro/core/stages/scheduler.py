@@ -210,6 +210,7 @@ class RoundScheduler:
         self._fused_checked = False
         self._spill_impl = None
         self._spill_checked = False
+        self._process_fallback_announced = False
 
     # -- shared helpers ------------------------------------------------------
 
@@ -287,6 +288,32 @@ class RoundScheduler:
                             reason="fused path keeps whole-cluster buffers resident; spilling via the staged loop",
                         )
         return self._spill_impl
+
+    def _pool(self):
+        """The resolved execution substrate for this scheduler's runs.
+
+        Compositions with stateful count/merge plugins (e.g. the bloom
+        prefilter, whose filter state mutates inside the per-rank count
+        closures and is read again at merge time) need those side effects
+        to happen in the driving process, so a process substrate falls
+        back to an equally wide thread pool with an event.  Results are
+        bit-identical either way — the thread pool honours the same
+        determinism contract — only the execution placement changes.
+        """
+        pool = get_pool(self.opts.parallel)
+        if not pool.in_process and (
+            getattr(self.comp.count, "plugins", ()) or getattr(self.comp.merge, "plugins", ())
+        ):
+            if not self._process_fallback_announced:
+                self._process_fallback_announced = True
+                event(
+                    "engine.process.fallback",
+                    subsystem="engine",
+                    backend=self.comp.backend,
+                    reason="composition has stateful plugins; using the thread substrate",
+                )
+            pool = get_pool(f"thread:{pool.workers}")
+        return pool
 
     def _context(
         self,
@@ -377,7 +404,7 @@ class RoundScheduler:
         p = self.cluster.n_ranks
         mult = opts.work_multiplier
         stats = TrafficStats()
-        pool = get_pool(opts.parallel)
+        pool = self._pool()
         sctx = self._context(pool, stats, recorder, reg)
 
         # ---- input partitioning (the paper's parallel I/O; Section IV-D) ----
@@ -395,7 +422,7 @@ class RoundScheduler:
             return out
 
         with recording_region(recorder, "parse", cat="stage"):
-            parsed: list[RankParse] = pool.map(_parse_one, range(p))
+            parsed: list[RankParse] = pool.map(_parse_one, range(p), recorder=recorder)
         t_parse = max(pr.time_s for pr in parsed)
         total_parsed_kmers = sum(pr.n_kmers_parsed for pr in parsed)
 
@@ -476,6 +503,9 @@ class RoundScheduler:
                 # partition, so ranks run concurrently; the stats reduction below
                 # stays in rank order (pool.map returns results in input order) so
                 # the combined InsertStats is identical to the sequential engine's.
+                # The closure returns the table alongside the outcome: an
+                # out-of-process worker mutates a copy-on-write clone, so the
+                # grown table must travel back (a no-op reassignment in-process).
                 count_label = "count" + (f"-round{rnd}" if n_rounds > 1 else "")
                 recv_data, recv_lengths = outcome.recv_data, outcome.recv_lengths
 
@@ -485,11 +515,12 @@ class RoundScheduler:
                     out = comp.substrate.count_rank(r, recv_data[r], lengths_r, tables[r], comp.count, sctx)
                     if recorder is not None:
                         recorder.record(count_label, r, t0, perf_counter())
-                    return out
+                    return out, tables[r]
 
                 with recording_region(recorder, "count", cat="stage", round=rnd):
-                    counted = pool.map(_count_one, range(p))
-                for r, co in enumerate(counted):
+                    counted = pool.map(_count_one, range(p), recorder=recorder)
+                for r, (co, table) in enumerate(counted):
+                    tables[r] = table
                     per_rank_count[r] += co.time_s
                     received_kmers[r] += co.n_instances
                     insert_total = insert_total.combined(co.insert_stats)
@@ -579,7 +610,7 @@ class RoundScheduler:
         comp = self.comp
         config = self.config
         p = self.cluster.n_ranks
-        pool = get_pool(self.opts.parallel)
+        pool = self._pool()
         sctx = self._context(pool, state.traffic, recorder, None, verify=False)
 
         # Plugins prepare before sharding, exactly as `run` does: a plugin
@@ -599,7 +630,7 @@ class RoundScheduler:
             return out
 
         with recording_region(recorder, "parse", cat="stage"):
-            parsed = pool.map(_parse_one, range(p))
+            parsed = pool.map(_parse_one, range(p), recorder=recorder)
         t_parse = max(pr.time_s for pr in parsed)
 
         supermer_mode = sctx.supermer_mode
@@ -625,18 +656,21 @@ class RoundScheduler:
                 )
         recv_data, recv_lengths = outcome.recv_data, outcome.recv_lengths
 
+        # As in the one-shot run: the mutated table partition travels back
+        # with the outcome so out-of-process workers fold in correctly.
         def _count_one(r: int):
             lengths_r = recv_lengths[r] if recv_lengths is not None else None
             t0 = perf_counter()
             out = comp.substrate.count_rank(r, recv_data[r], lengths_r, state.tables[r], comp.count, sctx)
             if recorder is not None:
                 recorder.record("count", r, t0, perf_counter())
-            return out
+            return out, state.tables[r]
 
         per_rank_count = np.zeros(p, dtype=np.float64)
         with recording_region(recorder, "count", cat="stage"):
-            counted = pool.map(_count_one, range(p))
-        for r, co in enumerate(counted):
+            counted = pool.map(_count_one, range(p), recorder=recorder)
+        for r, (co, table) in enumerate(counted):
+            state.tables[r] = table
             per_rank_count[r] = co.time_s
             state.received_kmers[r] += co.n_instances
             state.insert_stats = state.insert_stats.combined(co.insert_stats)

@@ -376,7 +376,6 @@ class SpillPipeline:
 
     def run_once(self, reads, recorder, reg) -> CountResult:
         from .scheduler import _round_slice, _rounds_for_memory
-        from ..parallel import get_pool
 
         sched = self.sched
         comp = sched.comp
@@ -384,7 +383,7 @@ class SpillPipeline:
         opts = sched.opts
         p = sched.cluster.n_ranks
         mult = opts.work_multiplier
-        pool = get_pool(opts.parallel)
+        pool = sched._pool()
         spool = self._spool()
         try:
             stats = TrafficStats()
@@ -402,7 +401,7 @@ class SpillPipeline:
                 return out
 
             with recording_region(recorder, "parse", cat="stage"):
-                parsed: list[RankParse] = pool.map(_parse_one, range(p))
+                parsed: list[RankParse] = pool.map(_parse_one, range(p), recorder=recorder)
             t_parse = max(pr.time_s for pr in parsed)
             total_parsed_kmers = sum(pr.n_kmers_parsed for pr in parsed)
 
@@ -461,45 +460,62 @@ class SpillPipeline:
             del parsed, round_send, send_data, send_lengths
 
             # ---- phase 3: streamed count, one rank partition at a time ----
+            # Each rank's stream is private in memory (its own fresh table)
+            # and on disk (per-rank partition and run files), so the pool
+            # may run rank streams concurrently on any substrate — peak
+            # residency per worker is still one rank's partition + table.
+            # InsertStats combination is associative, so the per-rank
+            # grouping below reduces to exactly the serial (rank, round)
+            # accumulation order.
             received_kmers = np.zeros(p, dtype=np.int64)
             per_rank_count = np.zeros(p, dtype=np.float64)
             insert_total = InsertStats.zero()
             table_entries = np.zeros(p, dtype=np.int64)
             table_load = np.zeros(p, dtype=np.float64)
-            with recording_region(recorder, "count", cat="stage"):
-                for r in range(p):
-                    table = DeviceHashTable(capacity_hint=capacity_hints[r], seed=config.table_seed)
-                    for rnd, label in enumerate(labels):
-                        recv = spool.map_partition(label, r, np.uint64)
-                        lengths_r = (
-                            spool.map_partition(label, r, np.uint8, lens=True)
-                            if supermer_mode
-                            else None
-                        )
-                        count_label = "count" + (f"-round{rnd}" if n_rounds > 1 else "")
-                        t0 = perf_counter()
-                        co = comp.substrate.count_rank(r, recv, lengths_r, table, comp.count, sctx)
-                        if recorder is not None:
-                            recorder.record(count_label, r, t0, perf_counter())
-                        per_rank_count[r] += co.time_s
-                        received_kmers[r] += co.n_instances
-                        insert_total = insert_total.combined(co.insert_stats)
-                        del recv, lengths_r
-                    for label in labels:
-                        spool.drop_partitions(label, r)
-                    table_entries[r] = table.n_entries
-                    table_load[r] = table.load_factor
+
+            def _stream_one(r: int):
+                table = DeviceHashTable(capacity_hint=capacity_hints[r], seed=config.table_seed)
+                time_r = 0.0
+                recv_r = 0
+                ins_r = InsertStats.zero()
+                for rnd, label in enumerate(labels):
+                    recv = spool.map_partition(label, r, np.uint64)
+                    lengths_r = (
+                        spool.map_partition(label, r, np.uint8, lens=True)
+                        if supermer_mode
+                        else None
+                    )
+                    count_label = "count" + (f"-round{rnd}" if n_rounds > 1 else "")
                     t0 = perf_counter()
-                    values, counts = table.items()
-                    for plugin in comp.merge.plugins:
-                        values, counts = plugin.adjust_merge_items(values, counts)
-                    if values.size > 1 and not np.all(values[1:] > values[:-1]):
-                        order = np.argsort(values, kind="stable")
-                        values, counts = values[order], counts[order]
-                    spool.write_run(r, values, counts)
+                    co = comp.substrate.count_rank(r, recv, lengths_r, table, comp.count, sctx)
                     if recorder is not None:
-                        recorder.record("spill:run-write", r, t0, perf_counter())
-                    del table, values, counts
+                        recorder.record(count_label, r, t0, perf_counter())
+                    time_r += co.time_s
+                    recv_r += co.n_instances
+                    ins_r = ins_r.combined(co.insert_stats)
+                    del recv, lengths_r
+                for label in labels:
+                    spool.drop_partitions(label, r)
+                t0 = perf_counter()
+                values, counts = table.items()
+                for plugin in comp.merge.plugins:
+                    values, counts = plugin.adjust_merge_items(values, counts)
+                if values.size > 1 and not np.all(values[1:] > values[:-1]):
+                    order = np.argsort(values, kind="stable")
+                    values, counts = values[order], counts[order]
+                spool.write_run(r, values, counts)
+                if recorder is not None:
+                    recorder.record("spill:run-write", r, t0, perf_counter())
+                return time_r, recv_r, ins_r, table.n_entries, table.load_factor
+
+            with recording_region(recorder, "count", cat="stage"):
+                streamed = pool.map(_stream_one, range(p), recorder=recorder)
+            for r, (time_r, recv_r, ins_r, entries_r, load_r) in enumerate(streamed):
+                per_rank_count[r] = time_r
+                received_kmers[r] = recv_r
+                insert_total = insert_total.combined(ins_r)
+                table_entries[r] = entries_r
+                table_load[r] = load_r
 
             t_count = float(per_rank_count.max()) if p else 0.0
 
@@ -570,9 +586,7 @@ class SpillPipeline:
         comp = sched.comp
         config = sched.config
         p = sched.cluster.n_ranks
-        from ..parallel import get_pool
-
-        pool = get_pool(sched.opts.parallel)
+        pool = sched._pool()
         recorder = sched.opts.span_recorder
         sctx = sched._context(pool, state.traffic, recorder, None, verify=False)
         spool = self._spool()
@@ -589,7 +603,7 @@ class SpillPipeline:
                 return out
 
             with recording_region(recorder, "parse", cat="stage"):
-                parsed = pool.map(_parse_one, range(p))
+                parsed = pool.map(_parse_one, range(p), recorder=recorder)
             t_parse = max(pr.time_s for pr in parsed)
 
             supermer_mode = sctx.supermer_mode
@@ -619,24 +633,33 @@ class SpillPipeline:
             # outcome's verification maps) before the streamed count.
             del parsed, outcome
 
+            # Rank streams are private (own partition files, own persistent
+            # table), so the pool may run them concurrently; as on every
+            # other path, the mutated table travels back with the outcome
+            # for out-of-process substrates.
+            def _count_one(r: int):
+                recv = spool.map_partition(label, r, np.uint64)
+                lengths_r = (
+                    spool.map_partition(label, r, np.uint8, lens=True) if supermer_mode else None
+                )
+                t0 = perf_counter()
+                co = comp.substrate.count_rank(
+                    r, recv, lengths_r, state.tables[r], comp.count, sctx
+                )
+                if recorder is not None:
+                    recorder.record("count", r, t0, perf_counter())
+                del recv, lengths_r
+                spool.drop_partitions(label, r)
+                return co, state.tables[r]
+
             per_rank_count = np.zeros(p, dtype=np.float64)
             with recording_region(recorder, "count", cat="stage"):
-                for r in range(p):
-                    recv = spool.map_partition(label, r, np.uint64)
-                    lengths_r = (
-                        spool.map_partition(label, r, np.uint8, lens=True) if supermer_mode else None
-                    )
-                    t0 = perf_counter()
-                    co = comp.substrate.count_rank(
-                        r, recv, lengths_r, state.tables[r], comp.count, sctx
-                    )
-                    if recorder is not None:
-                        recorder.record("count", r, t0, perf_counter())
-                    per_rank_count[r] = co.time_s
-                    state.received_kmers[r] += co.n_instances
-                    state.insert_stats = state.insert_stats.combined(co.insert_stats)
-                    del recv, lengths_r
-                    spool.drop_partitions(label, r)
+                counted = pool.map(_count_one, range(p), recorder=recorder)
+            for r, (co, table) in enumerate(counted):
+                state.tables[r] = table
+                per_rank_count[r] = co.time_s
+                state.received_kmers[r] += co.n_instances
+                state.insert_stats = state.insert_stats.combined(co.insert_stats)
 
             batch_timing = PhaseTiming(
                 parse=t_parse, exchange=exch_seconds, count=float(per_rank_count.max()) if p else 0.0

@@ -121,8 +121,9 @@ def sweep(
     ``validate=True`` additionally checks every run against the exact
     oracle (slower; meant for tests and small inputs).
 
-    ``parallel`` selects the engine's per-rank worker count (``None``
-    defers to ``REPRO_PARALLEL``); results are bit-identical either way,
+    ``parallel`` selects the engine's execution substrate and worker count
+    (``"thread[:N]"``, ``"process[:N]"``, a bare count, or ``None`` to
+    defer to ``REPRO_PARALLEL``); results are bit-identical either way,
     only the recorded ``wall_s`` per grid point changes.
 
     ``telemetry=True`` gives each grid point its own metric registry and

@@ -202,7 +202,11 @@ def alltoallv_segments(
             raise ValueError(f"rank {src}: counts sum {int(counts.sum())} != data length {send_data[src].shape[0]}")
         counts_matrix[src] = counts
 
-    if pool is not None and pool.is_parallel and p > 1:
+    # The per-destination gather only pays off when workers share this
+    # address space: under an out-of-process pool every destination buffer
+    # would be copied back through shared memory for zero overlap benefit,
+    # so the process substrate takes the flat sequential gather below.
+    if pool is not None and pool.is_parallel and getattr(pool, "in_process", True) and p > 1:
         reg = active()
         if reg is not None:
             reg.counter("comm_alltoallv_calls_total", "alltoallv_segments invocations").inc()

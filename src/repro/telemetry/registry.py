@@ -332,6 +332,76 @@ class MetricRegistry:
             out[fam.name] = entry
         return out
 
+    # -- cross-process transfer ----------------------------------------------
+
+    def dump_state(self) -> dict[str, dict]:
+        """Picklable raw-state dump for cross-process accumulation.
+
+        Unlike :meth:`snapshot` (which stringifies to the export form),
+        this preserves exact value types — ``Fraction`` sums stay
+        ``Fraction``, int counters stay int, histogram bucket arrays stay
+        ``int64`` — so :meth:`merge_state` reproduces in-process
+        accumulation bit for bit.  Used by the process execution
+        substrate: workers dump their chunk's registry, the parent merges
+        the dumps in input order.
+        """
+        out: dict[str, dict] = {}
+        for fam in self.families():
+            with fam._lock:
+                out[fam.name] = {
+                    "kind": fam.kind,
+                    "help": fam.help,
+                    "labels": fam.labels,
+                    "wall": fam.wall,
+                    "buckets": tuple(float(b) for b in fam.buckets) if fam.buckets is not None else None,
+                    "values": dict(fam._values),
+                    "hists": {
+                        key: {
+                            "buckets": state["buckets"].copy(),
+                            "sum": state["sum"],
+                            "count": state["count"],
+                        }
+                        for key, state in fam._hists.items()
+                    },
+                }
+        return out
+
+    def merge_state(self, state: Mapping[str, dict]) -> None:
+        """Fold a :meth:`dump_state` dump into this registry.
+
+        Valid because the determinism contract restricts concurrent-side
+        operations to commutative ones: counters add, gauges merge by max
+        (worker-side gauge writes are ``set_max`` by contract; plain
+        ``set`` only happens on the driving thread, whose writes a worker
+        dump never carries), histograms add buckets, sums, and counts.  Families absent here are
+        registered with the dumped metadata, so zero-valued children
+        appear in snapshots exactly as in-process execution would leave
+        them.
+        """
+        for name in sorted(state):
+            entry = state[name]
+            fam = self._family(
+                name,
+                entry["kind"],
+                entry["help"],
+                entry["labels"],
+                entry["wall"],
+                entry["buckets"] if entry["buckets"] is not None else DEFAULT_BUCKETS,
+            )
+            with fam._lock:
+                for key, value in entry["values"].items():
+                    if fam.kind == "gauge":
+                        prev = fam._values.get(key)
+                        if prev is None or value > prev:
+                            fam._values[key] = value
+                    else:
+                        fam._values[key] = fam._values.get(key, 0) + value
+                for key, hist in entry["hists"].items():
+                    merged = fam._hist_state(key)
+                    merged["buckets"] += hist["buckets"]
+                    merged["sum"] += hist["sum"]
+                    merged["count"] += hist["count"]
+
     def total(self, name: str) -> float:
         """Sum of a counter/gauge family over all label combinations."""
         with self._lock:

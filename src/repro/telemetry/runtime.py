@@ -22,7 +22,7 @@ from typing import Iterator
 
 from .registry import MetricRegistry
 
-__all__ = ["active", "session"]
+__all__ = ["active", "session", "swap_active"]
 
 _lock = threading.Lock()
 _stack: list[MetricRegistry] = []
@@ -32,6 +32,25 @@ def active() -> MetricRegistry | None:
     """The registry installed by the innermost live session, if any."""
     stack = _stack
     return stack[-1] if stack else None
+
+
+def swap_active(registry: MetricRegistry) -> MetricRegistry | None:
+    """Replace the innermost live session's registry; returns the old one.
+
+    No-op (returns ``None``) when no session is live.  This exists for the
+    process execution substrate: a forked worker inherits the parent's
+    session stack copy-on-write, swaps in a fresh registry so its chunk's
+    instrumentation accumulates separately, and ships that registry's
+    dumped state back for the parent to merge
+    (:meth:`MetricRegistry.merge_state`).  Workers are single-threaded, so
+    the swap cannot race with instrumentation in the swapping process.
+    """
+    with _lock:
+        if not _stack:
+            return None
+        old = _stack[-1]
+        _stack[-1] = registry
+        return old
 
 
 @contextmanager

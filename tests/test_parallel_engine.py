@@ -9,6 +9,8 @@ variant and world sizes 1-16, plus the pool/switch machinery itself.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -16,11 +18,16 @@ from repro.core.config import PipelineConfig
 from repro.core.engine import EngineOptions, run_pipeline
 from repro.core.parallel import (
     ENV_VAR,
+    ParallelSpec,
+    ProcessPool,
     SequentialPool,
     ThreadPool,
     get_pool,
     parallel_map,
+    resolve_spec,
     resolve_workers,
+    shutdown_pools,
+    substrate_kinds,
 )
 from repro.core.tracing import WallClockRecorder, wall_trace_events, write_wall_trace
 from repro.dna.datasets import load_dataset
@@ -183,6 +190,106 @@ class TestPoolMachinery:
     def test_threadpool_rejects_single_worker(self):
         with pytest.raises(ValueError):
             ThreadPool(1)
+
+    def test_resolve_spec_vocabulary(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert resolve_spec(None) == ParallelSpec("seq", 1)
+        assert resolve_spec("thread:3") == ParallelSpec("thread", 3)
+        assert resolve_spec("threads:3") == ParallelSpec("thread", 3)
+        assert resolve_spec("process:2") == ParallelSpec("process", 2)
+        assert resolve_spec("processes:2") == ParallelSpec("process", 2)
+        assert resolve_spec(4) == ParallelSpec("thread", 4)
+        # A one-worker request of any kind collapses to the sequential spec.
+        assert resolve_spec("process:1") == ParallelSpec("seq", 1)
+        auto = resolve_spec("process")
+        assert auto.kind in ("process", "seq") and auto.workers >= 1
+
+    def test_substrate_registry_lists_builtins(self):
+        kinds = substrate_kinds()
+        assert {"seq", "thread", "process"} <= set(kinds)
+
+    def test_env_error_names_env_var(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "sideways")
+        with pytest.raises(ValueError, match="unrecognized REPRO_PARALLEL setting"):
+            resolve_workers(None)
+
+    def test_explicit_error_names_argument(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "4")
+        with pytest.raises(ValueError, match=r"parallel= setting") as exc:
+            resolve_workers("sideways")
+        assert "EngineOptions" in str(exc.value)
+        assert "not the REPRO_PARALLEL environment variable" in str(exc.value)
+
+    def test_unknown_substrate_kind(self):
+        with pytest.raises(ValueError, match="no execution substrate registered"):
+            get_pool(ParallelSpec("fiber", 4))
+
+
+requires_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="process substrate needs os.fork"
+)
+
+
+@requires_fork
+class TestProcessPoolMachinery:
+    def test_map_preserves_order(self):
+        pool = get_pool("process:2")
+        assert isinstance(pool, ProcessPool)
+        items = list(range(37))
+        assert pool.map(lambda x: x * x, items) == [x * x for x in items]
+
+    def test_large_array_roundtrip(self):
+        pool = get_pool("process:2")
+        arrays = pool.map(
+            lambda n: np.arange(n, dtype=np.uint64) * np.uint64(3), [50_000, 70_000, 90_000]
+        )
+        for n, arr in zip([50_000, 70_000, 90_000], arrays):
+            assert arr.dtype == np.uint64 and arr.shape == (n,)
+            assert int(arr[-1]) == (n - 1) * 3
+
+    def test_worker_exception_propagates(self):
+        def boom(x):
+            if x == 5:
+                raise ValueError("item 5")
+            return x
+
+        with pytest.raises(ValueError, match="item 5"):
+            get_pool("process:2").map(boom, range(8))
+        # The pool must remain usable after a failed map.
+        assert get_pool("process:2").map(lambda x: x + 1, range(4)) == [1, 2, 3, 4]
+
+    def test_rejects_single_worker(self):
+        with pytest.raises(ValueError):
+            ProcessPool(1)
+
+    def test_shutdown_pools_allows_reuse(self):
+        first = get_pool("process:2")
+        shutdown_pools()
+        again = get_pool("process:2")
+        assert again is not first
+        assert again.map(lambda x: -x, [1, 2, 3]) == [-1, -2, -3]
+
+    def test_engine_process_matches_sequential(self, reads):
+        config = PipelineConfig(k=17, mode="supermer")
+        cluster = _cluster(6)
+        seq = run_pipeline(reads, cluster, config, backend="gpu", options=EngineOptions(parallel=1))
+        par = run_pipeline(
+            reads, cluster, config, backend="gpu", options=EngineOptions(parallel="process:2")
+        )
+        assert_results_identical(seq, par)
+
+    def test_process_span_recorder(self, reads):
+        rec = WallClockRecorder()
+        p = 6
+        run_pipeline(
+            reads,
+            _cluster(p),
+            PipelineConfig(k=17, mode="supermer"),
+            backend="gpu",
+            options=EngineOptions(parallel="process:2", span_recorder=rec),
+        )
+        assert {s.rank for s in rec.spans("parse")} == set(range(p))
+        assert {s.rank for s in rec.spans("count")} == set(range(p))
 
 
 class TestWallClockRecorder:

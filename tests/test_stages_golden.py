@@ -14,6 +14,7 @@ an uninterrupted streamed run (the scheduler now owns checkpointing).
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -262,3 +263,115 @@ class TestTracedGolden:
         assert snapshot_digest(registry) == golden["telemetry"][name], (
             f"traced-telemetry[{name}] diverged"
         )
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="process substrate needs os.fork")
+class TestProcessGolden:
+    """The process substrate must replay the whole golden matrix bit for bit.
+
+    Same cases, same expected records, but every per-rank phase runs in
+    forked worker processes (``EngineOptions(parallel="process:2")``) with
+    results shipped back through shared memory — proving that crossing a
+    process boundary moves no deterministic observable: staged, fused, and
+    spilled engines, streamed counter batches, checkpoint/resume, and the
+    model-metric telemetry snapshot all still match the sequential golden.
+    """
+
+    @pytest.mark.parametrize("name", sorted(ENGINE_CASES))
+    def test_engine_case_bit_identical(self, golden, reads, name):
+        case = ENGINE_CASES[name]
+        result = run_pipeline(
+            reads,
+            build_cluster(*case["cluster"]),
+            PipelineConfig(**case["config"]),
+            backend=case["backend"],
+            options=EngineOptions(parallel="process:2", **case["options"]),
+        )
+        _assert_same(golden["engine"][name], summarize_result(result), f"process-engine[{name}]")
+
+    @pytest.mark.parametrize("name", TELEMETRY_CASES)
+    def test_telemetry_model_metrics_bit_identical(self, golden, reads, name):
+        case = ENGINE_CASES[name]
+        registry = MetricRegistry()
+        run_pipeline(
+            reads,
+            build_cluster(*case["cluster"]),
+            PipelineConfig(**case["config"]),
+            backend=case["backend"],
+            options=EngineOptions(telemetry=registry, parallel="process:2", **case["options"]),
+        )
+        assert snapshot_digest(registry) == golden["telemetry"][name], (
+            f"process-telemetry[{name}] diverged"
+        )
+
+    @pytest.mark.parametrize("name", ("gpu-kmer", "gpu-supermer-m7"))
+    def test_fused_case_bit_identical(self, golden, reads, name):
+        case = ENGINE_CASES[name]
+        result = run_pipeline(
+            reads,
+            build_cluster(*case["cluster"]),
+            PipelineConfig(**case["config"]),
+            backend=case["backend"],
+            options=EngineOptions(fused=True, parallel="process:2", **case["options"]),
+        )
+        _assert_same(
+            golden["engine"][name], summarize_result(result), f"process-fused[{name}]"
+        )
+
+    @pytest.mark.parametrize("name", ("gpu-kmer", "gpu-supermer-m7"))
+    def test_spill_case_bit_identical(self, golden, reads, name, tmp_path):
+        case = ENGINE_CASES[name]
+        result = run_pipeline(
+            reads,
+            build_cluster(*case["cluster"]),
+            PipelineConfig(**case["config"]),
+            backend=case["backend"],
+            options=EngineOptions(spill_dir=tmp_path, parallel="process:2", **case["options"]),
+        )
+        _assert_same(
+            golden["engine"][name], summarize_result(result), f"process-spill[{name}]"
+        )
+
+    @pytest.mark.parametrize("name", sorted(COUNTER_CASES))
+    def test_counter_case_bit_identical(self, golden, name):
+        case = COUNTER_CASES[name]
+        counter = DistributedCounter(
+            summit_gpu(1),
+            PipelineConfig(**case["config"]),
+            backend=case["backend"],
+            options=EngineOptions(parallel="process:2"),
+        )
+        for batch in batch_reads():
+            counter.add_reads(batch)
+        _assert_same(
+            golden["counter"][name], summarize_counter(counter), f"process-counter[{name}]"
+        )
+
+    @pytest.mark.parametrize("name", sorted(COUNTER_CASES))
+    def test_checkpoint_resume_mid_stream_equivalent(self, golden, name, tmp_path):
+        """Process-substrate save after batch 1 of 3, resume: same golden."""
+        case = COUNTER_CASES[name]
+        batches = batch_reads()
+        opts = EngineOptions(parallel="process:2")
+        first = DistributedCounter(
+            summit_gpu(1), PipelineConfig(**case["config"]), backend=case["backend"], options=opts
+        )
+        first.add_reads(batches[0])
+        ckpt = first.save(tmp_path / "mid-process.npz")
+
+        resumed = DistributedCounter(
+            summit_gpu(1), PipelineConfig(**case["config"]), backend=case["backend"], options=opts
+        )
+        resumed.load(ckpt)
+        assert resumed.n_batches == 1
+        for batch in batches[1:]:
+            resumed.add_reads(batch)
+        summary = summarize_counter(resumed)
+        expected = dict(golden["counter"][name])
+        # Same transient exclusions as the staged resume test: traffic and
+        # probe statistics describe this process's execution history, which
+        # a bulk reload legitimately changes.
+        for transient in ("traffic_bytes", "insert_total_probes", "timing"):
+            expected.pop(transient)
+            summary.pop(transient)
+        _assert_same(expected, summary, f"process-counter-resume[{name}]")
