@@ -7,8 +7,9 @@ back-to-back, then enforces two gates:
 
 1. **identity** — the fused results must be bit-identical to the staged
    results (spectrum, timing floats, traffic, insert statistics), and so
-   must the out-of-core spill path (exchange partitions spooled to disk,
-   external merge) and the process execution substrate
+   must the out-of-core spill paths (staged: exchange partitions spooled
+   to disk + external merge; blocked fused×spill: ``fused=True`` +
+   ``spill_dir``) and the process execution substrate
    (``parallel="process:2"``, forked workers + shared-memory transport;
    skipped only where ``os.fork`` does not exist).  Any divergence is an
    immediate failure; there is no tolerance.
@@ -27,6 +28,14 @@ back-to-back, then enforces two gates:
    Model times are deterministic functions of the data and the Summit
    calibration constants, so any difference — float-level included —
    means the summit presets no longer encode the paper's machine.
+4. **spill-overhead ceiling** — the measured staged-spill/sequential
+   host-time ratio on the guard slice must not exceed the committed
+   ``BENCH_spill.json`` ratio (recomputed over the same cells) scaled
+   by the noise band's upper edge.  Like the speedup floor this is a
+   same-machine paired ratio, so it transfers across CI hardware; it
+   bounds regressions in the spool I/O path (coalesced partition
+   writes, buffered run streaming).  Skipped on single-core hosts with
+   the speedup floor.
 
 Usage::
 
@@ -54,6 +63,9 @@ from repro.core.memory import ScratchArena  # noqa: E402
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     ap.add_argument("--bench", default="BENCH_fused.json", help="committed benchmark JSON")
+    ap.add_argument(
+        "--spill-bench", default="BENCH_spill.json", help="committed out-of-core benchmark JSON"
+    )
     ap.add_argument("--datasets", default="vvulnificus30x", help="comma-separated Table I names")
     ap.add_argument("--nodes", type=int, default=16, help="simulated Summit node count")
     ap.add_argument("--repeats", type=int, default=3, help="take the best of N paired runs per cell")
@@ -73,10 +85,11 @@ def main(argv: list[str] | None = None) -> int:
 
     committed_model = committed.get("model_times", {})
     drifted: list[str] = []
-    total_seq = total_fused = 0.0
+    total_seq = total_fused = total_spill = 0.0
     for key, (best, results) in cells.items():
         _assert_identical(results["sequential"], results["fused"], f"{key} (fused)")
         _assert_identical(results["sequential"], results["spill"], f"{key} (spill)")
+        _assert_identical(results["sequential"], results["fused-spill"], f"{key} (fused-spill)")
         for setting in substrates:
             _assert_identical(
                 results["sequential"], results[f"substrate:{setting}"], f"{key} ({setting})"
@@ -95,6 +108,7 @@ def main(argv: list[str] | None = None) -> int:
                     drifted.append(f"{key}: {phase} modeled {got[phase]!r}, committed {want!r}")
         total_seq += best["sequential"]
         total_fused += best["fused"]
+        total_spill += best["spill"]
         print(
             f"  {key:45s} seq {best['sequential']:7.3f}s  fused {best['fused']:7.3f}s "
             f"({best['sequential'] / best['fused']:.2f}x)"
@@ -129,6 +143,34 @@ def main(argv: list[str] | None = None) -> int:
     if speedup < floor:
         print(f"FAIL: fused speedup {speedup:.3f}x fell below the floor {floor}x", file=sys.stderr)
         return 1
+
+    # Spill-overhead ceiling: same-machine paired ratio vs the committed
+    # record, recomputed over exactly the cells this guard slice ran.
+    spill_bench = Path(args.spill_bench)
+    if spill_bench.exists():
+        committed_spill = json.loads(spill_bench.read_text())
+        spill_cells = {c["cell"]: c for c in committed_spill.get("cells", [])}
+        matched = [key for key in cells if key in spill_cells]
+        if matched:
+            committed_ratio = sum(spill_cells[k]["spill_s"] for k in matched) / sum(
+                spill_cells[k]["sequential_s"] for k in matched
+            )
+            ceiling = round(NOISE_BAND[1] * committed_ratio, 3)
+            measured = total_spill / total_seq
+            print(
+                f"spill overhead: {measured:.3f}x of sequential (committed slice "
+                f"{committed_ratio:.3f}x, ceiling {ceiling}x = {NOISE_BAND[1]} * committed)"
+            )
+            if measured > ceiling:
+                print(
+                    f"FAIL: spill overhead {measured:.3f}x exceeded the ceiling {ceiling}x",
+                    file=sys.stderr,
+                )
+                return 1
+        else:
+            print("spill overhead: no committed cells match the guard slice; ceiling skipped")
+    else:
+        print(f"spill overhead: {spill_bench} not found; ceiling skipped")
     return 0
 
 

@@ -19,11 +19,13 @@ path (``EngineOptions(fused=True)`` with one shared scratch arena; see
 docs/PERFORMANCE.md); ``fused_speedup`` is per-cell staged-sequential /
 fused host time.
 
-The spill column runs the same cells through the out-of-core path
-(``EngineOptions(spill_dir=...)``: exchange partitions spooled to disk,
-external merge), asserts it stays bit-identical, and records its
-overhead ratio into ``BENCH_spill.json`` so the guard can bound the
-cost of spilling.
+The spill columns run the same cells through the out-of-core paths —
+staged (``EngineOptions(spill_dir=...)``: exchange partitions spooled
+to disk, external merge) and blocked fused×spill (``fused=True`` +
+``spill_dir``: fused send buffers spooled rank-segmented, streamed back
+into the segmented table one rank block at a time) — assert both stay
+bit-identical, and record their overhead ratios into
+``BENCH_spill.json`` so the guard can bound the cost of spilling.
 
 Usage::
 
@@ -121,6 +123,9 @@ def _run_grid(datasets, nodes, workers, repeats, arena, spill_dir=None, trace=Fa
             if spill_dir is not None:
                 paths["spill"] = EngineOptions(
                     work_multiplier=mult, parallel=1, spill_dir=spill_dir
+                )
+                paths["fused-spill"] = EngineOptions(
+                    work_multiplier=mult, parallel=1, fused=True, arena=arena, spill_dir=spill_dir
                 )
             if trace:
                 paths["traced"] = EngineOptions(work_multiplier=mult, parallel=1, trace=True)
@@ -229,6 +234,15 @@ def main(argv: list[str] | None = None) -> int:
             row["spill_s"] = round(best["spill"], 4)
             row["spill_overhead"] = round(best["spill"] / seq_s, 3)
             spill_note = f"  spill {best['spill']:7.3f}s ({row['spill_overhead']:.2f}x)"
+        if "fused-spill" in results:
+            _assert_identical(results["sequential"], results["fused-spill"], f"{key} (fused-spill)")
+            row["fused_spill_s"] = round(best["fused-spill"], 4)
+            # Overhead vs the in-memory fused path: same supersteps, the
+            # delta is the disk round-trip through the spool.
+            row["fused_spill_overhead"] = round(best["fused-spill"] / fused_s, 3)
+            spill_note += (
+                f"  fspill {best['fused-spill']:7.3f}s ({row['fused_spill_overhead']:.2f}x)"
+            )
         substrate_note = ""
         for setting in substrates:
             path = f"substrate:{setting}"
@@ -299,6 +313,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.spill_out and any("spill_s" in r for r in rows):
         total_spill = sum(r["spill_s"] for r in rows if "spill_s" in r)
+        total_fused_spill = sum(r["fused_spill_s"] for r in rows if "fused_spill_s" in r)
         spill_payload = {
             "workload": "fig6",
             "engine": "staged+spill",
@@ -309,12 +324,18 @@ def main(argv: list[str] | None = None) -> int:
             "sequential_total_s": round(total_seq, 4),
             "spill_total_s": round(total_spill, 4),
             "spill_overhead": round(total_spill / total_seq, 3),
+            "fused_total_s": round(total_fused, 4),
+            "fused_spill_total_s": round(total_fused_spill, 4),
+            "fused_spill_overhead": round(total_fused_spill / total_fused, 3),
             "cells": [
                 {
                     "cell": r["cell"],
                     "sequential_s": r["sequential_s"],
                     "spill_s": r["spill_s"],
                     "spill_overhead": r["spill_overhead"],
+                    "fused_s": r["fused_s"],
+                    "fused_spill_s": r["fused_spill_s"],
+                    "fused_spill_overhead": r["fused_spill_overhead"],
                 }
                 for r in rows
                 if "spill_s" in r
@@ -324,7 +345,9 @@ def main(argv: list[str] | None = None) -> int:
         spill_out.write_text(json.dumps(spill_payload, indent=2))
         print(
             f"spill: {total_spill:.3f}s total "
-            f"({spill_payload['spill_overhead']:.2f}x of sequential) -> {spill_out}"
+            f"({spill_payload['spill_overhead']:.2f}x of sequential); "
+            f"fused-spill: {total_fused_spill:.3f}s total "
+            f"({spill_payload['fused_spill_overhead']:.2f}x of fused) -> {spill_out}"
         )
 
     if args.parallel_out and substrates:

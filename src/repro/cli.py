@@ -141,6 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
         "rounds that one round's working set fits (combine with --spill to cap RSS)",
     )
     p_count.add_argument(
+        "--table-dir",
+        metavar="DIR",
+        default=None,
+        help="back the fused hash table with np.memmap slabs in this directory so the "
+        "table can exceed RAM (bit-identical; pairs with --fused/--spill)",
+    )
+    p_count.add_argument(
         "--profile",
         nargs="?",
         const=15,
@@ -343,6 +350,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         stages=stages,
         fused=True if args.fused else None,
         spill_dir=args.spill,
+        table_dir=args.table_dir,
         host_memory_budget=args.memory_limit,
         trace=True if args.trace else None,
     )

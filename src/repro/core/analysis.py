@@ -195,7 +195,7 @@ def model_phase_of(name: str) -> str:
     base = name.split("-round")[0]
     if base.endswith("parse"):
         return "parse"
-    if base in ("exchange", "fused:exchange", "spill:spool"):
+    if base in ("exchange", "fused:exchange", "spill:spool", "spill:read"):
         return "exchange"
     if base.endswith("count"):
         return "count"

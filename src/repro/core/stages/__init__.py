@@ -35,7 +35,14 @@ from .registry import (
     substrate_names,
 )
 from .scheduler import PipelineState, RoundScheduler
-from .spill import SpillExchange, SpillPipeline, SpillSpool, external_merge, supports_spill
+from .spill import (
+    FusedSpillPipeline,
+    SpillExchange,
+    SpillPipeline,
+    SpillSpool,
+    external_merge,
+    supports_spill,
+)
 from .spmd import staged_rank_program
 
 __all__ = [
@@ -68,6 +75,7 @@ __all__ = [
     "FusedPipeline",
     "resolve_fused",
     "supports_fusion",
+    "FusedSpillPipeline",
     "SpillExchange",
     "SpillPipeline",
     "SpillSpool",

@@ -88,7 +88,17 @@ class EngineOptions:
     # one round's per-rank working set (partition buffer + extraction +
     # table growth) fits under it.  Honored by every execution path so
     # n_rounds_used stays identical between spilled and in-memory runs.
+    # A budget below one received item's working-set floor is rejected at
+    # round computation with the computed floor in the error message.
     host_memory_budget: int | None = None
+    # File-backed hash tables (repro.gpu.segmented): a directory for
+    # np.memmap key/count slabs, so a rank's table can exceed anonymous
+    # RAM.  Applies to the strategies that build a SegmentedHashTable
+    # (fused and fused×spill); the staged per-rank tables stay resident
+    # and the scheduler announces an engine.table.fallback event instead.
+    # Bit-identical — np.memmap is an ndarray; only the backing store
+    # changes.  None = tables in RAM.
+    table_dir: str | Path | None = None
 
     def __post_init__(self) -> None:
         machine = resolve_machine(self.machine)
@@ -109,6 +119,8 @@ class EngineOptions:
             raise ValueError("host_memory_budget must be positive (bytes)")
         if self.spill_dir is not None:
             object.__setattr__(self, "spill_dir", Path(self.spill_dir))
+        if self.table_dir is not None:
+            object.__setattr__(self, "table_dir", Path(self.table_dir))
         object.__setattr__(self, "stages", tuple(self.stages))
         if self.trace is not None and not isinstance(self.trace, SpanRecorder):
             object.__setattr__(self, "trace", SpanRecorder() if self.trace else None)

@@ -427,6 +427,8 @@ class FusedPipeline:
         shuffled_lengths: np.ndarray | None,
         dst_offsets: np.ndarray,
         sctx,
+        *,
+        rank_range: tuple[int, int] | None = None,
     ) -> tuple[np.ndarray, np.ndarray, list[InsertStats]]:
         """One fused count round over every rank's received segment.
 
@@ -434,11 +436,23 @@ class FusedPipeline:
         over the whole received array (elementwise per supermer, so rank
         slices equal the per-rank extractions); plugin receive-filters run
         per rank in rank order, preserving their stateful semantics.
+
+        ``rank_range=(r0, r1)`` restricts the call to a consecutive rank
+        block: ``shuffled`` then holds only those ranks' segments and
+        ``dst_offsets`` has ``r1 - r0 + 1`` entries; the returned arrays
+        cover the block only.  The segmented table's per-rank regions are
+        slot-disjoint, so each rank's probe sequence (hence every
+        InsertStats field, model time, and telemetry emission) is
+        independent of which other ranks share the insert call — this is
+        what lets the blocked fused×spill path stream rank blocks while
+        staying bit-identical to the whole-cluster call.
         """
         comp = self.sched.comp
         config = self.sched.config
         opts = self.sched.opts
         p = self.sched.cluster.n_ranks
+        r0, r1 = (0, p) if rank_range is None else rank_range
+        nb = r1 - r0
         mult = sctx.mult
 
         if sctx.supermer_mode:
@@ -458,30 +472,40 @@ class FusedPipeline:
         n_seen = np.diff(kmer_offsets).astype(np.int64)
         if comp.count.plugins:
             segments = []
-            for r in range(p):
-                kmers_r = all_kmers[kmer_offsets[r] : kmer_offsets[r + 1]]
+            for i in range(nb):
+                kmers_r = all_kmers[kmer_offsets[i] : kmer_offsets[i + 1]]
                 for plugin in comp.count.plugins:
-                    kmers_r = plugin.filter_received(r, kmers_r)
+                    kmers_r = plugin.filter_received(r0 + i, kmers_r)
                 segments.append(kmers_r)
-            insert_offsets = np.zeros(p + 1, dtype=np.int64)
+            insert_offsets = np.zeros(nb + 1, dtype=np.int64)
             np.cumsum([seg.shape[0] for seg in segments], out=insert_offsets[1:])
             insert_flat = (
-                np.concatenate(segments) if p > 1 else segments[0]
+                np.concatenate(segments) if nb > 1 else segments[0]
             )
         else:
             insert_flat = all_kmers
             insert_offsets = kmer_offsets
 
-        stats = table.insert_flat(insert_flat, insert_offsets)
+        if rank_range is None:
+            seg_offsets = insert_offsets
+        else:
+            # Widen to the table's p+1 segment offsets: ranks outside the
+            # block get empty segments, which insert nothing and emit no
+            # telemetry — the call is the whole-cluster insert restricted
+            # to the block.
+            seg_offsets = np.zeros(p + 1, dtype=np.int64)
+            seg_offsets[r0 + 1 : r1 + 1] = insert_offsets[1:]
+            seg_offsets[r1 + 1 :] = insert_offsets[-1]
+        stats = table.insert_flat(insert_flat, seg_offsets)[r0:r1]
         inserted = np.diff(insert_offsets)
 
-        times = np.zeros(p, dtype=np.float64)
+        times = np.zeros(nb, dtype=np.float64)
         recv_items = np.diff(dst_offsets)
         if sctx.backend == "gpu":
             cost = KernelCostModel(opts.device)
             model = opts.gpu_model
             reg = active()
-            for r in range(p):
+            for r in range(nb):
                 n = int(inserted[r])
                 ins = stats[r]
                 ops = model.ops_count_kmer * n
@@ -509,7 +533,7 @@ class FusedPipeline:
                     ).inc(traffic.atomic_ops)
         else:
             rates = opts.cpu_rates
-            for r in range(p):
+            for r in range(nb):
                 times[r] = rates.phase_overhead + rates.count_time(
                     int(inserted[r]) * mult, supermer_mode=sctx.supermer_mode
                 )
@@ -553,6 +577,7 @@ class FusedPipeline:
         table = SegmentedHashTable(
             [max(64, int(nk) // max(p, 1) + 16) for nk in fp.n_kmers],
             seed=config.table_seed,
+            table_dir=opts.table_dir,
         )
         received_kmers = np.zeros(p, dtype=np.int64)
         per_rank_count = np.zeros(p, dtype=np.float64)
@@ -675,6 +700,7 @@ class FusedPipeline:
                 reg.counter("supermer_bases_total", "Bases covered by supermers", engine=backend).inc(
                     supermer_bases
                 )
+        table.close()  # reclaims the mmap slab files when table_dir is set
         return CountResult(
             config=config,
             cluster=sched.cluster,
@@ -736,7 +762,7 @@ class FusedPipeline:
         if table is None:
             # Adopt the per-rank tables layout-verbatim, so a state that
             # already counted staged batches continues bit-identically.
-            table = SegmentedHashTable.from_tables(state.tables)
+            table = SegmentedHashTable.from_tables(state.tables, table_dir=sched.opts.table_dir)
             state.fused_table = table
             state.tables = table.views()
 

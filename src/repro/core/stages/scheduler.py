@@ -259,18 +259,20 @@ class RoundScheduler:
         Resolved once: ``opts.spill_dir`` must be set AND the composition's
         exchange/merge must be the standard classes whose semantics the
         spill path mirrors (:func:`repro.core.stages.spill.supports_spill`).
-        A spill request over a custom composition falls back to the
-        in-memory scheduler with an event, never an error; a simultaneous
-        fused request spills via the staged loop (the fused path keeps
-        whole-cluster buffers resident, which is what spilling avoids),
-        also announced with an event.  Results are identical either way.
+        A simultaneous fused request selects the blocked fused×spill
+        composition when every stage is the standard fusable type;
+        otherwise the staged spill loop runs (with the usual fused-fallback
+        event).  A spill request over a custom exchange/merge composition
+        falls back to the in-memory scheduler with an event, never an
+        error.  Results are identical on every path.
         """
         if not self._spill_checked:
             self._spill_checked = True
             if self.opts.spill_dir is not None:
-                from .fused import resolve_fused
-                from .spill import SpillPipeline, supports_spill
+                from .fused import resolve_fused, supports_fusion
+                from .spill import FusedSpillPipeline, SpillPipeline, supports_spill
 
+                fused_on = resolve_fused(self.opts.fused)
                 if not supports_spill(self.comp):
                     event(
                         "engine.spill.fallback",
@@ -278,15 +280,17 @@ class RoundScheduler:
                         backend=self.comp.backend,
                         reason="composition has custom exchange/merge stages; counting in memory",
                     )
+                elif fused_on and supports_fusion(self.comp):
+                    self._spill_impl = FusedSpillPipeline(self)
                 else:
-                    self._spill_impl = SpillPipeline(self)
-                    if resolve_fused(self.opts.fused):
+                    if fused_on:
                         event(
-                            "engine.spill.fallback",
+                            "engine.fused.fallback",
                             subsystem="engine",
                             backend=self.comp.backend,
-                            reason="fused path keeps whole-cluster buffers resident; spilling via the staged loop",
+                            reason="composition has custom stages; spilling via the staged loop",
                         )
+                    self._spill_impl = SpillPipeline(self)
         return self._spill_impl
 
     def _pool(self):
@@ -364,7 +368,21 @@ class RoundScheduler:
             ranks=self.cluster.n_ranks,
             reads=reads.n_reads,
         )
-        strategy = "spill" if self._spill() is not None else ("fused" if self._fused() is not None else "staged")
+        spill = self._spill()
+        strategy = (
+            spill.strategy
+            if spill is not None
+            else ("fused" if self._fused() is not None else "staged")
+        )
+        if opts.table_dir is not None and strategy in ("staged", "spill"):
+            # The mmap-backed table is a SegmentedHashTable feature; the
+            # per-rank DeviceHashTables of these strategies stay resident.
+            event(
+                "engine.table.fallback",
+                subsystem="engine",
+                backend=self.comp.backend,
+                reason="table_dir applies to the fused segmented table; per-rank tables stay resident",
+            )
         ctx = session(reg) if reg is not None else nullcontext()
         with ctx, recording_region(
             recorder,
@@ -593,6 +611,17 @@ class RoundScheduler:
         region with the same stage/work structure as the one-shot run.
         """
         recorder = self.opts.span_recorder
+        if reads.offsets.size:
+            # Batches are single-round, so the budget cannot split work —
+            # but a budget below one received item is invalid everywhere
+            # and the streamed surface must report the same floor the
+            # one-shot run does.
+            wire = (
+                self.config.supermer_wire_bytes
+                if self.config.mode == "supermer"
+                else self.config.kmer_wire_bytes
+            )
+            _check_host_budget_floor(wire, self.opts.work_multiplier, self.opts)
         with recording_region(
             recorder, f"batch{state.n_batches}", cat="batch", batch=state.n_batches
         ):
@@ -808,5 +837,28 @@ def _rounds_for_recv_items(
         # extraction copy, the unpacked 8-byte key stream, and the table
         # slots (16 B each at ~0.7 target load) the round may add.
         host_bytes_per_item = wire * 2 + 8.0 + 16 / 0.7
+        if worst > 0:
+            _check_host_budget_floor(wire, mult, opts)
         rounds = max(rounds, int(np.ceil(worst * host_bytes_per_item / opts.host_memory_budget)))
     return rounds
+
+
+def _check_host_budget_floor(wire: int, mult: float, opts: EngineOptions) -> None:
+    """Reject a host budget smaller than one received item's working set.
+
+    Rounds cannot shrink the per-round set below one item per rank, so a
+    sub-item budget would just degenerate into floods of zero-item
+    rounds.  The floor is config-derived (wire size and multiplier, no
+    data needed), so the streamed batch path validates it up front even
+    though batches are single-round by construction.
+    """
+    if opts.host_memory_budget is None:
+        return
+    host_bytes_per_item = wire * 2 + 8.0 + 16 / 0.7
+    floor = int(np.ceil(host_bytes_per_item * mult))
+    if opts.host_memory_budget < floor:
+        raise ValueError(
+            f"host_memory_budget={opts.host_memory_budget} is below the working-set "
+            f"floor of one received item: {floor} bytes "
+            f"({host_bytes_per_item:.1f} B/item at work_multiplier {mult:g})"
+        )

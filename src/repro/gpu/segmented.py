@@ -21,9 +21,24 @@ single rank either way (see ``_insert_unique_flat``).
 key/count layout verbatim, so switching an in-flight
 :class:`~repro.core.stages.scheduler.PipelineState` between staged and
 fused execution cannot perturb future probe statistics.
+
+**File-backed mode** (``table_dir=``): the keys/counts slabs become
+``np.memmap`` files in a private directory, so a table can exceed the
+anonymous-memory the process is allowed (the BSC NVM fast-storage layout,
+PAPERS.md).  ``np.memmap`` is an ``ndarray`` subclass, so every probe,
+insert, regrow, and merge runs the identical NumPy operations on the
+identical values — observables are bit-identical to the in-RAM table;
+only the backing store changes.  Regrows write a new slab *generation*
+before the old mappings are dropped (the region copy still reads them),
+then unlink the superseded files.
 """
 
 from __future__ import annotations
+
+import shutil
+import tempfile
+import weakref
+from pathlib import Path
 
 import numpy as np
 
@@ -50,6 +65,7 @@ class SegmentedHashTable:
         seed: int = 0,
         max_load_factor: float = 0.7,
         probing: str = "linear",
+        table_dir: str | Path | None = None,
     ) -> None:
         if not 0.1 <= max_load_factor < 1.0:
             raise ValueError("max_load_factor must be in [0.1, 1.0)")
@@ -58,6 +74,7 @@ class SegmentedHashTable:
         self.seed = seed
         self.max_load_factor = max_load_factor
         self.probing = probing
+        self._init_backing(table_dir)
         caps = []
         for hint in capacity_hints:
             if hint < 1:
@@ -70,6 +87,18 @@ class SegmentedHashTable:
         self._layout(np.asarray(caps, dtype=np.int64))
         self.n_entries_per_rank = np.zeros(self.n_ranks, dtype=np.int64)
 
+    def _init_backing(self, table_dir: str | Path | None) -> None:
+        """Choose the slab store: anonymous arrays or memmap files."""
+        self._table_dir: Path | None = None
+        self._generation = 0
+        self._slab_paths: tuple[Path, ...] = ()
+        self._finalizer = None
+        if table_dir is not None:
+            base = Path(table_dir)
+            base.mkdir(parents=True, exist_ok=True)
+            self._table_dir = Path(tempfile.mkdtemp(prefix="table-", dir=base))
+            self._finalizer = weakref.finalize(self, shutil.rmtree, self._table_dir, True)
+
     def _layout(self, capacities: np.ndarray) -> None:
         self.capacities = capacities
         self.region_base = np.zeros(capacities.shape[0] + 1, dtype=np.int64)
@@ -77,11 +106,46 @@ class SegmentedHashTable:
         self._base_u64 = self.region_base[:-1].astype(np.uint64)
         self._masks = (capacities - 1).astype(np.uint64)
         total = int(self.region_base[-1])
-        self.keys = np.full(total, EMPTY_KEY, dtype=np.uint64)
-        self.counts = np.zeros(total, dtype=np.int64)
+        if self._table_dir is None or total == 0:
+            self.keys = np.full(total, EMPTY_KEY, dtype=np.uint64)
+            self.counts = np.zeros(total, dtype=np.int64)
+            return
+        # File-backed slabs.  Each layout writes a fresh generation: a
+        # _regrow caller still holds the previous arrays while regions copy
+        # across, so the old maps must stay valid.  The superseded files
+        # are unlinked immediately — on POSIX the live mappings keep their
+        # data reachable until the arrays are dropped.
+        stale = self._slab_paths
+        gen = self._generation
+        self._generation += 1
+        kpath = self._table_dir / f"keys.g{gen}.bin"
+        cpath = self._table_dir / f"counts.g{gen}.bin"
+        self.keys = np.memmap(kpath, dtype=np.uint64, mode="w+", shape=(total,))
+        self.keys[:] = EMPTY_KEY
+        self.counts = np.memmap(cpath, dtype=np.int64, mode="w+", shape=(total,))
+        self._slab_paths = (kpath, cpath)
+        for path in stale:
+            path.unlink(missing_ok=True)
+
+    @property
+    def backing_dir(self) -> Path | None:
+        """The private slab directory of a file-backed table (else ``None``)."""
+        return self._table_dir
+
+    def close(self) -> None:
+        """Remove a file-backed table's slab directory (in-RAM: no-op).
+
+        Existing array references stay readable (POSIX keeps unlinked
+        mapped data alive), but the disk space is reclaimed now instead of
+        at garbage collection, which also runs this via a finalizer.
+        """
+        if self._finalizer is not None:
+            self._finalizer()
 
     @classmethod
-    def from_tables(cls, tables: list[DeviceHashTable]) -> "SegmentedHashTable":
+    def from_tables(
+        cls, tables: list[DeviceHashTable], *, table_dir: str | Path | None = None
+    ) -> "SegmentedHashTable":
         """Adopt per-rank tables, preserving each one's slot layout exactly."""
         if not tables:
             raise ValueError("need at least one table")
@@ -97,6 +161,7 @@ class SegmentedHashTable:
         self.seed = first.seed
         self.max_load_factor = first.max_load_factor
         self.probing = first.probing
+        self._init_backing(table_dir)
         self._layout(np.asarray([t.capacity for t in tables], dtype=np.int64))
         self.n_entries_per_rank = np.asarray([t.n_entries for t in tables], dtype=np.int64)
         for r, t in enumerate(tables):

@@ -185,12 +185,15 @@ class TestTracedRunsIdentical:
 
     CONFIG = PipelineConfig(k=15, mode="supermer", n_rounds=2)
 
-    @pytest.mark.parametrize("strategy", ["staged", "fused", "spill"])
+    @pytest.mark.parametrize("strategy", ["staged", "fused", "spill", "fused-spill"])
     def test_one_shot_traced_equals_untraced(self, reads, strategy, tmp_path):
         extra = {}
         if strategy == "fused":
             extra["fused"] = True
         elif strategy == "spill":
+            extra["spill_dir"] = tmp_path / "spool"
+        elif strategy == "fused-spill":
+            extra["fused"] = True
             extra["spill_dir"] = tmp_path / "spool"
         reg_a, reg_b = MetricRegistry(), MetricRegistry()
         base, _ = _run(reads, config=self.CONFIG, telemetry=reg_a, **extra)
@@ -199,12 +202,15 @@ class TestTracedRunsIdentical:
         assert reg_a.snapshot(include_wall=False) == reg_b.snapshot(include_wall=False)
         assert len(options.trace) > 0
 
-    @pytest.mark.parametrize("strategy", ["staged", "fused", "spill"])
+    @pytest.mark.parametrize("strategy", ["staged", "fused", "spill", "fused-spill"])
     def test_streamed_traced_equals_untraced(self, reads, strategy, tmp_path):
         extra = {}
         if strategy == "fused":
             extra["fused"] = True
         elif strategy == "spill":
+            extra["spill_dir"] = tmp_path / "spool"
+        elif strategy == "fused-spill":
+            extra["fused"] = True
             extra["spill_dir"] = tmp_path / "spool"
         half = reads.n_reads // 2
         batches = [reads.select(range(half)), reads.select(range(half, reads.n_reads))]
@@ -249,6 +255,17 @@ class TestWallRowsAllStrategies:
         assert any(n.startswith("spill:spool") for n in names)
         # run-write rows are per-rank work, one per rank
         assert sorted(e["tid"] for e in events if e["name"] == "spill:run-write") == [0, 1, 2, 3]
+
+    def test_fused_spill_wall_rows(self, reads, tmp_path):
+        _, options = _run(
+            reads, config=self.CONFIG, fused=True, spill_dir=tmp_path / "s", trace=True
+        )
+        names = {e["name"] for e in wall_trace_events(options.trace) if e["ph"] == "X"}
+        assert {"fused:parse", "fused:merge"} <= names
+        assert any(n.startswith("spill:spool") for n in names)
+        assert any(n.startswith("spill:read") for n in names)
+        assert any(n.startswith("fused:count") for n in names)
+        assert "spill:run-write" not in names  # no external-merge run files
 
     def test_staged_wall_rows_unchanged(self, reads):
         _, options = _run(reads, config=self.CONFIG, trace=True)

@@ -204,21 +204,392 @@ class TestSpillFallbacks:
         assert fallback.spectrum.equals(mem.spectrum)
         assert list(tmp_path.iterdir()) == []  # nothing was spooled
 
-    def test_spill_plus_fused_spills_via_staged_loop(self, caplog, genome_reads, tmp_path):
+    def test_spill_plus_fused_runs_blocked_composition(self, caplog, genome_reads, tmp_path):
+        """``fused=True`` + ``spill_dir`` is a real strategy, not a fallback."""
+        from repro.telemetry.spans import SpanRecorder
+
         config = PipelineConfig(k=17, mode="supermer", n_rounds=2)
         cluster = summit_gpu(2)
         mem = run_pipeline(genome_reads, cluster, config, backend="gpu", options=EngineOptions())
+        rec = SpanRecorder()
         with caplog.at_level(logging.INFO, logger="repro.telemetry"):
             both = run_pipeline(
                 genome_reads,
                 cluster,
                 config,
                 backend="gpu",
-                options=EngineOptions(spill_dir=tmp_path, fused=True),
+                options=EngineOptions(spill_dir=tmp_path, fused=True, span_recorder=rec),
             )
-        assert any("engine.spill.fallback" in rec.message for rec in caplog.records)
-        assert not any("engine.fused.fallback" in rec.message for rec in caplog.records)
+        assert not any("engine.spill.fallback" in rec_.message for rec_ in caplog.records)
+        assert not any("engine.fused.fallback" in rec_.message for rec_ in caplog.records)
         assert summarize_result(both) == summarize_result(mem)
+        run_span = next(s for s in rec.all_spans() if s.name == "run")
+        assert run_span.meta["strategy"] == "fused-spill"
+        names = {s.name.split("-round")[0] for s in rec.all_spans()}
+        assert {"spill:spool", "spill:read", "fused:count", "fused:merge"} <= names
+        assert "spill:run-write" not in names  # no external run files on this path
+        assert list(tmp_path.iterdir()) == []  # spool cleaned up
+
+    def test_fused_spill_custom_stages_fall_back_to_staged_spill(self, caplog, genome_reads, tmp_path):
+        """Custom count stage: spilling still works, via the staged loop."""
+        import dataclasses
+
+        from repro.core.stages.registry import resolve
+        from repro.core.stages.scheduler import RoundScheduler
+        from repro.core.stages.standard import TableCount
+
+        class CustomCount(TableCount):
+            pass
+
+        config = PipelineConfig(k=15, mode="kmer")
+        opts = EngineOptions(spill_dir=tmp_path, fused=True)
+        custom = dataclasses.replace(resolve("gpu:kmer", config, opts), count=CustomCount())
+        cluster = summit_gpu(1)
+        with caplog.at_level(logging.INFO, logger="repro.telemetry"):
+            spilled = RoundScheduler(cluster, config, custom, opts).run(genome_reads)
+        assert any("engine.fused.fallback" in rec.message for rec in caplog.records)
+        mem = run_pipeline(genome_reads, cluster, config, backend="gpu", options=EngineOptions())
+        assert spilled.spectrum.equals(mem.spectrum)
+
+    def test_table_dir_on_staged_path_warns_and_stays_resident(self, caplog, genome_reads, tmp_path):
+        config = PipelineConfig(k=15, mode="kmer")
+        with caplog.at_level(logging.INFO, logger="repro.telemetry"):
+            staged = run_pipeline(
+                genome_reads,
+                summit_gpu(1),
+                config,
+                backend="gpu",
+                options=EngineOptions(table_dir=tmp_path),
+            )
+        assert any("engine.table.fallback" in rec.message for rec in caplog.records)
+        mem = run_pipeline(genome_reads, summit_gpu(1), config, backend="gpu", options=EngineOptions())
+        assert summarize_result(staged) == summarize_result(mem)
+        assert list(tmp_path.iterdir()) == []  # no slabs were created
+
+
+class TestFusedSpillIdentity:
+    """Blocked fused×spill vs the in-memory fused path: bit-identical."""
+
+    @pytest.mark.parametrize(
+        "mode,canonical,n_rounds",
+        [
+            ("kmer", False, 1),
+            ("kmer", True, 3),
+            ("supermer", False, 2),
+            ("supermer", True, 1),
+        ],
+    )
+    def test_matches_in_memory_fused(self, genome_reads, tmp_path, mode, canonical, n_rounds):
+        config = PipelineConfig(k=17, mode=mode, canonical=canonical, n_rounds=n_rounds)
+        mem, spilled, reg_mem, reg_spill, _ = _run_pair(
+            genome_reads, summit_gpu(2), config, "gpu", tmp_path, fused=True
+        )
+        expected, actual = summarize_result(mem), summarize_result(spilled)
+        for key in expected:
+            assert actual[key] == expected[key], f"field {key!r} diverged"
+        assert snapshot_digest(reg_spill) == snapshot_digest(reg_mem)
+
+    def test_matches_exact_reference(self, genome_reads, tmp_path):
+        config = PipelineConfig(k=17, mode="supermer", n_rounds=2)
+        spilled = run_pipeline(
+            genome_reads,
+            summit_gpu(2),
+            config,
+            backend="gpu",
+            options=EngineOptions(spill_dir=tmp_path, fused=True),
+        )
+        assert spilled.spectrum.equals(count_kmers_exact(genome_reads, 17))
+
+    def test_cpu_backend(self, genome_reads, tmp_path):
+        config = PipelineConfig(k=15, mode="kmer")
+        mem, spilled, reg_mem, reg_spill, _ = _run_pair(
+            genome_reads, summit_cpu(2), config, "cpu", tmp_path, fused=True
+        )
+        assert summarize_result(spilled) == summarize_result(mem)
+        assert snapshot_digest(reg_spill) == snapshot_digest(reg_mem)
+
+    def test_with_plugins(self, genome_reads, tmp_path):
+        config = PipelineConfig(k=17, mode="supermer")
+        mem, spilled, reg_mem, reg_spill, _ = _run_pair(
+            genome_reads, summit_gpu(2), config, "gpu", tmp_path, fused=True, stages=("bloom", "balanced")
+        )
+        assert summarize_result(spilled) == summarize_result(mem)
+        assert snapshot_digest(reg_spill) == snapshot_digest(reg_mem)
+
+    def test_matches_staged_spill(self, genome_reads, tmp_path):
+        """The two out-of-core strategies agree with each other too."""
+        config = PipelineConfig(k=17, mode="supermer", n_rounds=2)
+        cluster = summit_gpu(2)
+        staged = run_pipeline(
+            genome_reads,
+            cluster,
+            config,
+            backend="gpu",
+            options=EngineOptions(spill_dir=tmp_path / "a"),
+        )
+        fused = run_pipeline(
+            genome_reads,
+            cluster,
+            config,
+            backend="gpu",
+            options=EngineOptions(spill_dir=tmp_path / "b", fused=True),
+        )
+        assert summarize_result(fused) == summarize_result(staged)
+
+    def test_host_budget_splits_rounds_identically(self, genome_reads, tmp_path):
+        config = PipelineConfig(k=17, mode="supermer", n_rounds=1)
+        cluster = summit_gpu(2)
+        staged = run_pipeline(
+            genome_reads,
+            cluster,
+            config,
+            backend="gpu",
+            options=EngineOptions(host_memory_budget=16_000),
+        )
+        spilled = run_pipeline(
+            genome_reads,
+            cluster,
+            config,
+            backend="gpu",
+            options=EngineOptions(spill_dir=tmp_path, fused=True, host_memory_budget=16_000),
+        )
+        assert staged.n_rounds_used > 1
+        assert spilled.n_rounds_used == staged.n_rounds_used
+        assert summarize_result(spilled) == summarize_result(staged)
+
+    def test_streamed_batches_identical(self, genome_reads, tmp_path):
+        config = PipelineConfig(k=17, mode="supermer")
+        cluster = summit_gpu(2)
+        n = genome_reads.n_reads
+        batches = [
+            genome_reads.select(range(n // 2)),
+            genome_reads.select(range(n // 2, n)),
+        ]
+        mem = DistributedCounter(cluster, config, options=EngineOptions(fused=True))
+        spilled = DistributedCounter(
+            cluster, config, options=EngineOptions(fused=True, spill_dir=tmp_path)
+        )
+        for batch in batches:
+            mem.add_reads(batch)
+            spilled.add_reads(batch)
+        assert summarize_counter(spilled) == summarize_counter(mem)
+        assert spilled.insert_stats == mem.insert_stats
+        assert spilled.spectrum().equals(mem.spectrum())
+
+    def test_checkpoint_resumes_into_in_memory_counter(self, genome_reads, tmp_path):
+        config = PipelineConfig(k=17, mode="kmer")
+        cluster = summit_gpu(2)
+        spilled = DistributedCounter(
+            cluster, config, options=EngineOptions(fused=True, spill_dir=tmp_path / "s")
+        )
+        spilled.add_reads(genome_reads)
+        ckpt = spilled.save(tmp_path / "ckpt.npz")
+        resumed = DistributedCounter(cluster, config)
+        resumed.load(ckpt)
+        assert resumed.spectrum().equals(spilled.spectrum())
+        assert resumed.insert_stats == spilled.insert_stats
+
+
+class TestMmapTable:
+    """File-backed segmented-table slabs: same bits, reclaimable footprint."""
+
+    def _case(self, seed=31):
+        rng = np.random.default_rng(seed)
+        segments = [
+            rng.integers(0, 4096, size=n, dtype=np.uint64) for n in (700, 0, 350)
+        ]
+        offs = np.concatenate([[0], np.cumsum([s.size for s in segments])]).astype(np.int64)
+        return np.concatenate(segments), offs
+
+    def test_insert_and_regrow_identical_to_resident(self, tmp_path):
+        from repro.gpu.segmented import SegmentedHashTable
+
+        flat, offs = self._case()
+        hints = [8, 8, 8]  # tiny: forces several regrows (slab generations)
+        resident = SegmentedHashTable(hints, seed=3)
+        mapped = SegmentedHashTable(hints, seed=3, table_dir=tmp_path)
+        assert mapped.backing_dir is not None and mapped.backing_dir.exists()
+        assert mapped.insert_flat(flat, offs) == resident.insert_flat(flat, offs)
+        assert isinstance(mapped.keys, np.memmap)
+        assert np.array_equal(np.asarray(mapped.keys), resident.keys)
+        assert np.array_equal(np.asarray(mapped.counts), resident.counts)
+        for r in range(3):
+            mk, mc = mapped.items_of(r)
+            rk, rc = resident.items_of(r)
+            assert np.array_equal(mk, rk) and np.array_equal(mc, rc)
+        # Exactly one live slab generation per array on disk.
+        names = sorted(p.name for p in mapped.backing_dir.iterdir())
+        assert len(names) == 2
+        assert names[0].startswith("counts.g") and names[1].startswith("keys.g")
+
+    def test_close_and_finalizer_remove_slabs(self, tmp_path):
+        from repro.gpu.segmented import SegmentedHashTable
+
+        flat, offs = self._case(seed=37)
+        mapped = SegmentedHashTable([64, 64, 64], seed=1, table_dir=tmp_path)
+        mapped.insert_flat(flat, offs)
+        slab_dir = mapped.backing_dir
+        assert slab_dir.exists()
+        mapped.close()
+        assert not slab_dir.exists()
+        assert tmp_path.exists()  # the user-provided root stays
+
+    def test_from_tables_adopts_into_mmap_backing(self, tmp_path):
+        from repro.gpu.hashtable import DeviceHashTable
+        from repro.gpu.segmented import SegmentedHashTable
+
+        rng = np.random.default_rng(41)
+        tables = [DeviceHashTable(64, seed=7) for _ in range(2)]
+        segs = [rng.integers(0, 999, size=200, dtype=np.uint64) for _ in range(2)]
+        for t, s in zip(tables, segs):
+            t.insert_batch(s)
+        mapped = SegmentedHashTable.from_tables(tables, table_dir=tmp_path)
+        assert mapped.backing_dir is not None
+        for r, t in enumerate(tables):
+            mk, mc = mapped.items_of(r)
+            rk, rc = t.items()
+            assert np.array_equal(mk, rk) and np.array_equal(mc, rc)
+
+    @pytest.mark.parametrize("spill", [False, True])
+    def test_engine_identity_with_table_dir(self, genome_reads, tmp_path, spill):
+        config = PipelineConfig(k=17, mode="supermer", n_rounds=2)
+        cluster = summit_gpu(2)
+        reg_mem, reg_map = MetricRegistry(), MetricRegistry()
+        option_kw = dict(fused=True)
+        if spill:
+            option_kw["spill_dir"] = tmp_path / "spool"
+        mem = run_pipeline(
+            genome_reads,
+            cluster,
+            config,
+            backend="gpu",
+            options=EngineOptions(telemetry=reg_mem, **option_kw),
+        )
+        mapped = run_pipeline(
+            genome_reads,
+            cluster,
+            config,
+            backend="gpu",
+            options=EngineOptions(telemetry=reg_map, table_dir=tmp_path / "table", **option_kw),
+        )
+        assert summarize_result(mapped) == summarize_result(mem)
+        assert snapshot_digest(reg_map) == snapshot_digest(reg_mem)
+        assert list((tmp_path / "table").iterdir()) == []  # slabs reclaimed
+
+
+class TestSpillCleanupOnFailure:
+    """A raise anywhere inside the counting loop must not leak spool files."""
+
+    def _assert_cleanup(self, caplog, spill_dir, run):
+        with caplog.at_level(logging.INFO, logger="repro.telemetry"):
+            with pytest.raises(RuntimeError, match="boom"):
+                run()
+        cleanup = [rec.message for rec in caplog.records if "engine.spill.cleanup" in rec.message]
+        assert cleanup, "no engine.spill.cleanup event was emitted"
+        assert "files=" in cleanup[0]
+        assert list(spill_dir.iterdir()) == []  # spool removed despite the raise
+
+    def test_staged_spill_raise_removes_spool(self, caplog, genome_reads, tmp_path, monkeypatch):
+        import repro.core.stages.spill as spill_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        # external_merge runs after the run files are written: the spool is
+        # at its fullest when the failure lands.
+        monkeypatch.setattr(spill_mod, "external_merge", boom)
+        config = PipelineConfig(k=15, mode="kmer")
+        self._assert_cleanup(
+            caplog,
+            tmp_path,
+            lambda: run_pipeline(
+                genome_reads,
+                summit_gpu(1),
+                config,
+                backend="gpu",
+                options=EngineOptions(spill_dir=tmp_path),
+            ),
+        )
+
+    def test_fused_spill_raise_removes_spool(self, caplog, genome_reads, tmp_path, monkeypatch):
+        import repro.core.stages.spill as spill_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        # The segmented table is built after every round has spooled.
+        monkeypatch.setattr(spill_mod, "SegmentedHashTable", boom)
+        config = PipelineConfig(k=15, mode="kmer")
+        self._assert_cleanup(
+            caplog,
+            tmp_path,
+            lambda: run_pipeline(
+                genome_reads,
+                summit_gpu(1),
+                config,
+                backend="gpu",
+                options=EngineOptions(spill_dir=tmp_path, fused=True),
+            ),
+        )
+
+
+class TestHostBudgetFloor:
+    """A budget below one received item's working set must fail loudly."""
+
+    @pytest.mark.parametrize(
+        "option_kw",
+        [
+            {},
+            {"fused": True},
+            {"spill": True},
+            {"fused": True, "spill": True},
+        ],
+        ids=["staged", "fused", "spill", "fused-spill"],
+    )
+    def test_sub_floor_budget_raises_with_floor(self, genome_reads, tmp_path, option_kw):
+        kw = dict(option_kw)
+        if kw.pop("spill", False):
+            kw["spill_dir"] = tmp_path
+        config = PipelineConfig(k=17, mode="kmer")
+        with pytest.raises(ValueError, match="working-set floor") as excinfo:
+            run_pipeline(
+                genome_reads,
+                summit_gpu(2),
+                config,
+                backend="gpu",
+                options=EngineOptions(host_memory_budget=16, **kw),
+            )
+        # The message reports the computed floor (one received item's
+        # working set — ~47 B for 8-byte k-mer wire items at multiplier 1).
+        msg = str(excinfo.value)
+        floor = int(msg.split("floor of one received item: ")[1].split(" bytes")[0])
+        assert floor > 16
+
+    def test_streamed_counter_reports_floor(self, genome_reads, tmp_path):
+        # The CLI counts through DistributedCounter.run_batch, which is
+        # single-round by construction — the floor must still be
+        # reported there, not silently ignored.
+        config = PipelineConfig(k=17, mode="kmer")
+        counter = DistributedCounter(
+            summit_gpu(2),
+            config,
+            options=EngineOptions(host_memory_budget=16, spill_dir=tmp_path),
+        )
+        with pytest.raises(ValueError, match="working-set floor"):
+            counter.add_reads(genome_reads)
+
+    def test_floor_scales_with_work_multiplier(self, genome_reads):
+        # 2 kB/rank is plenty at scale 1 but under the ~3 kB floor one
+        # received item costs at work_multiplier 64.
+        config = PipelineConfig(k=17, mode="kmer")
+        with pytest.raises(ValueError, match="work_multiplier 64"):
+            run_pipeline(
+                genome_reads,
+                summit_gpu(2),
+                config,
+                backend="gpu",
+                options=EngineOptions(host_memory_budget=2_000, work_multiplier=64.0),
+            )
 
 
 class TestSpillBatches:
@@ -299,6 +670,40 @@ class TestExternalMerge:
         assert np.array_equal(merged.values, keys)
         assert np.array_equal(merged.counts, counts)
 
+    def test_duplicate_key_straddles_block_boundary(self):
+        # One key repeated across runs so its occurrences land on both
+        # sides of an emission block boundary — the safe-emission bound
+        # must hold the key back until every run has drained it.
+        runs = [
+            (np.array([0, 7], dtype=np.uint64), np.array([1, 10], dtype=np.int64)),
+            (np.array([7], dtype=np.uint64), np.array([20], dtype=np.int64)),
+            (np.array([7, 8], dtype=np.uint64), np.array([30], dtype=np.int64)[[0, 0]]),
+        ]
+        merged = external_merge(runs, 15, block=2)
+        assert merged.values.tolist() == [0, 7, 8]
+        assert merged.counts.tolist() == [1, 60, 30]
+
+    @pytest.mark.parametrize("trial", range(4))
+    def test_property_overlapping_runs_with_empties(self, trial):
+        # Randomized: runs share keys (forcing cross-run aggregation) and
+        # some runs are empty; every block size must match the in-memory
+        # reference merge.
+        rng = np.random.default_rng(0xE4 + trial)
+        runs = []
+        for _ in range(rng.integers(1, 7)):
+            if rng.random() < 0.25:
+                runs.append((np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)))
+                continue
+            # A small key space guarantees heavy overlap between runs.
+            keys = np.unique(rng.integers(0, 64, size=rng.integers(1, 80), dtype=np.uint64))
+            counts = rng.integers(1, 1000, size=keys.size, dtype=np.int64)
+            runs.append((keys, counts))
+        ref = self._reference(runs, 15)
+        for block in (1, 2, 3, 16, MERGE_BLOCK_KEYS):
+            merged = external_merge(runs, 15, block=block)
+            assert np.array_equal(merged.values, ref.values), f"block={block}"
+            assert np.array_equal(merged.counts, ref.counts), f"block={block}"
+
 
 class TestSpillSpool:
     def test_missing_partition_maps_empty(self, tmp_path):
@@ -351,6 +756,8 @@ def _random_case(rng: random.Random) -> tuple[dict, dict, str, int]:
         options["work_multiplier"] = rng.choice([4.0, 64.0])
     if rng.random() < 0.5:
         options["host_memory_budget"] = rng.choice([8_000, 50_000, 1_000_000])
+    if rng.random() < 0.5:
+        options["fused"] = True  # spilled side becomes blocked fused×spill
     backend = rng.choice(["gpu", "gpu", "cpu"])
     nodes = rng.choice([1, 2, 3])
     return config, options, backend, nodes

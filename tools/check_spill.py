@@ -1,25 +1,42 @@
 #!/usr/bin/env python3
-"""Out-of-core smoke test: count under a hard address-space cap.
+"""Out-of-core smoke test: count under hard memory caps.
 
-Protocol (three processes, so one run's allocations can never pollute
-another's):
+Three capped probes, each a (pass, expected-OOM) pair of child processes
+so one run's allocations can never pollute another's.  For every probe
+the parent first computes the *uncapped in-memory* reference digest
+(spectrum bytes + every deterministic model observable + the
+model-metric telemetry snapshot); each passing child must reproduce it
+bit for bit.
 
-1. The parent computes the uncapped in-memory reference result and its
-   digest (spectrum bytes + every deterministic model observable + the
-   model-metric telemetry snapshot).
-2. A child process applies ``resource.setrlimit(RLIMIT_AS)`` — its own
-   post-import address space plus ``--cap-mb`` of headroom — and runs the
-   same count with ``spill_dir`` set and a matching ``host_memory_budget``.
-   It must succeed, actually spool bytes to disk, and reproduce the
-   reference digest bit for bit.
-3. A second child applies the same cap and runs the *in-memory* path,
-   which is expected to die on MemoryError — demonstrating the cap is
-   genuinely smaller than the in-memory working set.  (If the allocator
-   squeezes through anyway, that is reported as a warning, not a failure:
-   the identity + spool assertions in step 2 are the contract.)
+1. **Staged spill** (``RLIMIT_AS``, k-mer mode): the staged loop with
+   ``spill_dir`` must fit and match under a cap that exhausts the
+   in-memory staged path.  K-mer mode on purpose: 8 wire bytes per
+   instance make the exchange + count working set (not parse
+   intermediates) the hot spot, which is what spilling relieves.
+2. **Blocked fused×spill** (``RLIMIT_AS``, supermer mode): ``fused=True``
+   + ``spill_dir`` must fit and match under a cap that exhausts the
+   in-memory fused path.  Supermer mode on purpose: the fused parse
+   holds compact packed supermers, so the memory hot spot is the
+   exchanged receive buffer and the unpacked k-mer stream — exactly
+   what the rank-blocked streaming bounds.  (In k-mer mode the fused
+   parse itself holds the whole flat k-mer array, which no exchange
+   spill can relieve, so no cap separates the two paths.)
+3. **Mmap-backed table** (``RLIMIT_DATA``, supermer mode, low-coverage
+   large genome so the *table* dominates): ``table_dir`` must fit and
+   match under a cap that exhausts the resident-table twin.  RLIMIT_AS
+   cannot tell the two backings apart — it counts file-backed mappings
+   too — but RLIMIT_DATA (Linux >= 4.7) counts brk plus *anonymous
+   private* mappings only, which is exactly the resident footprint: the
+   ``np.memmap`` slabs escape the cap, resident table arrays do not.
 
-Usage: ``python tools/check_spill.py [--cap-mb N] [--genome N] [--coverage X]``.
-Exits 0 when the spilled run matches the reference, 1 otherwise.
+Expected-OOM twins that squeeze through anyway are reported as warnings,
+not failures: the identity + spool assertions on the passing side are
+the contract.  Cap defaults were calibrated empirically against the
+default workloads (pass/OOM thresholds bracketed to >= ~20 MB margins).
+
+Usage: ``python tools/check_spill.py [--cap-mb N] [--fused-cap-mb N]
+[--data-cap-mb N] [--genome N] [--coverage X]``.  Exits 0 when every
+capped run matches its reference, 1 otherwise.
 """
 
 from __future__ import annotations
@@ -46,16 +63,15 @@ def _build_reads(genome: int, coverage: float):
     return simulate_dataset(genome_length=genome, coverage=coverage, repeat_fraction=0.1, seed=42)
 
 
-def _config():
+def _config(mode: str):
     from repro.core.config import PipelineConfig
 
-    # kmer mode on purpose: 8 wire bytes per k-mer instance makes the
-    # exchange + count working set (not parse intermediates) the memory
-    # hot spot, which is exactly what spilling is supposed to relieve.
-    return PipelineConfig(k=21, mode="kmer", canonical=True)
+    if mode == "kmer":
+        return PipelineConfig(k=21, mode="kmer", canonical=True)
+    return PipelineConfig(k=21, mode="supermer", canonical=True, minimizer_len=9, window=12)
 
 
-def _run(reads, *, spill_dir=None, host_memory_budget=None):
+def _run(reads, config, *, spill_dir=None, host_memory_budget=None, fused=False, table_dir=None):
     from repro.core.engine import EngineOptions, run_pipeline
     from repro.mpi.topology import summit_gpu
     from repro.telemetry import MetricRegistry
@@ -64,10 +80,14 @@ def _run(reads, *, spill_dir=None, host_memory_budget=None):
     result = run_pipeline(
         reads,
         summit_gpu(2),
-        _config(),
+        config,
         backend="gpu",
         options=EngineOptions(
-            telemetry=reg, spill_dir=spill_dir, host_memory_budget=host_memory_budget
+            telemetry=reg,
+            spill_dir=spill_dir,
+            host_memory_budget=host_memory_budget,
+            fused=fused,
+            table_dir=table_dir,
         ),
     )
     return result, reg
@@ -107,42 +127,86 @@ def _digest(result, reg) -> str:
     return h.hexdigest()
 
 
-def _vm_size_bytes() -> int:
+def _vm_field(field: str) -> int:
     with open("/proc/self/status") as fh:
         for line in fh:
-            if line.startswith("VmSize:"):
+            if line.startswith(field):
                 return int(line.split()[1]) * 1024
-    raise RuntimeError("VmSize not found in /proc/self/status")
+    raise RuntimeError(f"{field} not found in /proc/self/status")
 
 
-def _apply_cap(cap_mb: int) -> int:
+def _apply_as_cap(cap_mb: int) -> int:
     import resource
 
-    cap = _vm_size_bytes() + cap_mb * 1024 * 1024
+    cap = _vm_field("VmSize:") + cap_mb * 1024 * 1024
     resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
     return cap
 
 
+def _apply_data_cap(cap_mb: int) -> int:
+    """Cap brk + anonymous private mappings (Linux >= 4.7 semantics)."""
+    import resource
+
+    cap = _vm_field("VmData:") + cap_mb * 1024 * 1024
+    resource.setrlimit(resource.RLIMIT_DATA, (cap, cap))
+    return cap
+
+
+# Child modes: probe group, cap kind/knob, and engine options.
+CHILD_MODES = {
+    "spill": dict(group="staged", cap="as", cap_arg="cap_mb", fused=False, spill=True, mmap=False),
+    "memory": dict(group="staged", cap="as", cap_arg="cap_mb", fused=False, spill=False, mmap=False),
+    "fused-spill": dict(
+        group="fused", cap="as", cap_arg="fused_cap_mb", fused=True, spill=True, mmap=False
+    ),
+    "fused-memory": dict(
+        group="fused", cap="as", cap_arg="fused_cap_mb", fused=True, spill=False, mmap=False
+    ),
+    "table-mmap": dict(
+        group="table", cap="data", cap_arg="data_cap_mb", fused=True, spill=True, mmap=True
+    ),
+    "table": dict(
+        group="table", cap="data", cap_arg="data_cap_mb", fused=True, spill=True, mmap=False
+    ),
+}
+
+# Workload per probe group: (config mode, genome attr, coverage attr).
+GROUP_WORKLOADS = {
+    "staged": ("kmer", "genome", "coverage"),
+    "fused": ("supermer", "genome", "coverage"),
+    "table": ("supermer", "table_genome", "table_coverage"),
+}
+
+
+def _group_case(group: str, args):
+    mode, genome_attr, coverage_attr = GROUP_WORKLOADS[group]
+    return _config(mode), getattr(args, genome_attr), getattr(args, coverage_attr)
+
+
 def _child(args) -> int:
-    cap = _apply_cap(args.cap_mb)
-    reads = _build_reads(args.genome, args.coverage)
+    spec = CHILD_MODES[args.child]
+    cap_mb = getattr(args, spec["cap_arg"])
+    cap = _apply_as_cap(cap_mb) if spec["cap"] == "as" else _apply_data_cap(cap_mb)
+    config, genome, coverage = _group_case(spec["group"], args)
+    reads = _build_reads(genome, coverage)
+    budget = args.budget_mb * 1024 * 1024
     try:
-        if args.child == "spill":
-            with tempfile.TemporaryDirectory() as spool:
-                result, reg = _run(
-                    reads, spill_dir=spool, host_memory_budget=args.budget_mb * 1024 * 1024
-                )
-                spilled_bytes = reg.total("spill_bytes_written_total")
-        else:  # "memory"
-            result, reg = _run(reads, host_memory_budget=args.budget_mb * 1024 * 1024)
-            spilled_bytes = 0.0
+        with tempfile.TemporaryDirectory() as scratch:
+            scratch = Path(scratch)
+            kwargs = dict(host_memory_budget=budget, fused=spec["fused"])
+            if spec["spill"]:
+                kwargs["spill_dir"] = scratch / "spool"
+            if spec["mmap"]:
+                kwargs["table_dir"] = scratch / "table"
+            result, reg = _run(reads, config, **kwargs)
+            spilled_bytes = reg.total("spill_bytes_written_total") if spec["spill"] else 0.0
     except MemoryError:
         print(json.dumps({"status": "oom", "cap": cap}))
         return 3
     except OSError as exc:
         if exc.errno != errno.ENOMEM:
             raise
-        # mmap raises OSError(ENOMEM), not MemoryError, at the RLIMIT_AS wall.
+        # mmap raises OSError(ENOMEM), not MemoryError, at the rlimit wall.
         print(json.dumps({"status": "oom", "cap": cap}))
         return 3
     print(
@@ -167,12 +231,20 @@ def _spawn(mode: str, args) -> dict:
         mode,
         "--cap-mb",
         str(args.cap_mb),
+        "--fused-cap-mb",
+        str(args.fused_cap_mb),
+        "--data-cap-mb",
+        str(args.data_cap_mb),
         "--budget-mb",
         str(args.budget_mb),
         "--genome",
         str(args.genome),
         "--coverage",
         str(args.coverage),
+        "--table-genome",
+        str(args.table_genome),
+        "--table-coverage",
+        str(args.table_coverage),
     ]
     env = dict(os.environ)
     env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
@@ -188,48 +260,101 @@ def _spawn(mode: str, args) -> dict:
     return payload
 
 
+def _reference(group: str, args) -> str:
+    """Uncapped in-memory digest for one probe group's workload."""
+    config, genome, coverage = _group_case(group, args)
+    reads = _build_reads(genome, coverage)
+    # Same host_memory_budget as the children: the budget sets the round
+    # count, which is a deterministic observable — only the execution
+    # strategy may vary.
+    result, reg = _run(reads, config, host_memory_budget=args.budget_mb * 1024 * 1024)
+    return _digest(result, reg)
+
+
+def _check_pass(name: str, payload: dict, ref: str) -> bool:
+    if payload.get("status") != "ok":
+        print(f"FAIL: {name} run did not complete under the cap: {payload}")
+        return False
+    if payload["digest"] != ref:
+        print(f"FAIL: {name} digest {payload['digest'][:16]} != reference {ref[:16]}")
+        return False
+    if payload["spill_bytes_written"] <= 0:
+        print(f"FAIL: {name} path engaged but wrote no bytes to the spool")
+        return False
+    print(
+        f"  ok: bit-identical to reference; "
+        f"{payload['spill_bytes_written'] / 1e6:.1f} MB spooled over {payload['n_rounds']} round(s)"
+    )
+    return True
+
+
+def _check_oom(name: str, payload: dict) -> None:
+    if payload.get("status") == "ok":
+        print(f"  warning: {name} also fit under the cap (identity still verified)")
+    else:
+        print(f"  ok: {name} failed under the cap as expected ({payload['status']})")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--cap-mb", type=int, default=400, help="address-space headroom over baseline")
-    parser.add_argument("--budget-mb", type=int, default=24, help="host_memory_budget for the spilled run")
+    parser.add_argument(
+        "--cap-mb", type=int, default=400, help="RLIMIT_AS headroom for the staged-spill probe"
+    )
+    parser.add_argument(
+        "--fused-cap-mb",
+        type=int,
+        default=570,
+        help="RLIMIT_AS headroom for the fused x spill probe",
+    )
+    parser.add_argument(
+        "--data-cap-mb",
+        type=int,
+        default=540,
+        help="RLIMIT_DATA headroom for the mmap-table probe (anonymous memory only)",
+    )
+    parser.add_argument("--budget-mb", type=int, default=24, help="host_memory_budget for every run")
     parser.add_argument("--genome", type=int, default=1_500_000)
     parser.add_argument("--coverage", type=float, default=8.0)
-    parser.add_argument("--child", choices=["spill", "memory"], default=None, help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--table-genome",
+        type=int,
+        default=4_000_000,
+        help="genome for the table probe (large: distinct k-mers make the table the hot spot)",
+    )
+    parser.add_argument("--table-coverage", type=float, default=3.0)
+    parser.add_argument("--child", choices=sorted(CHILD_MODES), default=None, help=argparse.SUPPRESS)
     args = parser.parse_args()
 
     if args.child:
         return _child(args)
 
-    print(f"reference: genome={args.genome} coverage={args.coverage} (uncapped, in-memory)")
-    reads = _build_reads(args.genome, args.coverage)
-    # Same host_memory_budget as the children: the budget sets the round
-    # count, which is a deterministic observable — only spill_dir may vary.
-    ref_result, ref_reg = _run(reads, host_memory_budget=args.budget_mb * 1024 * 1024)
-    ref = _digest(ref_result, ref_reg)
-    del ref_result, ref_reg, reads
+    print(f"staged probe: genome={args.genome} coverage={args.coverage} kmer (uncapped reference)")
+    ref = _reference("staged", args)
+    print(f"  staged spill under RLIMIT_AS baseline+{args.cap_mb} MB ...")
+    if not _check_pass("spilled", _spawn("spill", args), ref):
+        return 1
+    print("  in-memory twin under the same cap (expected to exhaust memory) ...")
+    _check_oom("in-memory staged", _spawn("memory", args))
 
-    print(f"spilled run under RLIMIT_AS baseline+{args.cap_mb} MB ...")
-    spill = _spawn("spill", args)
-    if spill.get("status") != "ok":
-        print(f"FAIL: spilled run did not complete under the cap: {spill}")
+    print(f"fused probe: genome={args.genome} coverage={args.coverage} supermer (uncapped reference)")
+    ref = _reference("fused", args)
+    print(f"  fused x spill under RLIMIT_AS baseline+{args.fused_cap_mb} MB ...")
+    if not _check_pass("fused-spill", _spawn("fused-spill", args), ref):
         return 1
-    if spill["digest"] != ref:
-        print(f"FAIL: spilled digest {spill['digest'][:16]} != reference {ref[:16]}")
-        return 1
-    if spill["spill_bytes_written"] <= 0:
-        print("FAIL: spill path engaged but wrote no bytes to the spool")
-        return 1
+    print("  in-memory fused twin under the same cap (expected to exhaust memory) ...")
+    _check_oom("in-memory fused", _spawn("fused-memory", args))
+
     print(
-        f"  ok: bit-identical to reference; "
-        f"{spill['spill_bytes_written'] / 1e6:.1f} MB spooled over {spill['n_rounds']} round(s)"
+        f"table probe: genome={args.table_genome} coverage={args.table_coverage} supermer "
+        "(uncapped reference)"
     )
+    ref = _reference("table", args)
+    print(f"  mmap-table fused x spill under RLIMIT_DATA baseline+{args.data_cap_mb} MB ...")
+    if not _check_pass("table-mmap", _spawn("table-mmap", args), ref):
+        return 1
+    print("  resident-table twin under the same data cap (expected to exhaust memory) ...")
+    _check_oom("resident-table fused x spill", _spawn("table", args))
 
-    print("in-memory run under the same cap (expected to exhaust memory) ...")
-    mem = _spawn("memory", args)
-    if mem.get("status") == "ok":
-        print("  warning: in-memory path also fit under the cap (identity still verified)")
-    else:
-        print(f"  ok: in-memory path failed under the cap as expected ({mem['status']})")
     print("PASS")
     return 0
 
