@@ -36,6 +36,13 @@ back-to-back, then enforces two gates:
    bounds regressions in the spool I/O path (coalesced partition
    writes, buffered run streaming).  Skipped on single-core hosts with
    the speedup floor.
+5. **figure calibration** — the fig8 alltoallv seconds/speedups and
+   fig9 insertion rates recaptured via
+   ``tools/capture_bench_figures.py`` must equal the committed
+   ``BENCH_figures.json`` record float for float.  This is the
+   communication-model analogue of gate 3: the hierarchical network
+   layer must stay a *bit-exact* superset of the flat alpha-beta model
+   under the default Summit presets.
 
 Usage::
 
@@ -54,6 +61,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
 
 from bench_stages import NOISE_BAND, _assert_identical, _run_grid  # noqa: E402
 
@@ -65,6 +73,9 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--bench", default="BENCH_fused.json", help="committed benchmark JSON")
     ap.add_argument(
         "--spill-bench", default="BENCH_spill.json", help="committed out-of-core benchmark JSON"
+    )
+    ap.add_argument(
+        "--figures-bench", default="BENCH_figures.json", help="committed fig8/fig9 model record"
     )
     ap.add_argument("--datasets", default="vvulnificus30x", help="comma-separated Table I names")
     ap.add_argument("--nodes", type=int, default=16, help="simulated Summit node count")
@@ -125,6 +136,41 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     checked = sum(1 for key in cells if key in committed_model)
     print(f"model-time calibration: OK ({checked} cells exact vs pre-refactor record)")
+
+    # Gate 5: fig8/fig9 figure observables, replayed exactly.
+    figures_bench = Path(args.figures_bench)
+    if figures_bench.exists():
+        from capture_bench_figures import capture
+
+        committed_figures = json.loads(figures_bench.read_text())
+        replayed = capture()
+        fig_drift: list[str] = []
+        for fig in ("fig8", "fig9"):
+            for variant, expected in committed_figures.get(fig, {}).items():
+                got = replayed.get(fig, {}).get(variant)
+                if got is None:
+                    fig_drift.append(f"{fig}/{variant}: missing from replay")
+                    continue
+                for metric, want in expected.items():
+                    if got.get(metric) != want:
+                        fig_drift.append(
+                            f"{fig}/{variant}: {metric} modeled {got.get(metric)!r}, committed {want!r}"
+                        )
+        if fig_drift:
+            for line in fig_drift:
+                print(f"FAIL: {line}", file=sys.stderr)
+            print(
+                f"FAIL: {len(fig_drift)} figure observable(s) drifted from the committed "
+                "BENCH_figures.json record (fig8 alltoallv / fig9 insertion rates)",
+                file=sys.stderr,
+            )
+            return 1
+        n_metrics = sum(
+            len(v) for fig in ("fig8", "fig9") for v in committed_figures.get(fig, {}).values()
+        )
+        print(f"figure calibration: OK ({n_metrics} fig8/fig9 observables exact vs committed record)")
+    else:
+        print(f"figure calibration: {figures_bench} not found; gate skipped")
 
     cpu_count = os.cpu_count() or 1
     substrate_label = " + ".join(substrates) if substrates else "no process substrate (no fork)"

@@ -5,13 +5,19 @@ GPUDirect communication, where data can be directly transferred between
 GPUs.  Alternatively, a CPU based communication can be used... Our current
 framework supports both methods."  The staged path pays D2H + H2D over
 NVLink for every exchanged byte; this ablation quantifies it.
+
+GPUDirect is both a per-run flag (``PipelineConfig.gpudirect``, the
+ablation switch) and a machine property (``NetworkSpec.gpudirect``, for
+machines whose NICs are GPUDirect-capable).  The second test flips the
+machine knob instead of the run flag and requires the identical numbers.
 """
 
 from __future__ import annotations
 
 from conftest import run_once
 
-from repro.bench import format_table, write_report
+from repro.bench import ExperimentCache, format_table, write_report
+from repro.machines import get_machine
 
 DATASET = "hsapiens54x"
 NODES = 64
@@ -59,3 +65,39 @@ def test_ablation_gpudirect(benchmark, cache, results_dir):
         assert abs(direct.alltoallv_seconds - staged.alltoallv_seconds) < 1e-9
     # Supermers shrink staging proportionally to the byte reduction.
     assert results["supermer-staged"].staging_seconds < 0.5 * results["kmer-staged"].staging_seconds
+
+
+def test_gpudirect_machine_knob_matches_run_flag(benchmark, cache):
+    """``NetworkSpec.gpudirect`` reproduces the run-flag ablation exactly.
+
+    A machine declared GPUDirect-capable must produce the same modeled
+    numbers as a per-run ``gpudirect=True`` on stock Summit — the knob and
+    the flag are one mechanism, so the old ablation record stays valid
+    however GPUDirect is requested.
+    """
+    direct_machine = get_machine("summit-gpu").with_network(gpudirect=True)
+    assert direct_machine.network.gpudirect
+    knob_cache = ExperimentCache(scale=cache.scale, machine=direct_machine)
+
+    def experiment():
+        out = {}
+        for mode, m in [("kmer", 7), ("supermer", 7)]:
+            out[f"{mode}-flag"] = cache.run(
+                DATASET, n_nodes=NODES, backend="gpu", mode=mode, minimizer_len=m, gpudirect=True
+            )
+            out[f"{mode}-knob"] = knob_cache.run(
+                DATASET, n_nodes=NODES, backend="gpu", mode=mode, minimizer_len=m, gpudirect=False
+            )
+        return out
+
+    results = run_once(benchmark, experiment)
+    for mode in ("kmer", "supermer"):
+        flag, knob = results[f"{mode}-flag"], results[f"{mode}-knob"]
+        # Identical model floats, not approximately: same machine, same
+        # staging skip, only the requesting mechanism differs.
+        assert knob.staging_seconds == 0.0 == flag.staging_seconds
+        assert knob.alltoallv_seconds == flag.alltoallv_seconds
+        assert knob.timing.exchange == flag.timing.exchange
+        assert knob.timing.total == flag.timing.total
+        assert knob.link_seconds == flag.link_seconds
+        assert knob.spectrum.equals(flag.spectrum)

@@ -19,6 +19,9 @@ counting k-mers in single genome, a microbial community...").  Subcommands:
 ``repro compare``
     Run the paper's CPU/kmer/supermer comparison on one dataset and print
     the Fig. 6/7-style table.
+``repro plan``
+    Capacity planner: rank (machine, node count) candidates for a dataset
+    under a node budget by node-cost-weighted model time.
 ``repro report``
     Render a saved telemetry run report (``repro count --report``) as the
     paper-style breakdown tables.
@@ -40,7 +43,7 @@ from typing import Sequence
 
 from .bench.reporting import format_table
 from .bench.runner import dataset_with_multiplier
-from .core.config import PipelineConfig
+from .core.config import PipelineConfig, paper_config
 from .core.driver import run_paper_comparison
 from .core.stages.registry import substrate_names
 from .dna.datasets import DATASET_NAMES, TABLE1, load_dataset
@@ -199,6 +202,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--nodes", type=int, default=16, help="node count to instantiate the machines at")
     p_cmp.add_argument("--scale", type=float, default=1.0)
     p_cmp.add_argument("--no-cpu", action="store_true", help="skip the (slow) CPU baseline")
+
+    p_plan = sub.add_parser("plan", help="recommend the cost-optimal cluster for a dataset")
+    p_plan.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    p_plan.add_argument(
+        "--budget-nodes", type=int, required=True, help="maximum nodes the allocation may use"
+    )
+    p_plan.add_argument(
+        "--machine",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="candidate machine (preset or calibration file); repeatable; "
+        "default considers every registered preset",
+    )
+    p_plan.add_argument("--scale", type=float, default=0.05, help="dataset scale for the measured runs")
+    p_plan.add_argument(
+        "--mode", choices=["kmer", "supermer"], default="supermer", help="transport mode to plan for"
+    )
+    p_plan.add_argument(
+        "--min-nodes", type=int, default=1, help="skip candidates below this node count"
+    )
 
     p_dist = sub.add_parser("distance", help="k-mer distances between two k-mer databases")
     p_dist.add_argument("--db-a", required=True)
@@ -509,6 +533,23 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .core.plan import plan_capacity
+
+    reads, mult = dataset_with_multiplier(args.dataset, scale=args.scale)
+    plan = plan_capacity(
+        reads,
+        budget_nodes=args.budget_nodes,
+        machines=tuple(args.machine) if args.machine else None,
+        config=paper_config(mode=args.mode),
+        work_multiplier=mult,
+        dataset=args.dataset,
+        min_nodes=args.min_nodes,
+    )
+    print(plan.render())
+    return 0
+
+
 def _cmd_distance(args: argparse.Namespace) -> int:
     from .kmers.comparison import compare_spectra
 
@@ -633,6 +674,7 @@ _COMMANDS = {
     "count": _cmd_count,
     "spectrum": _cmd_spectrum,
     "compare": _cmd_compare,
+    "plan": _cmd_plan,
     "distance": _cmd_distance,
     "report": _cmd_report,
     "analyze": _cmd_analyze,

@@ -1,0 +1,182 @@
+"""Capacity planner: pick the cost-optimal cluster for a counting job.
+
+The hierarchical network model prices machines well enough to answer the
+question every allocation request asks: *given this dataset and at most N
+nodes, which machine and node count finish it cheapest?*  The planner
+enumerates candidate (machine, node count) pairs, runs the simulated
+pipeline once per candidate (exact observables are machine-invariant, so
+one small-scale run per candidate yields full-scale model times via the
+work multiplier), and ranks them by node-cost-weighted model time::
+
+    cost = total_model_seconds x n_nodes x machine.node_cost
+
+``node_cost`` is each :class:`~repro.machines.MachineSpec`'s relative
+node-hour price (a Summit node with six V100s prices ~6x a commodity CPU
+node).  Ranking by raw time instead answers the "deadline" question; both
+columns appear in the table, plus the per-candidate bottleneck link so the
+recommendation explains *why* (e.g. a tapered fabric losing to flat
+Summit on uplink contention).
+
+``repro plan --dataset D --machine M --budget-nodes N`` is the CLI front
+end; pass several ``--machine`` flags (or none, for every registered
+preset) to compare machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dna.reads import ReadSet
+from ..machines import MachineSpec, resolve_machine
+from .config import PipelineConfig, paper_config
+from .driver import count_distributed
+from .results import CountResult
+
+__all__ = ["PlanCandidate", "CapacityPlan", "candidate_node_counts", "plan_capacity"]
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One (machine, node count) point of the plan, with its modeled outcome."""
+
+    machine: str
+    n_nodes: int
+    backend: str
+    total_s: float
+    exchange_s: float
+    exchange_fraction: float
+    bottleneck_link: str
+    node_cost: float  # the machine's relative node-hour price
+    cost: float  # total_s * n_nodes * node_cost (relative node-price-seconds)
+
+    def row(self) -> list[object]:
+        return [
+            self.machine,
+            self.n_nodes,
+            self.backend,
+            f"{self.total_s:.2f}",
+            f"{self.exchange_fraction:.0%}",
+            self.bottleneck_link or "-",
+            f"{self.cost:.1f}",
+        ]
+
+
+@dataclass
+class CapacityPlan:
+    """Ranked plan: cheapest candidate first."""
+
+    dataset: str
+    budget_nodes: int
+    candidates: list[PlanCandidate]
+
+    @property
+    def best(self) -> PlanCandidate:
+        if not self.candidates:
+            raise ValueError("empty plan (no machines or node counts to consider)")
+        return self.candidates[0]
+
+    def fastest(self) -> PlanCandidate:
+        """The deadline answer: minimum model time regardless of price."""
+        if not self.candidates:
+            raise ValueError("empty plan (no machines or node counts to consider)")
+        return min(self.candidates, key=lambda c: (c.total_s, c.cost))
+
+    def render(self) -> str:
+        from ..telemetry.textfmt import format_table
+
+        table = format_table(
+            ["machine", "nodes", "backend", "total_s", "exch%", "bottleneck", "cost"],
+            [c.row() for c in self.candidates],
+            title=f"Capacity plan: {self.dataset}, budget {self.budget_nodes} nodes "
+            "(full-scale model seconds; cost = total_s x nodes x node_cost)",
+        )
+        best = self.best
+        fastest = self.fastest()
+        lines = [
+            table,
+            "",
+            f"cheapest: {best.machine} at {best.n_nodes} nodes "
+            f"({best.total_s:.2f} s, cost {best.cost:.1f})",
+        ]
+        if (fastest.machine, fastest.n_nodes) != (best.machine, best.n_nodes):
+            lines.append(
+                f"fastest:  {fastest.machine} at {fastest.n_nodes} nodes "
+                f"({fastest.total_s:.2f} s, cost {fastest.cost:.1f})"
+            )
+        return "\n".join(lines)
+
+
+def candidate_node_counts(budget_nodes: int) -> list[int]:
+    """Power-of-two node counts up to the budget, plus the budget itself.
+
+    Powers of two are what the paper's scaling study uses (Fig. 9) and keep
+    the grid small; a non-power-of-two budget is still worth pricing at its
+    full allocation.
+    """
+    if budget_nodes < 1:
+        raise ValueError("budget_nodes must be >= 1")
+    counts = []
+    n = 1
+    while n <= budget_nodes:
+        counts.append(n)
+        n *= 2
+    if counts[-1] != budget_nodes:
+        counts.append(budget_nodes)
+    return counts
+
+
+def plan_capacity(
+    reads: ReadSet,
+    *,
+    budget_nodes: int,
+    machines: tuple[MachineSpec | str, ...] | None = None,
+    config: PipelineConfig | None = None,
+    work_multiplier: float = 1.0,
+    dataset: str = "<reads>",
+    min_nodes: int = 1,
+) -> CapacityPlan:
+    """Price every (machine, node count) candidate and rank by cost.
+
+    ``machines`` is a tuple of specs/preset names (``None`` = every
+    registered preset); each is evaluated at :func:`candidate_node_counts`
+    within the budget, with the backend picked from the machine's node
+    shape (GPU if it has GPUs, CPU otherwise).  ``config`` defaults to the
+    paper's best transport (supermer mode); ``work_multiplier`` scales the
+    measured run to full-size model times, exactly as the benchmarks do.
+    """
+    if machines is None:
+        from ..machines import machine_names
+
+        machines = machine_names()
+    config = config or paper_config(mode="supermer")
+    candidates: list[PlanCandidate] = []
+    for entry in machines:
+        machine = resolve_machine(entry)
+        backend = "gpu" if machine.gpus_per_node > 0 else "cpu"
+        for n_nodes in candidate_node_counts(budget_nodes):
+            if n_nodes < min_nodes:
+                continue
+            result: CountResult = count_distributed(
+                reads,
+                n_nodes=n_nodes,
+                backend=backend,
+                config=config,
+                machine=machine,
+                work_multiplier=work_multiplier,
+            )
+            total = result.timing.total
+            candidates.append(
+                PlanCandidate(
+                    machine=machine.name,
+                    n_nodes=n_nodes,
+                    backend=backend,
+                    total_s=total,
+                    exchange_s=result.timing.exchange,
+                    exchange_fraction=result.timing.exchange_fraction(),
+                    bottleneck_link=result.bottleneck_link,
+                    node_cost=machine.node_cost,
+                    cost=total * n_nodes * machine.node_cost,
+                )
+            )
+    candidates.sort(key=lambda c: (c.cost, c.total_s, c.machine, c.n_nodes))
+    return CapacityPlan(dataset=dataset, budget_nodes=budget_nodes, candidates=candidates)

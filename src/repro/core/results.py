@@ -105,6 +105,10 @@ class CountResult:
     mean_supermer_length: float = 0.0
     staging_seconds: float = 0.0
     alltoallv_seconds: float = 0.0  # MPI_Alltoallv routine time only (Fig. 8's metric)
+    # Per-link (name, seconds) breakdown of the modeled exchange, summed
+    # over rounds, innermost link first ("intra-node"/"intra-socket",
+    # "injection", "uplink-L*", then "host-staging" when staging applies).
+    link_seconds: tuple[tuple[str, float], ...] = ()
     work_multiplier: float = 1.0  # measured -> full-scale factor for modeled quantities
     n_rounds_used: int = 1  # exchange/count rounds actually executed (Sec. III-A)
 
@@ -122,6 +126,13 @@ class CountResult:
     def modeled_exchanged_bytes(self) -> float:
         """Full-scale wire volume (what the comm cost model was fed)."""
         return self.exchanged_bytes * self.work_multiplier
+
+    @property
+    def bottleneck_link(self) -> str:
+        """Slowest modeled link class over the whole run ("" pre-hierarchy)."""
+        if not self.link_seconds:
+            return ""
+        return max(self.link_seconds, key=lambda kv: kv[1])[0]
 
     def insertion_rate(self) -> float:
         """k-mers/s through the computation kernels only — Fig. 9's metric
@@ -166,9 +177,13 @@ class CountResult:
             )
 
     def summary(self) -> dict[str, object]:
-        """Flat dict for tabular reporting."""
+        """Flat dict for tabular reporting.
+
+        Per-link exchange times appear as ``link_<name>_s`` columns; the
+        set of links is fixed per machine, so sweep tables stay rectangular.
+        """
         loads = self.load_stats()
-        return {
+        out: dict[str, object] = {
             "backend": self.backend,
             "config": self.config.describe(),
             "cluster": self.cluster.name,
@@ -185,4 +200,8 @@ class CountResult:
             "insertion_rate": self.insertion_rate(),
             "load_imbalance": loads.imbalance,
             "mean_supermer_length": self.mean_supermer_length,
+            "bottleneck_link": self.bottleneck_link,
         }
+        for name, seconds in self.link_seconds:
+            out[f"link_{name}_s"] = seconds
+        return out

@@ -24,7 +24,18 @@ import numpy as np
 
 from ...gpu.hashtable import InsertStats
 
-__all__ = ["ParsedItems", "RankParse", "ExchangeOutcome", "CountOutcome"]
+__all__ = ["ParsedItems", "RankParse", "ExchangeOutcome", "CountOutcome", "add_link_seconds"]
+
+
+def add_link_seconds(totals: dict[str, float], links: tuple[tuple[str, float], ...]) -> None:
+    """Fold one round's per-link breakdown into a running ``name -> s`` dict.
+
+    Shared by every engine so multi-round runs accumulate link rows the
+    same way they accumulate ``alltoallv_seconds``; insertion order keeps
+    links innermost-first, as the cost model emits them.
+    """
+    for name, seconds in links:
+        totals[name] = totals.get(name, 0.0) + seconds
 
 
 @dataclass
@@ -69,6 +80,10 @@ class ExchangeOutcome:
     seconds: float  # overhead + network + staging (the phase's bulk time)
     alltoallv_seconds: float  # MPI_Alltoallv routine time only (Fig. 8's metric)
     staging_seconds: float  # host<->device staging copies
+    # Per-link (name, seconds) breakdown of the routed alltoallv, innermost
+    # link first, with staging appended as a "host-staging" row when it
+    # applies.  Empty only for legacy constructors.
+    link_seconds: tuple[tuple[str, float], ...] = ()
 
 
 @dataclass

@@ -172,5 +172,15 @@ class StageContext:
         return self.opts.cpu_rates.phase_overhead
 
     @property
+    def gpudirect(self) -> bool:
+        """GPUDirect for this run: the config flag OR the machine knob.
+
+        The run config's ``gpudirect`` remains the ablation switch;
+        machines whose network declares GPUDirect-capable NICs
+        (``NetworkSpec.gpudirect``) get it without per-run flags.
+        """
+        return self.config.gpudirect or self.cluster.resolved_network.gpudirect
+
+    @property
     def mult(self) -> float:
         return self.opts.work_multiplier

@@ -59,6 +59,7 @@ from ..memory import ScratchArena
 from ..parallel import get_pool
 from ..results import CountResult, PhaseTiming
 from ..tracing import recording_region
+from .buffers import add_link_seconds
 from .registry import StageComposition
 from .standard import (
     AlltoallvExchange,
@@ -396,7 +397,15 @@ class FusedPipeline:
         round_counts: np.ndarray,
         label: str,
         sctx,
-    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray, float, float, float]:
+    ) -> tuple[
+        np.ndarray,
+        np.ndarray | None,
+        np.ndarray,
+        float,
+        float,
+        float,
+        tuple[tuple[str, float], ...],
+    ]:
         """One fused exchange round; mirrors ``AlltoallvExchange.exchange``."""
         wire = sctx.wire_bytes
         shuffled, dst_offsets = alltoallv_flat(
@@ -415,8 +424,8 @@ class FusedPipeline:
         do_verify = sctx.verify if sctx.verify is not None else sctx.opts.verify_exchange
         if do_verify:
             _verify_flat(send_flat, shuffled, round_counts, label)
-        seconds, t_a2av, t_stage = exchange_time_model(round_counts, sctx)
-        return shuffled, shuffled_lengths, dst_offsets, seconds, t_a2av, t_stage
+        seconds, t_a2av, t_stage, links = exchange_time_model(round_counts, sctx)
+        return shuffled, shuffled_lengths, dst_offsets, seconds, t_a2av, t_stage, links
 
     # -- count phase -------------------------------------------------
 
@@ -584,6 +593,7 @@ class FusedPipeline:
         t_exchange = 0.0
         t_alltoallv = 0.0
         staging_total = 0.0
+        link_totals: dict[str, float] = {}
         counts_matrix_total = np.zeros((p, p), dtype=np.int64)
         insert_total = InsertStats.zero()
 
@@ -597,7 +607,7 @@ class FusedPipeline:
                 n_traffic_before = len(stats.records)
                 with recording_region(recorder, "exchange", cat="stage", round=rnd) as ereg:
                     t0 = perf_counter()
-                    shuffled, shuffled_lengths, dst_offsets, seconds, t_a2av, t_stage = (
+                    shuffled, shuffled_lengths, dst_offsets, seconds, t_a2av, t_stage, links = (
                         self._exchange(send_flat, send_lengths, round_counts, label, sctx)
                     )
                     if recorder is not None:
@@ -608,6 +618,7 @@ class FusedPipeline:
                             traffic_records=[n_traffic_before, len(stats.records)],
                             items=int(round_counts.sum()),
                             model_seconds=seconds,
+                            link_seconds=dict(links),
                         )
                 if round_owned:
                     self.arena.release(send_flat, send_lengths)
@@ -615,6 +626,7 @@ class FusedPipeline:
                 t_exchange += seconds
                 t_alltoallv += t_a2av
                 staging_total += t_stage
+                add_link_seconds(link_totals, links)
                 if reg is not None:
                     backend = comp.backend
                     reg.counter(
@@ -719,6 +731,7 @@ class FusedPipeline:
             mean_supermer_length=(supermer_bases / n_supermers) if n_supermers else 0.0,
             staging_seconds=staging_total,
             alltoallv_seconds=t_alltoallv,
+            link_seconds=tuple(link_totals.items()),
             n_rounds_used=n_rounds,
         )
 
@@ -745,8 +758,8 @@ class FusedPipeline:
         n_traffic_before = len(state.traffic.records)
         with recording_region(recorder, "exchange", cat="stage") as ereg:
             t0 = perf_counter()
-            shuffled, shuffled_lengths, dst_offsets, seconds, _t_a2av, _t_stage = self._exchange(
-                fp.data, fp.lengths, fp.counts_matrix, label, sctx
+            shuffled, shuffled_lengths, dst_offsets, seconds, _t_a2av, _t_stage, _links = (
+                self._exchange(fp.data, fp.lengths, fp.counts_matrix, label, sctx)
             )
             if recorder is not None:
                 recorder.record("fused:exchange", 0, t0, perf_counter())

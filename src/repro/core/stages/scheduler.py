@@ -45,7 +45,7 @@ from ..config import PipelineConfig
 from ..parallel import get_pool
 from ..results import CountResult, PhaseTiming
 from ..tracing import WallClockRecorder, recording_region
-from .buffers import RankParse
+from .buffers import RankParse, add_link_seconds
 from .context import EngineOptions, StageContext
 from .registry import StageComposition
 
@@ -459,6 +459,7 @@ class RoundScheduler:
         t_exchange = 0.0
         t_alltoallv = 0.0
         staging_total = 0.0
+        link_totals: dict[str, float] = {}
         counts_matrix_total = np.zeros((p, p), dtype=np.int64)
         insert_total = InsertStats.zero()
 
@@ -483,11 +484,13 @@ class RoundScheduler:
                             traffic_records=[n_traffic_before, len(stats.records)],
                             items=int(outcome.counts_matrix.sum()),
                             model_seconds=outcome.seconds,
+                            link_seconds=dict(outcome.link_seconds),
                         )
                 counts_matrix_total += outcome.counts_matrix
                 t_exchange += outcome.seconds
                 t_alltoallv += outcome.alltoallv_seconds
                 staging_total += outcome.staging_seconds
+                add_link_seconds(link_totals, outcome.link_seconds)
                 if reg is not None:
                     backend = comp.backend
                     reg.counter("exchange_rounds_total", "Exchange/count rounds executed", engine=backend).inc()
@@ -596,6 +599,7 @@ class RoundScheduler:
             mean_supermer_length=(supermer_bases / n_supermers) if n_supermers else 0.0,
             staging_seconds=staging_total,
             alltoallv_seconds=t_alltoallv,
+            link_seconds=tuple(link_totals.items()),
             n_rounds_used=n_rounds,
         )
 

@@ -73,7 +73,7 @@ from ...telemetry import active, event
 from ..memory import ScratchArena
 from ..results import CountResult, PhaseTiming
 from ..tracing import recording_region
-from .buffers import ExchangeOutcome, RankParse
+from .buffers import ExchangeOutcome, RankParse, add_link_seconds
 from .fused import FusedPipeline
 from .registry import StageComposition
 from .standard import AlltoallvExchange, SpectrumMerge, exchange_time_model, verify_exchange
@@ -404,7 +404,7 @@ class SpillExchange:
         if do_verify:
             verify_exchange(send_data, recv_data, counts_matrix, label)
 
-        seconds, t_a2av, t_stage = exchange_time_model(counts_matrix, ctx)
+        seconds, t_a2av, t_stage, links = exchange_time_model(counts_matrix, ctx)
         return ExchangeOutcome(
             recv_data=recv_data,
             recv_lengths=recv_lengths,
@@ -412,6 +412,7 @@ class SpillExchange:
             seconds=seconds,
             alltoallv_seconds=t_a2av,
             staging_seconds=t_stage,
+            link_seconds=links,
         )
 
 
@@ -555,6 +556,7 @@ class SpillPipeline:
             t_exchange = 0.0
             t_alltoallv = 0.0
             staging_total = 0.0
+            link_totals: dict[str, float] = {}
             labels: list[str] = []
             for rnd in range(n_rounds):
                 with recording_region(recorder, f"round{rnd}", cat="round", round=rnd):
@@ -580,6 +582,7 @@ class SpillPipeline:
                                 traffic_records=[n_traffic_before, len(stats.records)],
                                 items=int(outcome.counts_matrix.sum()),
                                 model_seconds=outcome.seconds,
+                                link_seconds=dict(outcome.link_seconds),
                             )
                     # outcome's receive views exist only for the checksum pass;
                     # the streamed count phase re-reads each rank's partition.
@@ -587,6 +590,7 @@ class SpillPipeline:
                     t_exchange += outcome.seconds
                     t_alltoallv += outcome.alltoallv_seconds
                     staging_total += outcome.staging_seconds
+                    add_link_seconds(link_totals, outcome.link_seconds)
                     _round_metrics(reg, comp.backend, rnd, outcome)
 
             # The big destination-ordered send buffers are now on disk;
@@ -705,6 +709,7 @@ class SpillPipeline:
                 mean_supermer_length=(supermer_bases / n_supermers) if n_supermers else 0.0,
                 staging_seconds=staging_total,
                 alltoallv_seconds=t_alltoallv,
+                link_seconds=tuple(link_totals.items()),
                 n_rounds_used=n_rounds,
             )
         except BaseException:
@@ -963,6 +968,7 @@ class FusedSpillPipeline:
             t_exchange = 0.0
             t_alltoallv = 0.0
             staging_total = 0.0
+            link_totals: dict[str, float] = {}
             labels: list[str] = []
             round_recv: list[np.ndarray] = []
             for rnd in range(n_rounds):
@@ -992,6 +998,7 @@ class FusedSpillPipeline:
                                 traffic_records=[n_traffic_before, len(stats.records)],
                                 items=int(outcome.counts_matrix.sum()),
                                 model_seconds=outcome.seconds,
+                                link_seconds=dict(outcome.link_seconds),
                             )
                     if round_owned:
                         arena.release(send_flat, send_lengths)
@@ -1000,6 +1007,7 @@ class FusedSpillPipeline:
                     t_exchange += outcome.seconds
                     t_alltoallv += outcome.alltoallv_seconds
                     staging_total += outcome.staging_seconds
+                    add_link_seconds(link_totals, outcome.link_seconds)
                     _round_metrics(reg, comp.backend, rnd, outcome)
 
             # The whole-cluster send buffer is on disk now; release it so
@@ -1082,6 +1090,7 @@ class FusedSpillPipeline:
                 mean_supermer_length=(supermer_bases / n_supermers) if n_supermers else 0.0,
                 staging_seconds=staging_total,
                 alltoallv_seconds=t_alltoallv,
+                link_seconds=tuple(link_totals.items()),
                 n_rounds_used=n_rounds,
             )
             table.close()

@@ -29,7 +29,7 @@ import numpy as np
 
 from ...dna.encoding import canonical_batch
 from ...dna.reads import ReadSet
-from ...gpu.costmodel import TrafficEstimate
+from ...gpu.costmodel import TrafficEstimate, staging_time
 from ...gpu.hashtable import DeviceHashTable, InsertStats
 from ...gpu.kernels import VirtualGPU
 from ...hashing.partition import KmerPartitioner, MinimizerPartitioner
@@ -244,24 +244,36 @@ def verify_exchange(
         raise AssertionError(f"exchange {label!r} corrupted payload (checksum mismatch)")
 
 
-def exchange_time_model(counts_matrix: np.ndarray, ctx: StageContext) -> tuple[float, float, float]:
-    """Model one exchange round's ``(seconds, alltoallv_s, staging_s)``.
+def exchange_time_model(
+    counts_matrix: np.ndarray, ctx: StageContext
+) -> tuple[float, float, float, tuple[tuple[str, float], ...]]:
+    """Model one exchange round's ``(seconds, alltoallv_s, staging_s, links)``.
 
-    Shared verbatim between the staged :class:`AlltoallvExchange` and the
-    fused engine so both compute the identical floats: fixed overhead +
-    network time (alpha-beta alltoallv plus the small counts alltoall) +
-    host staging copies (skipped under GPUDirect).
+    Shared verbatim between the staged :class:`AlltoallvExchange`, the
+    fused engine, and the spill engine so all three compute the identical
+    floats: fixed overhead + network time (hierarchical alltoallv plus the
+    small counts alltoall) + host staging copies (skipped under GPUDirect,
+    whether from the run config or the machine's network knob).  ``links``
+    is the per-link ``(name, seconds)`` breakdown from the routed
+    alltoallv, with host staging appended as its own ``host-staging`` link
+    row when it applies.
     """
     bytes_matrix = counts_matrix.astype(np.float64) * ctx.wire_bytes * ctx.mult
-    t_a2av = ctx.comm_model.alltoallv(bytes_matrix).total
+    timing = ctx.comm_model.alltoallv(bytes_matrix)
+    t_a2av = timing.total
     t_net = t_a2av + ctx.comm_model.alltoall_counts()
     t_stage = 0.0
-    if ctx.backend == "gpu" and not ctx.config.gpudirect:
+    if ctx.backend == "gpu" and not ctx.gpudirect:
         out_bytes = bytes_matrix.sum(axis=1)
         in_bytes = bytes_matrix.sum(axis=0)
-        per_rank_stage = (out_bytes + in_bytes) / ctx.opts.device.host_link_bw
-        t_stage = float(per_rank_stage.max()) if ctx.n_ranks else 0.0
-    return ctx.exchange_overhead_s + t_net + t_stage, t_a2av, t_stage
+        if ctx.n_ranks:
+            # BSP: the slowest rank's host<->device copies gate the phase.
+            busiest = int((out_bytes + in_bytes).argmax())
+            t_stage = staging_time(ctx.opts.device, float(out_bytes[busiest]), float(in_bytes[busiest]))
+    links = tuple((lt.link, lt.seconds) for lt in timing.links)
+    if t_stage > 0.0:
+        links = links + (("host-staging", t_stage),)
+    return ctx.exchange_overhead_s + t_net + t_stage, t_a2av, t_stage, links
 
 
 class AlltoallvExchange:
@@ -293,7 +305,7 @@ class AlltoallvExchange:
         if do_verify:
             verify_exchange(send_data, recv_data, counts_matrix, label)
 
-        seconds, t_a2av, t_stage = exchange_time_model(counts_matrix, ctx)
+        seconds, t_a2av, t_stage, links = exchange_time_model(counts_matrix, ctx)
         return ExchangeOutcome(
             recv_data=recv_data,
             recv_lengths=recv_lengths,
@@ -301,6 +313,7 @@ class AlltoallvExchange:
             seconds=seconds,
             alltoallv_seconds=t_a2av,
             staging_seconds=t_stage,
+            link_seconds=links,
         )
 
 

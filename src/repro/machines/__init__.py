@@ -28,6 +28,7 @@ from pathlib import Path
 
 from .calibration import load, spec_from_dict
 from .device import DeviceSpec, a100, device_names, generic_gpu, get_device, v100
+from .network import LinkSpec, NetworkSpec
 from .rates import CpuRates, GpuPipelineModel, epyc_rates, power9_rates
 from .registry import (
     DEFAULT_MACHINES,
@@ -40,6 +41,8 @@ from .spec import MachineSpec
 
 __all__ = [
     "MachineSpec",
+    "NetworkSpec",
+    "LinkSpec",
     "DeviceSpec",
     "CpuRates",
     "GpuPipelineModel",

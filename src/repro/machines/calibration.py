@@ -15,6 +15,13 @@ do, so any cluster can be swapped in without touching code::
     [network]
     injection_bw = 50e9
     alltoallv_efficiency = 0.05
+    # hierarchical fields (see repro.machines.network.NetworkSpec):
+    switch_levels = 2
+    switch_radix = 36
+    switch_uplink_bw = [200e9, 3600e9]
+    eager_threshold = 16384
+    incast_penalty = 0.25
+    gpudirect = true
 
     [device]                     # a preset name (device = "a100") also works
     base = "a100"
@@ -39,6 +46,7 @@ from dataclasses import fields
 from pathlib import Path
 
 from .device import DeviceSpec, get_device
+from .network import NetworkSpec
 from .rates import CpuRates, GpuPipelineModel
 from .registry import get_machine
 from .spec import MachineSpec
@@ -46,8 +54,32 @@ from .spec import MachineSpec
 __all__ = ["load", "spec_from_dict"]
 
 _NODE_KEYS = ("sockets_per_node", "cores_per_node", "gpus_per_node", "ranks_per_node")
-_NETWORK_KEYS = ("injection_bw", "intra_node_bw", "latency", "alltoallv_efficiency", "placement")
-_TOP_KEYS = ("name", "description", "base", "node", "network", "device", "cpu_rates", "gpu_model")
+#: Flat [network] keys, mirrored between MachineSpec and NetworkSpec.
+_NETWORK_FLAT_KEYS = ("injection_bw", "intra_node_bw", "latency", "alltoallv_efficiency")
+#: Hierarchical [network] keys — NetworkSpec-only (see repro.machines.network).
+_NETWORK_HIER_KEYS = (
+    "intra_socket_bw",
+    "switch_levels",
+    "switch_radix",
+    "switch_uplink_bw",
+    "eager_threshold",
+    "rendezvous_latency",
+    "incast_penalty",
+    "gpudirect",
+)
+_NETWORK_KEYS = _NETWORK_FLAT_KEYS + ("placement",) + _NETWORK_HIER_KEYS
+_NETWORK_INT_KEYS = ("switch_levels", "switch_radix", "eager_threshold")
+_TOP_KEYS = (
+    "name",
+    "description",
+    "base",
+    "node_cost",
+    "node",
+    "network",
+    "device",
+    "cpu_rates",
+    "gpu_model",
+)
 
 
 def _err(source: str, message: str) -> ValueError:
@@ -138,15 +170,54 @@ def spec_from_dict(data: dict, *, source: str = "<dict>") -> MachineSpec:
             raise _err(source, f"node.{key} must be an integer, got {value!r}")
         kwargs[key] = value
 
+    if "node_cost" in data:
+        cost = data["node_cost"]
+        if isinstance(cost, bool) or not isinstance(cost, (int, float)):
+            raise _err(source, f"node_cost must be a number, got {cost!r}")
+        kwargs["node_cost"] = cost
+
     network = _check_table(source, "network", data.get("network", {}))
     _check_keys(source, "[network]", network, _NETWORK_KEYS)
+    net_overrides: dict[str, object] = {}
     for key, value in network.items():
         if key == "placement":
             if not isinstance(value, str):
                 raise _err(source, f"network.placement must be a string, got {value!r}")
+            kwargs[key] = value
+            continue
+        if key == "gpudirect":
+            if not isinstance(value, bool):
+                raise _err(source, f"network.gpudirect must be a boolean, got {value!r}")
+        elif key == "switch_uplink_bw":
+            if not isinstance(value, (list, tuple)) or any(
+                isinstance(v, bool) or not isinstance(v, (int, float)) for v in value
+            ):
+                raise _err(source, f"network.switch_uplink_bw must be a list of numbers, got {value!r}")
+            value = tuple(value)
         elif isinstance(value, bool) or not isinstance(value, (int, float)):
             raise _err(source, f"network.{key} must be a number, got {value!r}")
-        kwargs[key] = value
+        elif key in _NETWORK_INT_KEYS and not isinstance(value, int):
+            raise _err(source, f"network.{key} must be an integer, got {value!r}")
+        net_overrides[key] = value
+        if key in _NETWORK_FLAT_KEYS:
+            kwargs[key] = value
+
+    # A machine gets a full NetworkSpec when the file uses hierarchical
+    # keys or the base preset already carries one; flat-only files on
+    # flat bases keep network = None (the degenerate single-level form).
+    hier = {k: v for k, v in net_overrides.items() if k in _NETWORK_HIER_KEYS}
+    base_network: NetworkSpec | None = kwargs.get("network")  # type: ignore[assignment]
+    if hier or base_network is not None:
+        if base_network is not None:
+            start = base_network
+        elif base is not None:
+            start = base.resolved_network
+        else:
+            start = NetworkSpec()
+        try:
+            kwargs["network"] = start.with_overrides(**net_overrides)
+        except ValueError as exc:
+            raise _err(source, f"invalid network spec: {exc}") from None
 
     if "device" in data:
         kwargs["device"] = _build_device(source, data["device"], base.device if base else None)

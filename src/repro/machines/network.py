@@ -1,0 +1,191 @@
+"""Declarative network model: typed links, switch hierarchy, protocols.
+
+A :class:`NetworkSpec` describes a machine's interconnect as a hierarchy
+of typed links instead of one injection-bandwidth number:
+
+* **intra-socket** (``intra_socket_bw``) — NVLink-class bandwidth between
+  ranks sharing a socket; ``None`` (the default) keeps the single
+  intra-node pool of the flat model;
+* **intra-node** (``intra_node_bw``) — the cross-socket path (X-bus /
+  shared memory) every same-node rank pair can use;
+* **node injection** (``injection_bw``) — the NIC(s) into the fabric,
+  derated by ``alltoallv_efficiency`` to the throughput a many-rank
+  MPI_Alltoallv sustains;
+* **per-switch uplinks** (``switch_radix`` / ``switch_levels`` /
+  ``switch_uplink_bw``) — a fat-tree above the nodes: level ``l`` groups
+  ``(radix // 2) ** l`` nodes under one switch subtree whose aggregate
+  uplink carries all traffic leaving the group.  An empty
+  ``switch_uplink_bw`` means every level is *full bisection* (uplink
+  capacity equals the group's aggregate injection), the non-blocking
+  fat tree Summit actually has.
+
+On top of the links, two congestion/protocol effects real alltoallvs
+exhibit:
+
+* **eager/rendezvous crossover** (``eager_threshold``) — messages above
+  the threshold pay the handshake latency ``rendezvous_latency`` instead
+  of the eager ``latency``;
+* **incast penalty** (``incast_penalty``) — fan-in contention on skewed
+  destination columns (Table III matrices), charged in proportion to the
+  receive-side skew.
+
+The all-defaults spec is *exactly* the flat alpha-beta model: no socket
+split, no switch levels, a single protocol regime, no incast.  Every
+hierarchical feature is built so its neutral setting contributes nothing
+to the completion time — a full-bisection switch level can never be the
+bottleneck (its aggregate time is a traffic *mean* over member nodes,
+which cannot exceed the injection *max*), so ``summit-gpu``'s real
+non-blocking EDR fat tree produces per-link breakdowns while keeping
+modeled seconds bit-identical to the flat form.
+
+This module is stdlib-only (the machines layer sits below ``mpi``/``gpu``
+in the import order); the routing itself lives in
+:mod:`repro.mpi.costmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+__all__ = ["NetworkSpec", "LinkSpec"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One typed link class of the hierarchy, for display and reports."""
+
+    name: str  # "intra-socket", "intra-node", "injection", "uplink-L1", ...
+    bandwidth: float  # bytes/s at the contention point (aggregate per element)
+    latency: float = 0.0  # seconds per message on this link (0 = inherited)
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A machine's interconnect, declaratively.
+
+    Defaults describe Summit's fabric as the flat model saw it; the
+    hierarchical fields are all neutral unless set.
+    """
+
+    # -- flat alpha-beta core (the degenerate single-level topology) --------
+    injection_bw: float = 23e9  # bytes/s per node into the fabric
+    intra_node_bw: float = 50e9  # bytes/s rank-to-rank within a node
+    latency: float = 2e-6  # seconds per (eager) message
+    alltoallv_efficiency: float = 0.04  # achieved fraction of peak for many-rank alltoallv
+    # -- intra-node link split ---------------------------------------------
+    # NVLink-class bandwidth between ranks on the same socket; None keeps
+    # one undifferentiated intra-node pool (the flat model).
+    intra_socket_bw: float | None = None
+    # -- switch hierarchy (fat tree above the nodes) -------------------------
+    switch_levels: int = 0  # modeled aggregation levels; 0 = no switch model
+    switch_radix: int = 36  # switch port count; a leaf switch hosts radix // 2 nodes
+    # Aggregate uplink bytes/s of one level-l switch subtree, one entry per
+    # level.  Empty = full bisection at every level (uplink == group nodes
+    # x injection_bw), which can never bottleneck and models a
+    # non-blocking fat tree.  Values below the group's aggregate injection
+    # make the level *contending* (a tapered/oversubscribed tree).
+    switch_uplink_bw: tuple[float, ...] = ()
+    # -- protocol regimes -----------------------------------------------------
+    # Message size (bytes) above which MPI switches from the eager to the
+    # rendezvous protocol; None = one regime (the flat model's latency).
+    eager_threshold: int | None = None
+    # Per-message latency in the rendezvous regime; defaults to 3x the
+    # eager latency when a threshold is set.
+    rendezvous_latency: float | None = None
+    # -- congestion ------------------------------------------------------------
+    # Fan-in (incast) penalty coefficient on skewed destination columns:
+    # the busiest receiver pays penalty * (skew - 1) extra network time.
+    incast_penalty: float = 0.0
+    # -- exchange path ---------------------------------------------------------
+    # GPUDirect fabric: device buffers go straight to the NIC, skipping the
+    # host staging copies (Section III-B2).  A machine property now, not an
+    # ablation-script flag.
+    gpudirect: bool = False
+
+    def __post_init__(self) -> None:
+        for fname in ("injection_bw", "intra_node_bw"):
+            if getattr(self, fname) <= 0:
+                raise ValueError(f"network: {fname} must be positive")
+        if self.latency < 0:
+            raise ValueError("network: latency must be non-negative")
+        if not 0 < self.alltoallv_efficiency <= 1:
+            raise ValueError("network: alltoallv_efficiency must be in (0, 1]")
+        if self.intra_socket_bw is not None and self.intra_socket_bw <= 0:
+            raise ValueError("network: intra_socket_bw must be positive (or omitted)")
+        if self.switch_levels < 0:
+            raise ValueError("network: switch_levels must be >= 0")
+        if self.switch_levels > 0 and self.switch_radix < 2:
+            raise ValueError("network: switch_radix must be >= 2 when switch_levels > 0")
+        object.__setattr__(self, "switch_uplink_bw", tuple(self.switch_uplink_bw))
+        if self.switch_uplink_bw and len(self.switch_uplink_bw) != self.switch_levels:
+            raise ValueError(
+                f"network: switch_uplink_bw needs one entry per level "
+                f"({self.switch_levels}), got {len(self.switch_uplink_bw)}"
+            )
+        if any(bw <= 0 for bw in self.switch_uplink_bw):
+            raise ValueError("network: switch_uplink_bw entries must be positive")
+        if self.eager_threshold is not None and self.eager_threshold < 0:
+            raise ValueError("network: eager_threshold must be >= 0 bytes (or omitted)")
+        if self.rendezvous_latency is not None:
+            if self.eager_threshold is None:
+                raise ValueError("network: rendezvous_latency needs an eager_threshold")
+            if self.rendezvous_latency < self.latency:
+                raise ValueError("network: rendezvous_latency must be >= latency")
+        if self.incast_penalty < 0:
+            raise ValueError("network: incast_penalty must be >= 0")
+
+    # -- derived geometry ------------------------------------------------------
+
+    @property
+    def is_flat(self) -> bool:
+        """True when no hierarchical feature can change modeled seconds."""
+        return (
+            self.intra_socket_bw is None
+            and self.switch_levels == 0
+            and self.eager_threshold is None
+            and self.incast_penalty == 0.0
+        )
+
+    @property
+    def effective_rendezvous_latency(self) -> float:
+        """Rendezvous per-message latency (3x eager unless given)."""
+        if self.rendezvous_latency is not None:
+            return self.rendezvous_latency
+        return 3.0 * self.latency
+
+    def group_nodes(self, level: int) -> int:
+        """Nodes under one level-``level`` switch subtree (level >= 1)."""
+        return (self.switch_radix // 2) ** level
+
+    def uplink_bw(self, level: int) -> float:
+        """Aggregate uplink bytes/s of one level-``level`` subtree."""
+        if self.switch_uplink_bw:
+            return self.switch_uplink_bw[level - 1]
+        return self.group_nodes(level) * self.injection_bw
+
+    def level_contends(self, level: int) -> bool:
+        """Whether level ``level`` is oversubscribed (can set the max).
+
+        A full-bisection level's aggregate time is a mean of its member
+        nodes' injection times, so it can never exceed the injection max;
+        only strictly tapered uplinks join the completion maximum.
+        """
+        return self.uplink_bw(level) < self.group_nodes(level) * self.injection_bw
+
+    def links(self) -> tuple[LinkSpec, ...]:
+        """The typed link classes, innermost first (reports, `repro machines`)."""
+        rows: list[LinkSpec] = []
+        if self.intra_socket_bw is not None:
+            rows.append(LinkSpec("intra-socket", self.intra_socket_bw))
+        rows.append(LinkSpec("intra-node", self.intra_node_bw))
+        rows.append(LinkSpec("injection", self.injection_bw, self.latency))
+        for level in range(1, self.switch_levels + 1):
+            rows.append(LinkSpec(f"uplink-L{level}", self.uplink_bw(level)))
+        return tuple(rows)
+
+    def with_overrides(self, **kwargs: object) -> "NetworkSpec":
+        """Copy with selected fields replaced (what-if studies, calibration)."""
+        unknown = set(kwargs) - {f.name for f in fields(self)}
+        if unknown:
+            raise ValueError(f"network: unknown field(s) {', '.join(sorted(unknown))}")
+        return replace(self, **kwargs)  # type: ignore[arg-type]

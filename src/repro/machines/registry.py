@@ -16,10 +16,32 @@ from __future__ import annotations
 from typing import Callable
 
 from .device import a100, v100
+from .network import NetworkSpec
 from .rates import GpuPipelineModel, epyc_rates, power9_rates
 from .spec import MachineSpec
 
 __all__ = ["register_machine", "get_machine", "machine_names", "machine_descriptions", "DEFAULT_MACHINES"]
+
+
+def summit_network() -> NetworkSpec:
+    """Summit's real fabric: dual-rail EDR InfiniBand, non-blocking fat tree.
+
+    Each AC922 node has two EDR rails (~23 GB/s achievable per-node
+    injection, Section V-A) into a three-level fat tree of radix-36
+    Mellanox switches.  The tree is *full bisection*: every level's
+    aggregate uplink equals its group's injection (the empty
+    ``switch_uplink_bw`` default), so no switch level can bottleneck and
+    the modeled seconds equal the flat alpha-beta form bit for bit — the
+    hierarchy only adds per-link breakdown rows.
+    """
+    return NetworkSpec(
+        injection_bw=23e9,
+        intra_node_bw=50e9,
+        latency=2e-6,
+        alltoallv_efficiency=0.04,
+        switch_levels=3,
+        switch_radix=36,
+    )
 
 
 def summit_gpu_machine() -> MachineSpec:
@@ -31,10 +53,8 @@ def summit_gpu_machine() -> MachineSpec:
         cores_per_node=42,
         gpus_per_node=6,
         ranks_per_node=6,
-        injection_bw=23e9,
-        intra_node_bw=50e9,
-        latency=2e-6,
-        alltoallv_efficiency=0.04,
+        network=summit_network(),
+        node_cost=6.0,  # 6 V100s dominate the node-hour price
         device=v100(),
         cpu_rates=power9_rates(),
         gpu_model=GpuPipelineModel(),
@@ -50,10 +70,8 @@ def summit_cpu_machine() -> MachineSpec:
         cores_per_node=42,
         gpus_per_node=6,
         ranks_per_node=42,
-        injection_bw=23e9,
-        intra_node_bw=50e9,
-        latency=2e-6,
-        alltoallv_efficiency=0.04,
+        network=summit_network(),
+        node_cost=6.0,  # same hardware as summit-gpu, GPUs idle
         device=v100(),
         cpu_rates=power9_rates(),
         gpu_model=GpuPipelineModel(),
@@ -73,6 +91,7 @@ def a100_gpu_machine() -> MachineSpec:
         intra_node_bw=80e9,
         latency=1.5e-6,
         alltoallv_efficiency=0.05,
+        node_cost=5.0,
         device=a100(),
         cpu_rates=epyc_rates(),
         gpu_model=GpuPipelineModel(exchange_overhead_s=1.0),
@@ -91,6 +110,36 @@ def fat_nic_gpu_machine() -> MachineSpec:
         name="fat-nic-gpu",
         description="Summit node compute with 4x injection bandwidth (fat-NIC what-if), 6 ranks/node",
         injection_bw=4 * 23e9,
+        node_cost=6.5,
+    )
+
+
+def tapered_fabric_gpu_machine() -> MachineSpec:
+    """Summit's nodes behind a congested commodity fabric (hierarchical what-if).
+
+    The preset that exercises every hierarchical feature at once: a
+    two-level fat tree tapered 2:1 at both levels (uplinks carry half the
+    group's aggregate injection, so both levels *contend*), an NVLink
+    socket split inside the node, an eager/rendezvous protocol crossover,
+    and an incast penalty on skewed destination columns.  Same 6
+    ranks/node as ``summit-gpu``, so every exact observable matches
+    Summit bit for bit while the per-link breakdown shows real switch
+    contention — the machine ``tools/check_golden_machines.py`` replays.
+    """
+    taper = 0.5  # uplink capacity as a fraction of full bisection (2:1)
+    return summit_gpu_machine().with_overrides(
+        name="tapered-fabric-gpu",
+        description="Summit nodes on a 2:1-tapered 2-level fat tree with incast + rendezvous (what-if), 6 ranks/node",
+        node_cost=5.5,  # cheaper fabric is the point of tapering
+        network=summit_network().with_overrides(
+            intra_socket_bw=150e9,  # 3xNVLink2 within a socket's GPU triple
+            switch_levels=2,
+            switch_radix=36,
+            switch_uplink_bw=(taper * 18 * 23e9, taper * 324 * 23e9),
+            eager_threshold=16384,
+            rendezvous_latency=6e-6,
+            incast_penalty=0.5,
+        ),
     )
 
 
@@ -106,6 +155,7 @@ def generic_cpu_machine() -> MachineSpec:
         intra_node_bw=30e9,
         latency=1.5e-6,
         alltoallv_efficiency=0.06,
+        node_cost=1.0,
         device=None,
         cpu_rates=epyc_rates(),
         gpu_model=GpuPipelineModel(),
@@ -118,6 +168,7 @@ DEFAULT_MACHINES: dict[str, Callable[[], MachineSpec]] = {
     "summit-cpu": summit_cpu_machine,
     "a100-gpu": a100_gpu_machine,
     "fat-nic-gpu": fat_nic_gpu_machine,
+    "tapered-fabric-gpu": tapered_fabric_gpu_machine,
     "generic-cpu": generic_cpu_machine,
 }
 

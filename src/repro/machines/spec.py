@@ -30,12 +30,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 
 from .device import DeviceSpec, generic_gpu
+from .network import NetworkSpec
 from .rates import CpuRates, GpuPipelineModel
 
 __all__ = ["MachineSpec"]
 
 #: Rank placements the communication model understands.
 PLACEMENTS = ("block", "round-robin")
+
+#: MachineSpec network fields mirrored from :class:`NetworkSpec`.  When a
+#: machine carries a full network spec these are views of it (one source
+#: of truth); overriding one through ``with_overrides`` updates both.
+_NETWORK_MIRROR_FIELDS = ("injection_bw", "intra_node_bw", "latency", "alltoallv_efficiency")
 
 
 @dataclass(frozen=True)
@@ -57,6 +63,15 @@ class MachineSpec:
     latency: float = 2e-6  # seconds per message
     alltoallv_efficiency: float = 0.04  # achieved fraction of peak for many-rank alltoallv
     placement: str = "block"  # rank->node mapping: "block" (jsrun) or "round-robin"
+    # Full link-hierarchy description (switch levels, socket split, protocol
+    # regimes, GPUDirect).  None derives a flat single-level NetworkSpec from
+    # the fields above; when given, those fields become views of it.
+    network: NetworkSpec | None = None
+    # -- deployment cost -------------------------------------------------------
+    # Relative cost of one node-hour on this machine (any consistent unit:
+    # dollars, SUs, watts).  The `repro plan` capacity planner ranks
+    # machine x node-count candidates by modeled time x nodes x node_cost.
+    node_cost: float = 1.0
     # -- device + kernel calibration ------------------------------------------
     device: DeviceSpec | None = None  # None on CPU-only machines
     cpu_rates: CpuRates = field(default_factory=CpuRates)
@@ -65,6 +80,11 @@ class MachineSpec:
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
             raise ValueError("machine spec needs a non-empty 'name'")
+        if self.network is not None:
+            # One source of truth: the mirrored flat fields read from the
+            # network spec, so every legacy consumer sees the same numbers.
+            for fname in _NETWORK_MIRROR_FIELDS:
+                object.__setattr__(self, fname, getattr(self.network, fname))
         for fname in ("sockets_per_node", "cores_per_node"):
             if int(getattr(self, fname)) < 1:
                 raise ValueError(f"machine {self.name!r}: {fname} must be >= 1")
@@ -83,6 +103,8 @@ class MachineSpec:
             raise ValueError(
                 f"machine {self.name!r}: placement must be one of {PLACEMENTS}, got {self.placement!r}"
             )
+        if self.node_cost <= 0:
+            raise ValueError(f"machine {self.name!r}: node_cost must be positive")
         if self.gpus_per_node > 0 and self.device is None:
             raise ValueError(
                 f"machine {self.name!r}: gpus_per_node={self.gpus_per_node} but no device spec; "
@@ -108,9 +130,39 @@ class MachineSpec:
         """
         return self.device if self.device is not None else generic_gpu()
 
+    @property
+    def resolved_network(self) -> NetworkSpec:
+        """The machine's network hierarchy, or the flat spec its fields imply."""
+        if self.network is not None:
+            return self.network
+        return NetworkSpec(
+            injection_bw=self.injection_bw,
+            intra_node_bw=self.intra_node_bw,
+            latency=self.latency,
+            alltoallv_efficiency=self.alltoallv_efficiency,
+        )
+
     def with_overrides(self, **kwargs: object) -> "MachineSpec":
-        """Copy with selected fields replaced (what-if studies, tests)."""
+        """Copy with selected fields replaced (what-if studies, tests).
+
+        Overriding a mirrored network field (``injection_bw`` & co.) on a
+        machine that carries a :class:`NetworkSpec` rewrites the network
+        too, so the two never disagree.
+        """
         unknown = set(kwargs) - {f.name for f in fields(self)}
         if unknown:
             raise ValueError(f"machine {self.name!r}: unknown field(s) {', '.join(sorted(unknown))}")
+        network = kwargs.get("network", self.network)
+        if network is not None and "network" not in kwargs:
+            mirrored = {k: kwargs[k] for k in _NETWORK_MIRROR_FIELDS if k in kwargs}
+            if mirrored:
+                kwargs["network"] = network.with_overrides(**mirrored)
         return replace(self, **kwargs)  # type: ignore[arg-type]
+
+    def with_network(self, **kwargs: object) -> "MachineSpec":
+        """Copy with :class:`NetworkSpec` fields replaced (machine knobs).
+
+        The ergonomic spelling of ``with_overrides(network=...)`` for
+        single knobs: ``machine.with_network(gpudirect=True)``.
+        """
+        return self.with_overrides(network=self.resolved_network.with_overrides(**kwargs))

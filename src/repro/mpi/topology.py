@@ -22,19 +22,24 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from ..machines import MachineSpec, get_machine, resolve_machine
+from ..machines import MachineSpec, NetworkSpec, get_machine, resolve_machine
 
 __all__ = ["ClusterSpec", "cluster_for", "summit_gpu", "summit_cpu"]
 
-#: Per-node injection bandwidth on Summit, bytes/s (Section V-A: "providing
-#: per node injection bandwidth of 23 GB/s").
-SUMMIT_INJECTION_BW: float = 23e9
+# Summit's network constants, re-exported from the ``summit-gpu`` machine
+# preset — the registry is the single source of truth; these names remain
+# for callers that want the raw numbers (Section V-A: "providing per node
+# injection bandwidth of 23 GB/s").
+_SUMMIT = get_machine("summit-gpu")
+
+#: Per-node injection bandwidth on Summit, bytes/s.
+SUMMIT_INJECTION_BW: float = _SUMMIT.injection_bw
 
 #: Intra-node rank-to-rank bandwidth (NVLink / shared memory), bytes/s.
-SUMMIT_INTRA_NODE_BW: float = 50e9
+SUMMIT_INTRA_NODE_BW: float = _SUMMIT.intra_node_bw
 
 #: Effective point-to-point message latency, seconds.
-SUMMIT_LATENCY: float = 2e-6
+SUMMIT_LATENCY: float = _SUMMIT.latency
 
 
 @dataclass(frozen=True)
@@ -58,6 +63,13 @@ class ClusterSpec:
     latency: float = SUMMIT_LATENCY
     alltoallv_efficiency: float = 0.04
     placement: str = "block"  # rank->node mapping: "block" (jsrun) or "round-robin"
+    # Socket count per node: how the intra-node rank block splits across
+    # sockets when the network models an NVLink/X-bus distinction.
+    sockets_per_node: int = 2
+    # Full link hierarchy (switch levels, socket split, protocol regimes,
+    # incast, GPUDirect).  None = the flat single-level topology implied by
+    # the fields above; ``resolved_network`` builds it on demand.
+    network: NetworkSpec | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1 or self.ranks_per_node < 1:
@@ -70,10 +82,36 @@ class ClusterSpec:
             raise ValueError("alltoallv_efficiency must be in (0, 1]")
         if self.placement not in ("block", "round-robin"):
             raise ValueError("placement must be 'block' or 'round-robin'")
+        if self.sockets_per_node < 1:
+            raise ValueError("sockets_per_node must be >= 1")
+        if self.network is not None:
+            for fname in ("injection_bw", "intra_node_bw", "latency", "alltoallv_efficiency"):
+                if getattr(self.network, fname) != getattr(self, fname):
+                    raise ValueError(
+                        f"cluster {self.name!r}: network.{fname} disagrees with the flat field; "
+                        "build clusters through cluster_for() or keep the two in sync"
+                    )
 
     @property
     def n_ranks(self) -> int:
         return self.n_nodes * self.ranks_per_node
+
+    @property
+    def resolved_network(self) -> NetworkSpec:
+        """The link hierarchy, or the flat spec the legacy fields imply.
+
+        ``getattr`` tolerates pre-refactor pickles (checkpointed states)
+        that lack the ``network`` attribute.
+        """
+        network = getattr(self, "network", None)
+        if network is not None:
+            return network
+        return NetworkSpec(
+            injection_bw=self.injection_bw,
+            intra_node_bw=self.intra_node_bw,
+            latency=self.latency,
+            alltoallv_efficiency=self.alltoallv_efficiency,
+        )
 
     def node_of(self, rank: int) -> int:
         """Node index hosting ``rank``.
@@ -120,6 +158,8 @@ def cluster_for(machine: MachineSpec | str, n_nodes: int) -> ClusterSpec:
         latency=m.latency,
         alltoallv_efficiency=m.alltoallv_efficiency,
         placement=m.placement,
+        sockets_per_node=m.sockets_per_node,
+        network=m.network,
     )
 
 

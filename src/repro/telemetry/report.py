@@ -123,6 +123,12 @@ class RunReport:
                 "alltoallv_s": result.alltoallv_seconds,
                 "staging_s": result.staging_seconds,
                 "rounds": result.n_rounds_used,
+                # Per-link exchange breakdown from the routed alltoallv,
+                # innermost link first (the hierarchical network model).
+                "links": [
+                    {"link": name, "seconds": seconds} for name, seconds in result.link_seconds
+                ],
+                "bottleneck_link": result.bottleneck_link,
             },
             exchange={
                 "items": result.exchanged_items,
@@ -269,6 +275,24 @@ class RunReport:
                     ["parse_s", "exchange_s", "count_s", "total_s", "exch_frac"],
                     rows,
                     title="Phase breakdown (Fig. 3, model seconds)",
+                )
+            )
+        link_rows = self.phases.get("links") or []
+        if link_rows:
+            bottleneck = self.phases.get("bottleneck_link", "")
+            rows = [
+                [
+                    entry.get("link", "?"),
+                    f"{entry.get('seconds', 0.0):.6f}",
+                    "*" if entry.get("link") == bottleneck else "",
+                ]
+                for entry in link_rows
+            ]
+            blocks.append(
+                format_table(
+                    ["link", "seconds", "bottleneck"],
+                    rows,
+                    title="Exchange per-link breakdown (hierarchical network model)",
                 )
             )
         x = self.exchange

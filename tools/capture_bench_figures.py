@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Capture the fig8/fig9 modeled-time slice into ``BENCH_figures.json``.
+
+``benchmarks/bench_guard.py`` pins the fig6 cells' modeled phase times to
+the committed ``BENCH_fused.json`` record.  This tool records the same
+kind of anchor for the published-figure observables that depend on the
+*communication* model:
+
+* **fig8** — the MPI_Alltoallv routine seconds per transport variant
+  (k-mer wire vs supermers at m=9/m=7) on the guard dataset, plus the
+  supermer speedups derived from them (Fig. 8's metric);
+* **fig9** — the computation-kernel seconds and insertion rate for the
+  k-mer pipeline at two node counts (Fig. 9's metric).
+
+The guard replays this slice and requires every float to match exactly,
+so any refactor of the cost model provably leaves the published-figure
+outputs untouched under the default Summit presets.
+
+Usage::
+
+    PYTHONPATH=src python tools/capture_bench_figures.py [--out BENCH_figures.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.runner import ExperimentCache  # noqa: E402
+
+#: The guard slice: one Table I dataset, the node counts the figures use
+#: scaled down to guard size (16 nodes is bench_guard's fig6 slice size).
+DATASET = "vvulnificus30x"
+FIG8_NODES = 16
+FIG9_NODES = (4, 16)
+
+
+def capture() -> dict:
+    cache = ExperimentCache()
+    record: dict = {
+        "workload": "fig8+fig9 guard slice",
+        "dataset": DATASET,
+        "fig8_nodes": FIG8_NODES,
+        "fig9_nodes": list(FIG9_NODES),
+        "fig8": {},
+        "fig9": {},
+    }
+
+    kmer = cache.run(DATASET, n_nodes=FIG8_NODES, backend="gpu", mode="kmer")
+    record["fig8"]["kmer"] = {
+        "alltoallv_s": kmer.alltoallv_seconds,
+        "exchange_s": kmer.timing.exchange,
+    }
+    for m in (9, 7):
+        sup = cache.run(
+            DATASET, n_nodes=FIG8_NODES, backend="gpu", mode="supermer", minimizer_len=m
+        )
+        record["fig8"][f"supermer-m{m}"] = {
+            "alltoallv_s": sup.alltoallv_seconds,
+            "exchange_s": sup.timing.exchange,
+            "speedup": sup.exchange_speedup_over(kmer),
+        }
+
+    for nodes in FIG9_NODES:
+        r = cache.run(DATASET, n_nodes=nodes, backend="gpu", mode="kmer")
+        record["fig9"][str(nodes)] = {
+            "parse_s": r.timing.parse,
+            "count_s": r.timing.count,
+            "compute_s": r.timing.compute,
+            "insertion_rate": r.insertion_rate(),
+        }
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="BENCH_figures.json", help="output record path")
+    args = ap.parse_args(argv)
+    record = capture()
+    Path(args.out).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    for variant, row in record["fig8"].items():
+        print(f"  fig8 {variant:14s} alltoallv {row['alltoallv_s']:.4f}s")
+    for nodes, row in record["fig9"].items():
+        print(f"  fig9 {nodes:>3s} nodes    rate {row['insertion_rate'] / 1e9:.3f} B/s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
